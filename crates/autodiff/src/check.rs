@@ -1,0 +1,89 @@
+//! Finite-difference gradient checking.
+//!
+//! The correctness of the whole training stack rests on the tape computing
+//! exact gradients, so every layer and the full RIHGCN cell are verified
+//! against central finite differences in tests. This module hosts the shared
+//! checker.
+
+use st_tensor::Matrix;
+
+/// Result of a gradient check: the largest absolute and relative deviation
+/// between analytic and numeric gradients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradCheck {
+    /// Largest absolute difference over all parameter entries.
+    pub max_abs_err: f64,
+    /// Largest relative difference `|a−n| / max(1, |a|, |n|)`.
+    pub max_rel_err: f64,
+}
+
+impl GradCheck {
+    /// Whether both deviations are below `tol`.
+    pub fn passes(&self, tol: f64) -> bool {
+        self.max_abs_err.is_finite() && self.max_rel_err < tol
+    }
+}
+
+/// Compares an analytic gradient against central finite differences.
+///
+/// `loss` evaluates the scalar objective as a function of the parameter
+/// matrix; `analytic` is the gradient produced by a [`crate::Tape`] sweep for
+/// the same parameter value `at`.
+///
+/// # Panics
+///
+/// Panics if `analytic` and `at` have different shapes.
+pub fn check_gradient(
+    at: &Matrix,
+    analytic: &Matrix,
+    eps: f64,
+    mut loss: impl FnMut(&Matrix) -> f64,
+) -> GradCheck {
+    assert_eq!(at.shape(), analytic.shape(), "gradient shape mismatch");
+    let mut max_abs: f64 = 0.0;
+    let mut max_rel: f64 = 0.0;
+    for r in 0..at.rows() {
+        for c in 0..at.cols() {
+            let mut plus = at.clone();
+            plus[(r, c)] += eps;
+            let mut minus = at.clone();
+            minus[(r, c)] -= eps;
+            let numeric = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+            let a = analytic[(r, c)];
+            let abs_err = (a - numeric).abs();
+            let rel_err = abs_err / a.abs().max(numeric.abs()).max(1.0);
+            max_abs = max_abs.max(abs_err);
+            max_rel = max_rel.max(rel_err);
+        }
+    }
+    GradCheck {
+        max_abs_err: max_abs,
+        max_rel_err: max_rel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_correct_gradient() {
+        // f(x) = sum(x²): gradient is 2x.
+        let at = Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 3.0]]);
+        let analytic = at.scale(2.0);
+        let res = check_gradient(&at, &analytic, 1e-6, |m| {
+            m.as_slice().iter().map(|&x| x * x).sum()
+        });
+        assert!(res.passes(1e-6), "unexpected failure: {res:?}");
+    }
+
+    #[test]
+    fn detects_wrong_gradient() {
+        let at = Matrix::from_rows(&[&[1.0, -2.0]]);
+        let wrong = at.scale(3.0); // should be 2x
+        let res = check_gradient(&at, &wrong, 1e-6, |m| {
+            m.as_slice().iter().map(|&x| x * x).sum()
+        });
+        assert!(!res.passes(1e-4));
+    }
+}

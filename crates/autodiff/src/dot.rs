@@ -1,0 +1,75 @@
+//! Graphviz export of a tape's computation graph.
+//!
+//! `Tape::to_dot` renders the recorded operations as a DOT digraph —
+//! invaluable when debugging why a gradient does (or does not) reach a
+//! parameter. Render with e.g. `dot -Tsvg graph.dot -o graph.svg`.
+
+use crate::tape::Tape;
+use std::fmt::Write;
+
+impl Tape {
+    /// Renders the recorded computation as a Graphviz DOT digraph.
+    ///
+    /// Parameters are drawn as boxes, constants as grey ellipses, and
+    /// operations as white ellipses labelled with the operation name and
+    /// output shape. Edges point from inputs to the nodes consuming them.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph tape {\n  rankdir=LR;\n");
+        for idx in 0..self.len() {
+            let (label, parents, is_leaf, needs_grad) = self.node_summary(idx);
+            let shape_attr = if is_leaf && needs_grad {
+                "shape=box, style=filled, fillcolor=lightblue"
+            } else if is_leaf {
+                "shape=ellipse, style=filled, fillcolor=lightgrey"
+            } else {
+                "shape=ellipse"
+            };
+            let _ = writeln!(out, "  n{idx} [label=\"{label}\", {shape_attr}];");
+            for p in parents {
+                let _ = writeln!(out, "  n{p} -> n{idx};");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_tensor::Matrix;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut tape = Tape::new();
+        let w = tape.parameter(Matrix::ones(2, 2));
+        let x = tape.constant(Matrix::ones(2, 2));
+        let y = tape.matmul(x, w);
+        let loss = tape.mean(y);
+        let dot = tape.to_dot();
+        assert!(dot.starts_with("digraph tape {"));
+        // Four nodes...
+        for i in 0..4 {
+            assert!(
+                dot.contains(&format!("n{i} [label=")),
+                "missing node {i}: {dot}"
+            );
+        }
+        // ...and the matmul's two input edges plus the mean's one.
+        assert!(dot.contains("n0 -> n2"));
+        assert!(dot.contains("n1 -> n2"));
+        assert!(dot.contains("n2 -> n3"));
+        // Parameter styled as a box, constant as grey.
+        assert!(dot.contains("fillcolor=lightblue"));
+        assert!(dot.contains("fillcolor=lightgrey"));
+        let _ = (w, loss);
+    }
+
+    #[test]
+    fn dot_of_empty_tape_is_valid() {
+        let tape = Tape::new();
+        let dot = tape.to_dot();
+        assert!(dot.starts_with("digraph tape {"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,678 @@
+//! Reverse-mode automatic differentiation tape.
+//!
+//! The [`Tape`] records a computation as a sequence of matrix-valued nodes.
+//! Nodes are created in topological order (an operation can only reference
+//! earlier nodes), so [`Tape::backward`] is a single reverse sweep that
+//! accumulates gradients into every node that transitively depends on a
+//! parameter.
+//!
+//! This is exactly the machinery the paper's "imputed values are trainable
+//! variables" trick needs: the estimated matrix `X̂_{t+1}` stays a tape node,
+//! so the prediction loss at later timestamps sends *delayed gradients* back
+//! through the imputation at earlier timestamps.
+
+use st_tensor::Matrix;
+
+/// Handle to a node on a [`Tape`].
+///
+/// `Var`s are cheap copyable indices; they are only meaningful for the tape
+/// that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+impl Var {
+    /// The raw node index on the owning tape.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Leaf,
+    Add(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    Matmul(usize, usize),
+    Scale(usize, f64),
+    AddScalar(usize),
+    AddBias { x: usize, bias: usize },
+    Sigmoid(usize),
+    Tanh(usize),
+    Relu(usize),
+    Abs(usize),
+    ConcatCols(usize, usize),
+    SliceCols { x: usize, start: usize },
+    Sum(usize),
+    Mean(usize),
+    SoftmaxRows(usize),
+    ScaleVar { x: usize, s: usize },
+    Transpose(usize),
+    Exp(usize),
+    Ln(usize),
+    Sqrt(usize),
+    Div(usize, usize),
+}
+
+#[derive(Debug)]
+struct Node {
+    value: Matrix,
+    grad: Option<Matrix>,
+    op: Op,
+    needs_grad: bool,
+}
+
+/// A reverse-mode autodiff tape over dense matrices.
+///
+/// # Examples
+///
+/// ```
+/// use st_autodiff::Tape;
+/// use st_tensor::Matrix;
+///
+/// let mut tape = Tape::new();
+/// let x = tape.parameter(Matrix::from_rows(&[&[3.0]]));
+/// let y = tape.mul(x, x); // y = x²
+/// let loss = tape.sum(y);
+/// tape.backward(loss);
+/// assert_eq!(tape.grad(x)[(0, 0)], 6.0); // dy/dx = 2x
+/// ```
+#[derive(Debug, Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Matrix, op: Op, needs_grad: bool) -> Var {
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+            needs_grad,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Records a constant: gradients are not tracked through it.
+    pub fn constant(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf, false)
+    }
+
+    /// Records a trainable parameter leaf.
+    pub fn parameter(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf, true)
+    }
+
+    /// The forward value of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to this tape.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// The accumulated gradient of a node; a zero matrix if [`Tape::backward`]
+    /// has not reached it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to this tape.
+    pub fn grad(&self, v: Var) -> Matrix {
+        let node = &self.nodes[v.0];
+        node.grad
+            .clone()
+            .unwrap_or_else(|| Matrix::zeros(node.value.rows(), node.value.cols()))
+    }
+
+    /// Whether gradients flow through this node.
+    pub fn needs_grad(&self, v: Var) -> bool {
+        self.nodes[v.0].needs_grad
+    }
+
+    fn binary_needs(&self, a: Var, b: Var) -> bool {
+        self.nodes[a.0].needs_grad || self.nodes[b.0].needs_grad
+    }
+
+    /// Elementwise sum `a + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = &self.nodes[a.0].value + &self.nodes[b.0].value;
+        let ng = self.binary_needs(a, b);
+        self.push(v, Op::Add(a.0, b.0), ng)
+    }
+
+    /// Elementwise difference `a − b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = &self.nodes[a.0].value - &self.nodes[b.0].value;
+        let ng = self.binary_needs(a, b);
+        self.push(v, Op::Sub(a.0, b.0), ng)
+    }
+
+    /// Elementwise (Hadamard) product `a ⊙ b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.hadamard(&self.nodes[b.0].value);
+        let ng = self.binary_needs(a, b);
+        self.push(v, Op::Mul(a.0, b.0), ng)
+    }
+
+    /// Matrix product `a · b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        let ng = self.binary_needs(a, b);
+        self.push(v, Op::Matmul(a.0, b.0), ng)
+    }
+
+    /// Scalar multiple `s · a`.
+    pub fn scale(&mut self, a: Var, s: f64) -> Var {
+        let v = self.nodes[a.0].value.scale(s);
+        let ng = self.nodes[a.0].needs_grad;
+        self.push(v, Op::Scale(a.0, s), ng)
+    }
+
+    /// Adds the scalar `s` to every element.
+    pub fn add_scalar(&mut self, a: Var, s: f64) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x + s);
+        let ng = self.nodes[a.0].needs_grad;
+        self.push(v, Op::AddScalar(a.0), ng)
+    }
+
+    /// Adds the `1 × C` row vector `bias` to every row of `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not a row vector of matching width.
+    pub fn add_bias(&mut self, x: Var, bias: Var) -> Var {
+        let v = self.nodes[x.0]
+            .value
+            .add_row_broadcast(&self.nodes[bias.0].value);
+        let ng = self.binary_needs(x, bias);
+        self.push(
+            v,
+            Op::AddBias {
+                x: x.0,
+                bias: bias.0,
+            },
+            ng,
+        )
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        let ng = self.nodes[a.0].needs_grad;
+        self.push(v, Op::Sigmoid(a.0), ng)
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(f64::tanh);
+        let ng = self.nodes[a.0].needs_grad;
+        self.push(v, Op::Tanh(a.0), ng)
+    }
+
+    /// Elementwise rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        let ng = self.nodes[a.0].needs_grad;
+        self.push(v, Op::Relu(a.0), ng)
+    }
+
+    /// Elementwise absolute value (subgradient 0 at the origin).
+    pub fn abs(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(f64::abs);
+        let ng = self.nodes[a.0].needs_grad;
+        self.push(v, Op::Abs(a.0), ng)
+    }
+
+    /// Horizontal concatenation `[a; b]` along columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts differ.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.hcat(&self.nodes[b.0].value);
+        let ng = self.binary_needs(a, b);
+        self.push(v, Op::ConcatCols(a.0, b.0), ng)
+    }
+
+    /// Columns `[start, end)` of `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice_cols(&mut self, x: Var, start: usize, end: usize) -> Var {
+        let v = self.nodes[x.0].value.slice_cols(start, end);
+        let ng = self.nodes[x.0].needs_grad;
+        self.push(v, Op::SliceCols { x: x.0, start }, ng)
+    }
+
+    /// Sum of all elements as a `1 × 1` matrix.
+    pub fn sum(&mut self, a: Var) -> Var {
+        let v = Matrix::from_rows(&[&[self.nodes[a.0].value.sum()]]);
+        let ng = self.nodes[a.0].needs_grad;
+        self.push(v, Op::Sum(a.0), ng)
+    }
+
+    /// Mean of all elements as a `1 × 1` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is empty.
+    pub fn mean(&mut self, a: Var) -> Var {
+        assert!(!self.nodes[a.0].value.is_empty(), "mean of empty matrix");
+        let v = Matrix::from_rows(&[&[self.nodes[a.0].value.mean()]]);
+        let ng = self.nodes[a.0].needs_grad;
+        self.push(v, Op::Mean(a.0), ng)
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let x = &self.nodes[a.0].value;
+        let mut v = x.clone();
+        for r in 0..v.rows() {
+            let row = v.row_mut(r);
+            let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut denom = 0.0;
+            for e in row.iter_mut() {
+                *e = (*e - max).exp();
+                denom += *e;
+            }
+            for e in row.iter_mut() {
+                *e /= denom;
+            }
+        }
+        let ng = self.nodes[a.0].needs_grad;
+        self.push(v, Op::SoftmaxRows(a.0), ng)
+    }
+
+    /// Scales `x` by the `1 × 1` variable `s` (both gradients tracked).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not `1 × 1`.
+    pub fn scale_var(&mut self, x: Var, s: Var) -> Var {
+        let sv = &self.nodes[s.0].value;
+        assert_eq!(sv.shape(), (1, 1), "scale_var scalar must be 1x1");
+        let v = self.nodes[x.0].value.scale(sv[(0, 0)]);
+        let ng = self.binary_needs(x, s);
+        self.push(v, Op::ScaleVar { x: x.0, s: s.0 }, ng)
+    }
+
+    /// Transpose of `x`.
+    pub fn transpose(&mut self, x: Var) -> Var {
+        let v = self.nodes[x.0].value.transpose();
+        let ng = self.nodes[x.0].needs_grad;
+        self.push(v, Op::Transpose(x.0), ng)
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.map(f64::exp);
+        let ng = self.nodes[a.0].needs_grad;
+        self.push(v, Op::Exp(a.0), ng)
+    }
+
+    /// Elementwise natural logarithm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element is not strictly positive.
+    pub fn ln(&mut self, a: Var) -> Var {
+        assert!(
+            self.nodes[a.0].value.as_slice().iter().all(|&x| x > 0.0),
+            "ln requires strictly positive inputs"
+        );
+        let v = self.nodes[a.0].value.map(f64::ln);
+        let ng = self.nodes[a.0].needs_grad;
+        self.push(v, Op::Ln(a.0), ng)
+    }
+
+    /// Elementwise square root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element is negative.
+    pub fn sqrt(&mut self, a: Var) -> Var {
+        assert!(
+            self.nodes[a.0].value.as_slice().iter().all(|&x| x >= 0.0),
+            "sqrt requires non-negative inputs"
+        );
+        let v = self.nodes[a.0].value.map(f64::sqrt);
+        let ng = self.nodes[a.0].needs_grad;
+        self.push(v, Op::Sqrt(a.0), ng)
+    }
+
+    /// Elementwise division `a / b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ or any divisor is zero.
+    pub fn div(&mut self, a: Var, b: Var) -> Var {
+        assert!(
+            self.nodes[b.0].value.as_slice().iter().all(|&x| x != 0.0),
+            "division by zero"
+        );
+        let v = self.nodes[a.0]
+            .value
+            .zip_map(&self.nodes[b.0].value, |x, y| x / y);
+        let ng = self.binary_needs(a, b);
+        self.push(v, Op::Div(a.0, b.0), ng)
+    }
+
+    // ----- composite conveniences -------------------------------------
+
+    /// Mean absolute error `mean(|a − b|)` as a `1 × 1` node.
+    pub fn mae(&mut self, a: Var, b: Var) -> Var {
+        let d = self.sub(a, b);
+        let d = self.abs(d);
+        self.mean(d)
+    }
+
+    /// Mean squared error `mean((a − b)²)` as a `1 × 1` node.
+    pub fn mse(&mut self, a: Var, b: Var) -> Var {
+        let d = self.sub(a, b);
+        let sq = self.mul(d, d);
+        self.mean(sq)
+    }
+
+    /// Masked mean absolute error: `sum(|a − b| ⊙ mask) / max(1, sum(mask))`.
+    ///
+    /// `mask` is a constant `{0,1}` matrix of the same shape.
+    pub fn masked_mae(&mut self, a: Var, b: Var, mask: &Matrix) -> Var {
+        let count = mask.sum().max(1.0);
+        let m = self.constant(mask.clone());
+        let d = self.sub(a, b);
+        let d = self.abs(d);
+        let d = self.mul(d, m);
+        let s = self.sum(d);
+        self.scale(s, 1.0 / count)
+    }
+
+    /// Runs the reverse sweep from `loss`, which must be a `1 × 1` node.
+    ///
+    /// Gradients accumulate into every node with `needs_grad`; read them back
+    /// with [`Tape::grad`]. Calling `backward` twice accumulates twice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not `1 × 1`.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(
+            self.nodes[loss.0].value.shape(),
+            (1, 1),
+            "backward requires a scalar (1x1) loss node"
+        );
+        self.seed_and_sweep(loss, Matrix::ones(1, 1));
+    }
+
+    fn seed_and_sweep(&mut self, root: Var, seed: Matrix) {
+        if !self.nodes[root.0].needs_grad {
+            return;
+        }
+        // Per-sweep scratch gradients: using a separate buffer (instead of the
+        // persistent `grad` slots) gives PyTorch-like semantics where calling
+        // `backward` twice adds d(loss)/d(node) twice, rather than compounding
+        // previously-stored gradients through the sweep.
+        let mut scratch: Vec<Option<Matrix>> = vec![None; root.0 + 1];
+        acc(&self.nodes, &mut scratch, root.0, &seed);
+
+        for i in (0..=root.0).rev() {
+            if !self.nodes[i].needs_grad {
+                continue;
+            }
+            let g = match &scratch[i] {
+                Some(g) => g.clone(),
+                None => continue,
+            };
+            let op = self.nodes[i].op.clone();
+            match op {
+                Op::Leaf => {}
+                Op::Add(a, b) => {
+                    acc(&self.nodes, &mut scratch, a, &g);
+                    acc(&self.nodes, &mut scratch, b, &g);
+                }
+                Op::Sub(a, b) => {
+                    acc(&self.nodes, &mut scratch, a, &g);
+                    let neg = -&g;
+                    acc(&self.nodes, &mut scratch, b, &neg);
+                }
+                Op::Mul(a, b) => {
+                    let ga = g.hadamard(&self.nodes[b].value);
+                    let gb = g.hadamard(&self.nodes[a].value);
+                    acc(&self.nodes, &mut scratch, a, &ga);
+                    acc(&self.nodes, &mut scratch, b, &gb);
+                }
+                Op::Matmul(a, b) => {
+                    if self.nodes[a].needs_grad {
+                        let ga = g.matmul_nt(&self.nodes[b].value);
+                        acc(&self.nodes, &mut scratch, a, &ga);
+                    }
+                    if self.nodes[b].needs_grad {
+                        let gb = self.nodes[a].value.matmul_tn(&g);
+                        acc(&self.nodes, &mut scratch, b, &gb);
+                    }
+                }
+                Op::Scale(a, s) => {
+                    let ga = g.scale(s);
+                    acc(&self.nodes, &mut scratch, a, &ga);
+                }
+                Op::AddScalar(a) => acc(&self.nodes, &mut scratch, a, &g),
+                Op::AddBias { x, bias } => {
+                    acc(&self.nodes, &mut scratch, x, &g);
+                    if self.nodes[bias].needs_grad {
+                        let gb = g.sum_cols();
+                        acc(&self.nodes, &mut scratch, bias, &gb);
+                    }
+                }
+                Op::Sigmoid(a) => {
+                    let y = &self.nodes[i].value;
+                    let ga = g.zip_map(y, |gi, yi| gi * yi * (1.0 - yi));
+                    acc(&self.nodes, &mut scratch, a, &ga);
+                }
+                Op::Tanh(a) => {
+                    let y = &self.nodes[i].value;
+                    let ga = g.zip_map(y, |gi, yi| gi * (1.0 - yi * yi));
+                    acc(&self.nodes, &mut scratch, a, &ga);
+                }
+                Op::Relu(a) => {
+                    let x = &self.nodes[a].value;
+                    let ga = g.zip_map(x, |gi, xi| if xi > 0.0 { gi } else { 0.0 });
+                    acc(&self.nodes, &mut scratch, a, &ga);
+                }
+                Op::Abs(a) => {
+                    let x = &self.nodes[a].value;
+                    let ga = g.zip_map(x, |gi, xi| gi * sign(xi));
+                    acc(&self.nodes, &mut scratch, a, &ga);
+                }
+                Op::ConcatCols(a, b) => {
+                    let ca = self.nodes[a].value.cols();
+                    let ga = g.slice_cols(0, ca);
+                    let gb = g.slice_cols(ca, g.cols());
+                    acc(&self.nodes, &mut scratch, a, &ga);
+                    acc(&self.nodes, &mut scratch, b, &gb);
+                }
+                Op::SliceCols { x, start } => {
+                    if self.nodes[x].needs_grad {
+                        let parent = &self.nodes[x].value;
+                        let mut gx = Matrix::zeros(parent.rows(), parent.cols());
+                        for r in 0..g.rows() {
+                            for c in 0..g.cols() {
+                                gx[(r, start + c)] = g[(r, c)];
+                            }
+                        }
+                        acc(&self.nodes, &mut scratch, x, &gx);
+                    }
+                }
+                Op::Sum(a) => {
+                    let s = g[(0, 0)];
+                    let shape = self.nodes[a].value.shape();
+                    let ga = Matrix::filled(shape.0, shape.1, s);
+                    acc(&self.nodes, &mut scratch, a, &ga);
+                }
+                Op::Mean(a) => {
+                    let shape = self.nodes[a].value.shape();
+                    let s = g[(0, 0)] / (shape.0 * shape.1) as f64;
+                    let ga = Matrix::filled(shape.0, shape.1, s);
+                    acc(&self.nodes, &mut scratch, a, &ga);
+                }
+                Op::SoftmaxRows(a) => {
+                    let y = &self.nodes[i].value;
+                    let mut ga = Matrix::zeros(y.rows(), y.cols());
+                    for r in 0..y.rows() {
+                        let yr = y.row(r);
+                        let gr = g.row(r);
+                        let dot: f64 = yr.iter().zip(gr).map(|(&yi, &gi)| yi * gi).sum();
+                        for c in 0..y.cols() {
+                            ga[(r, c)] = yr[c] * (gr[c] - dot);
+                        }
+                    }
+                    acc(&self.nodes, &mut scratch, a, &ga);
+                }
+                Op::ScaleVar { x, s } => {
+                    let sv = self.nodes[s].value[(0, 0)];
+                    if self.nodes[x].needs_grad {
+                        let gx = g.scale(sv);
+                        acc(&self.nodes, &mut scratch, x, &gx);
+                    }
+                    if self.nodes[s].needs_grad {
+                        let gs = g.hadamard(&self.nodes[x].value).sum();
+                        let gs = Matrix::from_rows(&[&[gs]]);
+                        acc(&self.nodes, &mut scratch, s, &gs);
+                    }
+                }
+                Op::Transpose(x) => {
+                    let gx = g.transpose();
+                    acc(&self.nodes, &mut scratch, x, &gx);
+                }
+                Op::Exp(a) => {
+                    // d(eˣ) = eˣ — reuse the stored output.
+                    let ga = g.hadamard(&self.nodes[i].value);
+                    acc(&self.nodes, &mut scratch, a, &ga);
+                }
+                Op::Ln(a) => {
+                    let x = &self.nodes[a].value;
+                    let ga = g.zip_map(x, |gi, xi| gi / xi);
+                    acc(&self.nodes, &mut scratch, a, &ga);
+                }
+                Op::Sqrt(a) => {
+                    let y = &self.nodes[i].value;
+                    let ga = g.zip_map(y, |gi, yi| gi / (2.0 * yi.max(1e-300)));
+                    acc(&self.nodes, &mut scratch, a, &ga);
+                }
+                Op::Div(a, b) => {
+                    let bv = &self.nodes[b].value;
+                    let ga = g.zip_map(bv, |gi, bi| gi / bi);
+                    acc(&self.nodes, &mut scratch, a, &ga);
+                    if self.nodes[b].needs_grad {
+                        let av = &self.nodes[a].value;
+                        let gb = Matrix::from_fn(g.rows(), g.cols(), |r, c| {
+                            -g[(r, c)] * av[(r, c)] / (bv[(r, c)] * bv[(r, c)])
+                        });
+                        acc(&self.nodes, &mut scratch, b, &gb);
+                    }
+                }
+            }
+        }
+
+        // Merge the sweep's gradients into the persistent per-node slots.
+        for (i, g) in scratch.into_iter().enumerate() {
+            if let Some(g) = g {
+                match &mut self.nodes[i].grad {
+                    Some(existing) => existing.axpy(1.0, &g),
+                    slot @ None => *slot = Some(g),
+                }
+            }
+        }
+    }
+}
+
+fn acc(nodes: &[Node], scratch: &mut [Option<Matrix>], idx: usize, g: &Matrix) {
+    if !nodes[idx].needs_grad {
+        return;
+    }
+    match &mut scratch[idx] {
+        Some(existing) => existing.axpy(1.0, g),
+        slot @ None => *slot = Some(g.clone()),
+    }
+}
+
+impl Tape {
+    /// Summary of one node for rendering: label, parent indices, whether it
+    /// is a leaf, and whether gradients flow through it.
+    pub(crate) fn node_summary(&self, idx: usize) -> (String, Vec<usize>, bool, bool) {
+        let node = &self.nodes[idx];
+        let (name, parents): (&str, Vec<usize>) = match &node.op {
+            Op::Leaf => (if node.needs_grad { "param" } else { "const" }, Vec::new()),
+            Op::Add(a, b) => ("add", vec![*a, *b]),
+            Op::Sub(a, b) => ("sub", vec![*a, *b]),
+            Op::Mul(a, b) => ("mul", vec![*a, *b]),
+            Op::Matmul(a, b) => ("matmul", vec![*a, *b]),
+            Op::Scale(a, _) => ("scale", vec![*a]),
+            Op::AddScalar(a) => ("add_scalar", vec![*a]),
+            Op::AddBias { x, bias } => ("add_bias", vec![*x, *bias]),
+            Op::Sigmoid(a) => ("sigmoid", vec![*a]),
+            Op::Tanh(a) => ("tanh", vec![*a]),
+            Op::Relu(a) => ("relu", vec![*a]),
+            Op::Abs(a) => ("abs", vec![*a]),
+            Op::ConcatCols(a, b) => ("concat", vec![*a, *b]),
+            Op::SliceCols { x, .. } => ("slice", vec![*x]),
+            Op::Sum(a) => ("sum", vec![*a]),
+            Op::Mean(a) => ("mean", vec![*a]),
+            Op::SoftmaxRows(a) => ("softmax", vec![*a]),
+            Op::ScaleVar { x, s } => ("scale_var", vec![*x, *s]),
+            Op::Transpose(a) => ("transpose", vec![*a]),
+            Op::Exp(a) => ("exp", vec![*a]),
+            Op::Ln(a) => ("ln", vec![*a]),
+            Op::Sqrt(a) => ("sqrt", vec![*a]),
+            Op::Div(a, b) => ("div", vec![*a, *b]),
+        };
+        let (r, c) = node.value.shape();
+        (
+            format!("{name} {r}x{c}"),
+            parents,
+            matches!(node.op, Op::Leaf),
+            node.needs_grad,
+        )
+    }
+}
+
+fn sign(x: f64) -> f64 {
+    if x > 0.0 {
+        1.0
+    } else if x < 0.0 {
+        -1.0
+    } else {
+        0.0
+    }
+}

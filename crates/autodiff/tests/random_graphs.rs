@@ -1,0 +1,93 @@
+//! Property test: randomly composed tape programs must gradcheck.
+
+use proptest::prelude::*;
+use st_autodiff::{check_gradient, Tape, Var};
+use st_tensor::Matrix;
+
+/// One step of a randomly chosen smooth operation.
+#[derive(Debug, Clone, Copy)]
+enum OpChoice {
+    Tanh,
+    Sigmoid,
+    Scale,
+    AddConst,
+    MulSelf,
+    MatmulConst,
+}
+
+fn op_strategy() -> impl Strategy<Value = OpChoice> {
+    prop_oneof![
+        Just(OpChoice::Tanh),
+        Just(OpChoice::Sigmoid),
+        Just(OpChoice::Scale),
+        Just(OpChoice::AddConst),
+        Just(OpChoice::MulSelf),
+        Just(OpChoice::MatmulConst),
+    ]
+}
+
+fn apply(tape: &mut Tape, x: Var, op: OpChoice) -> Var {
+    match op {
+        OpChoice::Tanh => tape.tanh(x),
+        OpChoice::Sigmoid => tape.sigmoid(x),
+        OpChoice::Scale => tape.scale(x, 0.7),
+        OpChoice::AddConst => tape.add_scalar(x, 0.3),
+        OpChoice::MulSelf => tape.mul(x, x),
+        OpChoice::MatmulConst => {
+            let cols = tape.value(x).cols();
+            let w = tape.constant(Matrix::from_fn(cols, cols, |r, c| {
+                ((r * cols + c) as f64 * 0.13).sin() * 0.5
+            }));
+            tape.matmul(x, w)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_programs_gradcheck(
+        ops in proptest::collection::vec(op_strategy(), 1..6),
+        data in proptest::collection::vec(-0.9f64..0.9, 6),
+    ) {
+        let at = Matrix::from_vec(2, 3, data);
+        let build = |tape: &mut Tape, p: Var| -> Var {
+            let mut x = p;
+            for &op in &ops {
+                x = apply(tape, x, op);
+            }
+            tape.mean(x)
+        };
+        let mut tape = Tape::new();
+        let p = tape.parameter(at.clone());
+        let loss = build(&mut tape, p);
+        tape.backward(loss);
+        let analytic = tape.grad(p);
+
+        let res = check_gradient(&at, &analytic, 1e-6, |m| {
+            let mut t = Tape::new();
+            let p = t.parameter(m.clone());
+            let l = build(&mut t, p);
+            t.value(l)[(0, 0)]
+        });
+        prop_assert!(res.passes(1e-4), "ops {:?} failed: {:?}", ops, res);
+    }
+
+    #[test]
+    fn gradients_always_finite(
+        ops in proptest::collection::vec(op_strategy(), 1..8),
+        data in proptest::collection::vec(-3.0f64..3.0, 6),
+    ) {
+        let at = Matrix::from_vec(2, 3, data);
+        let mut tape = Tape::new();
+        let p = tape.parameter(at);
+        let mut x = p;
+        for &op in &ops {
+            x = apply(&mut tape, x, op);
+        }
+        let loss = tape.mean(x);
+        tape.backward(loss);
+        prop_assert!(tape.grad(p).is_finite());
+    }
+}

@@ -1,0 +1,129 @@
+//! Historical Average (HA) baseline.
+//!
+//! Predicts the per-node, per-feature, time-of-day historical average for
+//! every future timestamp — the simplest calendar model and the paper's
+//! first comparison row. Fitted from observed entries only.
+
+use rihgcn_core::Forecaster;
+use st_data::{DayProfiles, TrafficDataset, WindowSample};
+use st_nn::ParamStore;
+use st_tensor::Matrix;
+
+/// The Historical Average forecaster.
+///
+/// Implements [`Forecaster`] so it rides the shared evaluation path;
+/// training is a no-op (the "fit" happens in [`HistoricalAverage::fit`]).
+#[derive(Debug)]
+pub struct HistoricalAverage {
+    profiles: DayProfiles,
+    slots_per_day: usize,
+    horizon: usize,
+    empty_store: ParamStore,
+}
+
+impl HistoricalAverage {
+    /// Fits time-of-day averages from a (training) dataset.
+    pub fn fit(train: &TrafficDataset, horizon: usize) -> Self {
+        Self {
+            profiles: DayProfiles::from_dataset(train),
+            slots_per_day: train.slots_per_day(),
+            horizon,
+            empty_store: ParamStore::new(),
+        }
+    }
+
+    /// The historical average matrix (`N × D`) for a time-of-day slot.
+    pub fn profile_at(&self, slot: usize) -> Matrix {
+        let slot = slot % self.slots_per_day;
+        let n = self.profiles.num_nodes();
+        let d = self.profiles.profiles()[0].cols();
+        Matrix::from_fn(n, d, |node, f| self.profiles.profiles()[node][(slot, f)])
+    }
+}
+
+impl Forecaster for HistoricalAverage {
+    fn params(&self) -> &ParamStore {
+        &self.empty_store
+    }
+
+    fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.empty_store
+    }
+
+    fn accumulate_gradients(&mut self, sample: &WindowSample) -> f64 {
+        // Nothing to train; report the current loss for logging parity.
+        self.loss(sample)
+    }
+
+    fn loss(&self, sample: &WindowSample) -> f64 {
+        let preds = self.predict(sample);
+        let mut acc = st_nn::ErrorAccum::new();
+        for (h, p) in preds.iter().enumerate() {
+            acc.update(p, &sample.targets[h], Some(&sample.target_masks[h]));
+        }
+        acc.mae()
+    }
+
+    fn predict(&self, sample: &WindowSample) -> Vec<Matrix> {
+        let last_slot = *sample.slots.last().expect("non-empty history");
+        (1..=self.horizon)
+            .map(|h| self.profile_at(last_slot + h))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_data::WindowSampler;
+    use st_graph::RoadNetwork;
+    use st_tensor::Tensor3;
+
+    fn periodic_ds() -> TrafficDataset {
+        let slots = 288;
+        let values = Tensor3::from_fn(2, 1, slots * 3, |n, _, t| {
+            ((t % slots) as f64 * 0.1) + n as f64 * 100.0
+        });
+        let mask = Tensor3::ones(2, 1, slots * 3);
+        TrafficDataset::new("p", values, mask, RoadNetwork::corridor(2, 1.0), 5)
+    }
+
+    #[test]
+    fn predicts_time_of_day_average() {
+        let ds = periodic_ds();
+        let ha = HistoricalAverage::fit(&ds, 2);
+        let sampler = WindowSampler::new(4, 2, 1);
+        let sample = sampler.window_at(&ds, 10);
+        let preds = ha.predict(&sample);
+        // Window covers slots 10..14; predictions are profiles at slots 14, 15.
+        assert_eq!(preds.len(), 2);
+        assert!((preds[0][(0, 0)] - 1.4).abs() < 1e-9);
+        assert!((preds[1][(1, 0)] - (1.5 + 100.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfectly_periodic_signal_gives_zero_error() {
+        let ds = periodic_ds();
+        let ha = HistoricalAverage::fit(&ds, 2);
+        let sample = WindowSampler::new(4, 2, 1).window_at(&ds, 100);
+        assert!(ha.loss(&sample) < 1e-9);
+    }
+
+    #[test]
+    fn profile_wraps_midnight() {
+        let ds = periodic_ds();
+        let ha = HistoricalAverage::fit(&ds, 2);
+        let p = ha.profile_at(288 + 5);
+        assert!((p[(0, 0)] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulate_gradients_is_safe_noop() {
+        let ds = periodic_ds();
+        let mut ha = HistoricalAverage::fit(&ds, 2);
+        let sample = WindowSampler::new(4, 2, 1).window_at(&ds, 0);
+        let l = ha.accumulate_gradients(&sample);
+        assert!(l.is_finite());
+        assert!(ha.params().is_empty());
+    }
+}

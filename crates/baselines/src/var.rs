@@ -1,0 +1,208 @@
+//! Vector Autoregression — VAR(p) — baseline.
+//!
+//! Each variable (one per node × feature) is a linear function of the last
+//! `p` values of *all* variables (paper: 3 lags), fitted by ridge-regularised
+//! least squares on mean-filled training data and rolled forward recursively
+//! for multi-step forecasts.
+
+use rihgcn_core::Forecaster;
+use st_data::{mean_fill, TrafficDataset, WindowSample};
+use st_nn::ParamStore;
+use st_tensor::{linalg, Matrix, SolveError};
+
+/// A fitted VAR(p) model.
+#[derive(Debug, Clone)]
+pub struct VarModel {
+    /// Coefficients, shape `(1 + p·v) × v` (first row is the intercept).
+    coeffs: Matrix,
+    lags: usize,
+    num_nodes: usize,
+    num_features: usize,
+    horizon: usize,
+    empty_store: ParamStore,
+}
+
+impl VarModel {
+    /// Fits a VAR with `lags` lags on the mean-filled training series.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the normal equations are unsolvable (degenerate
+    /// data even under ridge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lags == 0` or the dataset is shorter than `lags + 1`.
+    pub fn fit(train: &TrafficDataset, lags: usize, horizon: usize) -> Result<Self, SolveError> {
+        assert!(lags > 0, "need at least one lag");
+        let t_len = train.num_times();
+        assert!(t_len > lags, "dataset shorter than lag order");
+        let n = train.num_nodes();
+        let d = train.num_features();
+        let v = n * d;
+
+        let filled = mean_fill(&train.values, &train.mask);
+        // Flatten to T × v.
+        let series = Matrix::from_fn(t_len, v, |t, j| filled[(j / d, j % d, t)]);
+
+        let rows = t_len - lags;
+        let design = Matrix::from_fn(rows, 1 + lags * v, |r, c| {
+            if c == 0 {
+                1.0
+            } else {
+                let lag = (c - 1) / v + 1;
+                let var = (c - 1) % v;
+                series[(r + lags - lag, var)]
+            }
+        });
+        let targets = Matrix::from_fn(rows, v, |r, c| series[(r + lags, c)]);
+        let coeffs = linalg::least_squares(&design, &targets, 1e-4)?;
+        Ok(Self {
+            coeffs,
+            lags,
+            num_nodes: n,
+            num_features: d,
+            horizon,
+            empty_store: ParamStore::new(),
+        })
+    }
+
+    /// Lag order `p`.
+    pub fn lags(&self) -> usize {
+        self.lags
+    }
+
+    /// One-step forecast from the last `p` observations (`recent[0]` is the
+    /// oldest), each a flattened `1 × v` row.
+    fn step(&self, recent: &[Vec<f64>]) -> Vec<f64> {
+        let v = self.num_nodes * self.num_features;
+        let mut x = Vec::with_capacity(1 + self.lags * v);
+        x.push(1.0);
+        // Lag 1 is the most recent observation.
+        for lag in 1..=self.lags {
+            x.extend_from_slice(&recent[recent.len() - lag]);
+        }
+        let xm = Matrix::from_vec(1, x.len(), x);
+        xm.matmul(&self.coeffs).into_vec()
+    }
+}
+
+impl Forecaster for VarModel {
+    fn params(&self) -> &ParamStore {
+        &self.empty_store
+    }
+
+    fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.empty_store
+    }
+
+    fn accumulate_gradients(&mut self, sample: &WindowSample) -> f64 {
+        self.loss(sample)
+    }
+
+    fn loss(&self, sample: &WindowSample) -> f64 {
+        let preds = self.predict(sample);
+        let mut acc = st_nn::ErrorAccum::new();
+        for (h, p) in preds.iter().enumerate() {
+            acc.update(p, &sample.targets[h], Some(&sample.target_masks[h]));
+        }
+        acc.mae()
+    }
+
+    fn predict(&self, sample: &WindowSample) -> Vec<Matrix> {
+        let v = self.num_nodes * self.num_features;
+        // Seed the recursion with the (mean-filled) window, flattened.
+        let mut recent: Vec<Vec<f64>> = sample
+            .inputs
+            .iter()
+            .map(|m| {
+                let mut row = Vec::with_capacity(v);
+                for r in 0..self.num_nodes {
+                    row.extend_from_slice(m.row(r));
+                }
+                row
+            })
+            .collect();
+        let mut out = Vec::with_capacity(self.horizon);
+        for _ in 0..self.horizon {
+            let next = self.step(&recent);
+            let m = Matrix::from_fn(self.num_nodes, self.num_features, |r, c| {
+                next[r * self.num_features + c]
+            });
+            out.push(m);
+            recent.push(next);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_data::WindowSampler;
+    use st_graph::RoadNetwork;
+    use st_tensor::Tensor3;
+
+    /// Dataset following an exact VAR(1): x_t = 0.9·x_{t−1} + 0.1·y_{t−1},
+    /// y_t = 0.5·y_{t−1}.
+    fn var1_ds() -> TrafficDataset {
+        let t_len = 400;
+        let mut values = Tensor3::zeros(2, 1, t_len);
+        values[(0, 0, 0)] = 1.0;
+        values[(1, 0, 0)] = 2.0;
+        for t in 1..t_len {
+            let x = values[(0, 0, t - 1)];
+            let y = values[(1, 0, t - 1)];
+            values[(0, 0, t)] = 0.9 * x + 0.1 * y;
+            values[(1, 0, t)] = 0.5 * y + 0.3;
+        }
+        let mask = Tensor3::ones(2, 1, t_len);
+        TrafficDataset::new("var1", values, mask, RoadNetwork::corridor(2, 1.0), 5)
+    }
+
+    #[test]
+    fn recovers_exact_linear_dynamics() {
+        let ds = var1_ds();
+        let model = VarModel::fit(&ds, 3, 2).unwrap();
+        let sample = WindowSampler::new(4, 2, 1).window_at(&ds, 100);
+        let preds = model.predict(&sample);
+        for (h, p) in preds.iter().enumerate() {
+            let err = p.max_abs_diff(&sample.targets[h]);
+            assert!(err < 1e-6, "horizon {h} error {err}");
+        }
+    }
+
+    #[test]
+    fn loss_is_near_zero_on_exact_process() {
+        let ds = var1_ds();
+        let model = VarModel::fit(&ds, 3, 2).unwrap();
+        let sample = WindowSampler::new(4, 2, 1).window_at(&ds, 200);
+        assert!(model.loss(&sample) < 1e-6);
+    }
+
+    #[test]
+    fn coefficient_shape() {
+        let ds = var1_ds();
+        let model = VarModel::fit(&ds, 3, 2).unwrap();
+        assert_eq!(model.lags(), 3);
+        assert_eq!(model.coeffs.shape(), (1 + 3 * 2, 2));
+    }
+
+    #[test]
+    fn works_with_missing_data_via_mean_fill() {
+        let mut ds = var1_ds();
+        for t in (0..400).step_by(3) {
+            ds.mask[(0, 0, t)] = 0.0;
+        }
+        let model = VarModel::fit(&ds, 2, 2).unwrap();
+        let sample = WindowSampler::new(4, 2, 1).window_at(&ds, 50);
+        let preds = model.predict(&sample);
+        assert!(preds.iter().all(Matrix::is_finite));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lag")]
+    fn zero_lags_rejected() {
+        let _ = VarModel::fit(&var1_ds(), 0, 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! Extra comparators (beyond the paper's roster): DCRNN-lite and
+//! STGCN-lite on PeMS at two missing rates, printed next to GCN-LSTM and
+//! RIHGCN for context.
+
+use rihgcn_baselines::BaselineKind;
+use rihgcn_bench::{pems_at, print_table, Bench, Method, Scale};
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    let rates = [0.2, 0.8];
+    let columns: Vec<String> = rates
+        .iter()
+        .map(|r| format!("{:.0}% missing", r * 100.0))
+        .collect();
+    println!(
+        "Extra comparators — DCRNN-lite, STGCN-lite on PeMS, scale `{}`",
+        scale.name
+    );
+
+    let mut rows = Vec::new();
+    for method in [
+        Method::Dcrnn,
+        Method::Stgcn,
+        Method::Baseline(BaselineKind::GcnLstm),
+        Method::Rihgcn,
+    ] {
+        let t0 = Instant::now();
+        let mut metrics = Vec::new();
+        for (i, &rate) in rates.iter().enumerate() {
+            let ds = pems_at(&scale, rate, 100 + i as u64);
+            let bench = Bench::prepare(&ds, &scale, 12, 12);
+            metrics.push(rihgcn_bench::run_method(method, &bench, 4));
+        }
+        eprintln!("{:<16} done in {:?}", method.name(), t0.elapsed());
+        rows.push((method.name().to_string(), metrics));
+    }
+    print_table("Extra comparators vs GCN-LSTM vs RIHGCN", &columns, &rows);
+}

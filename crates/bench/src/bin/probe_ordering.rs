@@ -1,0 +1,42 @@
+//! Developer probe: checks the paper's headline ordering at a given scale
+//! (HA < RIHGCN etc.) on one missing rate, faster than a full table run.
+
+use rihgcn_baselines::BaselineKind;
+use rihgcn_bench::{pems_at, run_method, Bench, Method, Scale};
+use std::time::Instant;
+
+fn main() {
+    let mut scale = Scale::from_env();
+    let rate: f64 = std::env::var("PROBE_RATE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.4);
+    if let Ok(e) = std::env::var("PROBE_EPOCHS") {
+        scale.epochs = e.parse().unwrap_or(scale.epochs);
+        scale.patience = scale.epochs;
+    }
+    println!(
+        "ordering probe: scale `{}`, missing {rate}, epochs {}",
+        scale.name, scale.epochs
+    );
+    let ds = pems_at(&scale, rate, 100);
+    let bench = Bench::prepare(&ds, &scale, 12, 12);
+    for method in [
+        Method::Ha,
+        Method::Baseline(BaselineKind::FcLstm),
+        Method::Baseline(BaselineKind::FcLstmI),
+        Method::Baseline(BaselineKind::GcnLstm),
+        Method::Baseline(BaselineKind::GcnLstmI),
+        Method::Rihgcn,
+    ] {
+        let t0 = Instant::now();
+        let m = run_method(method, &bench, 4);
+        println!(
+            "{:<12} MAE {:.4} RMSE {:.4} ({:?})",
+            method.name(),
+            m.mae,
+            m.rmse,
+            t0.elapsed()
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Developer probe: RIHGCN hyper-parameter sensitivity at one missing rate.
+
+use rihgcn_bench::{pems_at, rihgcn_prediction, Bench, Scale};
+use rihgcn_core::{fit, RihgcnConfig, RihgcnModel};
+use std::time::Instant;
+
+fn main() {
+    let mut scale = Scale::from_env();
+    let rate: f64 = std::env::var("PROBE_RATE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.8);
+    if let Ok(e) = std::env::var("PROBE_EPOCHS") {
+        scale.epochs = e.parse().unwrap_or(scale.epochs);
+        scale.patience = scale.epochs;
+    }
+    let ds = pems_at(&scale, rate, 100);
+    let bench = Bench::prepare(&ds, &scale, 12, 12);
+    println!("rihgcn probe: missing {rate}, epochs {}", scale.epochs);
+
+    let variants: Vec<(&str, RihgcnConfig)> = vec![
+        ("M=4 l=1.0", base(&scale, 4, 1.0)),
+        ("M=8 l=1.0", base(&scale, 8, 1.0)),
+        ("M=2 l=1.0", base(&scale, 2, 1.0)),
+        ("M=4 l=0.1", base(&scale, 4, 0.1)),
+        ("M=4 l=3.0", base(&scale, 4, 3.0)),
+        ("M=0 l=1.0 (GCN-LSTM-I equiv)", base(&scale, 0, 1.0)),
+    ];
+    for (name, cfg) in variants {
+        let t0 = Instant::now();
+        let mut model = RihgcnModel::from_dataset(&bench.norm.train, cfg);
+        let tc = scale.train_config();
+        fit(&mut model, &bench.train, &bench.val, &tc);
+        let m = rihgcn_prediction(&model, &bench);
+        println!(
+            "{name:<30} MAE {:.4} RMSE {:.4} ({:?})",
+            m.mae,
+            m.rmse,
+            t0.elapsed()
+        );
+    }
+}
+
+fn base(scale: &Scale, m: usize, lambda: f64) -> RihgcnConfig {
+    RihgcnConfig {
+        gcn_dim: scale.gcn_dim,
+        lstm_dim: scale.lstm_dim,
+        num_temporal_graphs: m,
+        history: 12,
+        horizon: 12,
+        lambda,
+        ..Default::default()
+    }
+}

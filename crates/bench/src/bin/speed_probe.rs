@@ -1,0 +1,57 @@
+//! Developer probe: wall-clock cost of dataset generation, model/graph
+//! construction and one training epoch at a representative size. Use to
+//! re-budget the `Scale` presets after performance-relevant changes.
+
+use rihgcn_core::{fit, prepare_split, RihgcnConfig, RihgcnModel, TrainConfig};
+use st_data::{generate_pems, PemsConfig, WindowSampler};
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let ds = generate_pems(&PemsConfig {
+        num_nodes: 10,
+        num_days: 10,
+        ..Default::default()
+    });
+    let ds = ds.with_extra_missing(0.4, &mut st_tensor::rng(1));
+    let split = ds.split_chronological();
+    let (norm, _z) = prepare_split(&split);
+    println!("datagen: {:?}", t0.elapsed());
+
+    let t1 = Instant::now();
+    let cfg = RihgcnConfig {
+        gcn_dim: 8,
+        lstm_dim: 16,
+        num_temporal_graphs: 4,
+        ..Default::default()
+    };
+    let mut model = RihgcnModel::from_dataset(&norm.train, cfg);
+    println!(
+        "model build (incl. DTW graphs): {:?}  params={}",
+        t1.elapsed(),
+        model.num_parameters()
+    );
+
+    let sampler = WindowSampler::new(12, 12, 12);
+    let train: Vec<_> = sampler.sample(&norm.train);
+    let val: Vec<_> = sampler.sample(&norm.val).into_iter().step_by(4).collect();
+    println!("train windows: {}, val: {}", train.len(), val.len());
+
+    let t2 = Instant::now();
+    let tc = TrainConfig {
+        max_epochs: 1,
+        batch_size: 16,
+        ..Default::default()
+    };
+    let report = fit(
+        &mut model,
+        &train[..40.min(train.len())],
+        &val[..5.min(val.len())],
+        &tc,
+    );
+    println!(
+        "1 epoch on 40 samples: {:?}  loss={:?}",
+        t2.elapsed(),
+        report.train_losses
+    );
+}

@@ -1,0 +1,30 @@
+//! Table I (lower): PeMS prediction performance vs prediction length
+//! {15, 30, 45, 60} minutes at 80% missing rate.
+
+use rihgcn_bench::{pems_at, print_table, Bench, Method, Scale};
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    let horizons = [3usize, 6, 9, 12];
+    let columns: Vec<String> = horizons.iter().map(|h| format!("{} min", h * 5)).collect();
+    println!(
+        "Table I (lower) — PeMS, 80% missing, scale `{}`",
+        scale.name
+    );
+
+    let ds = pems_at(&scale, 0.8, 200);
+    let bench = Bench::prepare(&ds, &scale, 12, 12);
+    let mut rows = Vec::new();
+    for method in Method::roster() {
+        let t0 = Instant::now();
+        let metrics = rihgcn_bench::run_method_horizons(method, &bench, 4, &horizons);
+        eprintln!("{:<16} done in {:?}", method.name(), t0.elapsed());
+        rows.push((method.name().to_string(), metrics));
+    }
+    print_table(
+        "Table I (lower): MAE/RMSE vs prediction length",
+        &columns,
+        &rows,
+    );
+}

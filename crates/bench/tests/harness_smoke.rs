@@ -1,0 +1,74 @@
+//! Quick-scale smoke tests over the experiment harness: every method in the
+//! roster runs end to end, and the figure-study helpers behave.
+
+use rihgcn_bench::{
+    pems_at, rihgcn_imputation, rihgcn_prediction, run_method, run_method_horizons, stampede_at,
+    train_rihgcn, Bench, Method, Scale,
+};
+
+fn quick_bench() -> Bench {
+    let scale = Scale::quick();
+    let ds = pems_at(&scale, 0.4, 77);
+    Bench::prepare(&ds, &scale, 6, 3)
+}
+
+#[test]
+fn every_roster_method_produces_finite_metrics() {
+    let bench = quick_bench();
+    for method in Method::roster() {
+        let m = run_method(method, &bench, 2);
+        assert!(
+            m.mae.is_finite() && m.mae > 0.0,
+            "{}: MAE {}",
+            method.name(),
+            m.mae
+        );
+        assert!(
+            m.rmse >= m.mae,
+            "{}: RMSE {} < MAE {}",
+            method.name(),
+            m.rmse,
+            m.mae
+        );
+    }
+}
+
+#[test]
+fn horizon_prefixes_are_monotone_in_count() {
+    let bench = quick_bench();
+    let per_h = run_method_horizons(Method::Ha, &bench, 0, &[1, 2, 3]);
+    assert_eq!(per_h.len(), 3);
+    for m in &per_h {
+        assert!(m.mae.is_finite());
+    }
+}
+
+#[test]
+fn rihgcn_figure_helpers() {
+    let bench = quick_bench();
+    let model = train_rihgcn(&bench, 2, 1.0);
+    let pred = rihgcn_prediction(&model, &bench);
+    let imp = rihgcn_imputation(&model, &bench);
+    assert!(pred.mae.is_finite() && pred.mae > 0.0);
+    assert!(imp.mae.is_finite() && imp.mae > 0.0);
+}
+
+#[test]
+fn stampede_bench_prepares() {
+    let scale = Scale::quick();
+    let ds = stampede_at(&scale, 88);
+    assert!(ds.missing_rate() > 0.5);
+    let bench = Bench::prepare(&ds, &scale, 6, 3);
+    assert!(!bench.train.is_empty());
+    let m = run_method(Method::Ha, &bench, 0);
+    assert!(m.mae.is_finite());
+}
+
+#[test]
+fn scale_env_parsing() {
+    // Does not set the env var (tests run in one process); just checks the
+    // constructors give the documented names.
+    assert_eq!(Scale::quick().name, "quick");
+    assert_eq!(Scale::default_scale().name, "default");
+    assert_eq!(Scale::full().name, "full");
+}

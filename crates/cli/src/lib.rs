@@ -1,0 +1,499 @@
+//! Implementation of the `rihgcn` command-line tool.
+//!
+//! Subcommands (see `rihgcn help` or [`run`]):
+//!
+//! * `generate` — write a synthetic PeMS-like or Stampede-like dataset to
+//!   CSV (the long format of `st_data::read_csv`);
+//! * `train` — train RIHGCN on a CSV dataset and save the parameters;
+//! * `forecast` — load a trained model and forecast from the dataset's
+//!   final history window, printing one CSV row per (node, feature, step);
+//! * `impute` — reconstruct all hidden entries of a CSV dataset with a
+//!   classical imputer and write the completed CSV;
+//! * `evaluate` — train and score RIHGCN plus reference baselines.
+//!
+//! Argument parsing is hand-rolled (`--key value` pairs) to stay within the
+//! workspace's dependency policy.
+
+#![warn(missing_docs)]
+
+use rihgcn_baselines::{knn_impute, last_observed_fill, matrix_factorization_impute};
+use rihgcn_core::{
+    evaluate_imputation, evaluate_prediction, fit, load_params, prepare_split, save_params,
+    RihgcnConfig, RihgcnModel, TrainConfig,
+};
+use st_data::{
+    generate_pems, generate_stampede, read_csv, write_csv, PemsConfig, QualityReport,
+    StampedeConfig, TrafficDataset, WindowSampler,
+};
+use st_graph::RoadNetwork;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+
+/// Boxed error type used throughout the CLI.
+pub type CliError = Box<dyn Error>;
+
+/// Parsed `--key value` options plus positional arguments.
+#[derive(Debug, Default, Clone)]
+pub struct Options {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+impl Options {
+    /// Parses an argument list (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a `--key` is missing its value.
+    pub fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut out = Options::default();
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("missing value for --{key}"))?;
+                out.flags.insert(key.to_string(), value.clone());
+            } else {
+                out.positional.push(arg.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// String flag, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// Parsed flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the value does not parse.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|e| format!("invalid --{key} {v:?}: {e}").into()),
+        }
+    }
+}
+
+/// Usage text shown by `rihgcn help`.
+pub const USAGE: &str = "\
+rihgcn — traffic forecasting with missing values (RIHGCN, ICDCS'21)
+
+USAGE:
+  rihgcn generate --dataset pems|stampede --out data.csv
+                  [--nodes N] [--days D] [--missing-rate R] [--seed S]
+  rihgcn train    --data data.csv --out model.params
+                  [--epochs E] [--graphs M] [--lambda L] [--gcn-dim F]
+                  [--lstm-dim Q] [--horizon H]
+  rihgcn forecast --data data.csv --model model.params
+                  [--graphs M] [--gcn-dim F] [--lstm-dim Q] [--horizon H]
+  rihgcn impute   --data data.csv --method last|knn|mf --out filled.csv
+  rihgcn inspect  --data data.csv
+  rihgcn evaluate --data data.csv [--epochs E] [--graphs M]
+  rihgcn help
+
+Datasets use the long CSV format: node,feature,time,value,observed.
+Generated CSVs embed a synthetic road network; externally produced CSVs
+are assigned a corridor network over their node count.";
+
+/// Runs the CLI with the given arguments (without the program name),
+/// writing human-readable output to `out`.
+///
+/// # Errors
+///
+/// Returns an error (already formatted for display) on bad usage, I/O
+/// failure or malformed data.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let Some(command) = args.first() else {
+        writeln!(out, "{USAGE}")?;
+        return Err("no command given".into());
+    };
+    let opts = Options::parse(&args[1..])?;
+    match command.as_str() {
+        "generate" => cmd_generate(&opts, out),
+        "train" => cmd_train(&opts, out),
+        "forecast" => cmd_forecast(&opts, out),
+        "impute" => cmd_impute(&opts, out),
+        "inspect" => cmd_inspect(&opts, out),
+        "evaluate" => cmd_evaluate(&opts, out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `rihgcn help`").into()),
+    }
+}
+
+fn cmd_generate(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    let dataset = opts.get("dataset").unwrap_or("pems");
+    let path = opts.get("out").ok_or("generate requires --out <file>")?;
+    let nodes = opts.get_parsed("nodes", 10usize)?;
+    let days = opts.get_parsed("days", 7usize)?;
+    let missing = opts.get_parsed("missing-rate", 0.0f64)?;
+    let seed = opts.get_parsed("seed", 7u64)?;
+
+    let ds = match dataset {
+        "pems" => generate_pems(&PemsConfig {
+            num_nodes: nodes,
+            num_days: days,
+            seed,
+            ..Default::default()
+        }),
+        "stampede" => generate_stampede(&StampedeConfig {
+            num_segments: nodes.max(2),
+            num_days: days,
+            seed,
+            ..Default::default()
+        }),
+        other => return Err(format!("unknown dataset {other:?} (pems|stampede)").into()),
+    };
+    let ds = if missing > 0.0 {
+        ds.with_extra_missing(missing, &mut st_tensor::rng(seed ^ 0xC5))
+    } else {
+        ds
+    };
+    write_csv(&ds, BufWriter::new(File::create(path)?))?;
+    writeln!(
+        out,
+        "wrote {} ({} nodes × {} features × {} timestamps, {:.1}% missing)",
+        path,
+        ds.num_nodes(),
+        ds.num_features(),
+        ds.num_times(),
+        ds.missing_rate() * 100.0
+    )?;
+    Ok(())
+}
+
+fn load_dataset(opts: &Options) -> Result<TrafficDataset, CliError> {
+    let path = opts.get("data").ok_or("missing --data <file>")?;
+    // Peek the node count to build a stand-in network, then parse for real.
+    let probe = read_probe_nodes(path)?;
+    let network = RoadNetwork::corridor(probe, 1.2);
+    let ds = read_csv(BufReader::new(File::open(path)?), "csv-data", network, 5)?;
+    Ok(ds)
+}
+
+fn read_probe_nodes(path: &str) -> Result<usize, CliError> {
+    use std::io::BufRead;
+    let mut max_node = 0usize;
+    for line in BufReader::new(File::open(path)?).lines() {
+        let line = line?;
+        let first = line.split(',').next().unwrap_or("");
+        if let Ok(n) = first.trim().parse::<usize>() {
+            max_node = max_node.max(n);
+        }
+    }
+    Ok(max_node + 1)
+}
+
+fn model_config(opts: &Options, ds: &TrafficDataset) -> Result<RihgcnConfig, CliError> {
+    let _ = ds;
+    Ok(RihgcnConfig {
+        gcn_dim: opts.get_parsed("gcn-dim", 8usize)?,
+        lstm_dim: opts.get_parsed("lstm-dim", 16usize)?,
+        num_temporal_graphs: opts.get_parsed("graphs", 4usize)?,
+        lambda: opts.get_parsed("lambda", 1.0f64)?,
+        horizon: opts.get_parsed("horizon", 12usize)?,
+        ..Default::default()
+    })
+}
+
+fn cmd_train(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    let model_path = opts.get("out").ok_or("train requires --out <file>")?;
+    let ds = load_dataset(opts)?;
+    let (norm, _z) = prepare_split(&ds.split_chronological());
+    let cfg = model_config(opts, &ds)?;
+    let sampler = WindowSampler::new(cfg.history, cfg.horizon, 3);
+    let train = sampler.sample(&norm.train);
+    let val = sampler.sample(&norm.val);
+    if train.is_empty() {
+        return Err("dataset too short for the training window".into());
+    }
+
+    let mut model = RihgcnModel::from_dataset(&norm.train, cfg);
+    let tc = TrainConfig {
+        max_epochs: opts.get_parsed("epochs", 10usize)?,
+        ..Default::default()
+    };
+    let report = fit(&mut model, &train, &val, &tc);
+    save_params(model.params(), BufWriter::new(File::create(model_path)?))?;
+    writeln!(
+        out,
+        "trained {} epochs (best val loss {:.4}); saved {} parameters to {}",
+        report.epochs(),
+        report.best_val_loss,
+        model.num_parameters(),
+        model_path
+    )?;
+    Ok(())
+}
+
+fn cmd_forecast(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    let model_path = opts
+        .get("model")
+        .ok_or("forecast requires --model <file>")?;
+    let ds = load_dataset(opts)?;
+    let (norm, z) = prepare_split(&ds.split_chronological());
+    let cfg = model_config(opts, &ds)?;
+    let history = cfg.history;
+    let horizon = cfg.horizon;
+    let mut model = RihgcnModel::from_dataset(&norm.train, cfg);
+    load_params(model.params_mut(), BufReader::new(File::open(model_path)?))?;
+
+    // Forecast from the final history window of the test portion.
+    let sampler = WindowSampler::new(history, horizon, 1);
+    let all = norm.test;
+    if all.num_times() < history + horizon {
+        return Err("test split too short for one window".into());
+    }
+    let sample = sampler.window_at(&all, all.num_times() - history - horizon);
+    let output = model.forward(&sample);
+
+    writeln!(out, "node,feature,step,forecast")?;
+    for (step, pred) in output.predictions.iter().enumerate() {
+        let raw = z.invert_matrix(pred);
+        for node in 0..raw.rows() {
+            for feature in 0..raw.cols() {
+                writeln!(out, "{node},{feature},{step},{:.4}", raw[(node, feature)])?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_impute(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    let method = opts.get("method").unwrap_or("knn");
+    let path = opts.get("out").ok_or("impute requires --out <file>")?;
+    let ds = load_dataset(opts)?;
+    let filled = match method {
+        "last" => last_observed_fill(&ds.values, &ds.mask),
+        "knn" => knn_impute(&ds.values, &ds.mask, opts.get_parsed("k", 3usize)?),
+        "mf" => matrix_factorization_impute(
+            &ds.values,
+            &ds.mask,
+            opts.get_parsed("rank", 4usize)?,
+            opts.get_parsed("iters", 15usize)?,
+            opts.get_parsed("seed", 1u64)?,
+        ),
+        other => return Err(format!("unknown imputer {other:?} (last|knn|mf)").into()),
+    };
+    let completed = TrafficDataset::new(
+        format!("{}-imputed", ds.name),
+        filled,
+        st_tensor::Tensor3::ones(ds.num_nodes(), ds.num_features(), ds.num_times()),
+        ds.network.clone(),
+        ds.interval_minutes,
+    );
+    write_csv(&completed, BufWriter::new(File::create(path)?))?;
+    writeln!(
+        out,
+        "imputed {:.1}% of entries with {method}; wrote {path}",
+        ds.missing_rate() * 100.0
+    )?;
+    Ok(())
+}
+
+fn cmd_inspect(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    let ds = load_dataset(opts)?;
+    let report = QualityReport::compute(&ds);
+    writeln!(
+        out,
+        "dataset: {} nodes × {} features × {} timestamps",
+        ds.num_nodes(),
+        ds.num_features(),
+        ds.num_times()
+    )?;
+    write!(out, "{}", report.render())?;
+    Ok(())
+}
+
+fn cmd_evaluate(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    let ds = load_dataset(opts)?;
+    let (norm, z) = prepare_split(&ds.split_chronological());
+    let cfg = model_config(opts, &ds)?;
+    let sampler = WindowSampler::new(cfg.history, cfg.horizon, 3);
+    let train = sampler.sample(&norm.train);
+    let val = sampler.sample(&norm.val);
+    let test = sampler.sample(&norm.test);
+    if train.is_empty() || test.is_empty() {
+        return Err("dataset too short to evaluate".into());
+    }
+
+    let ha = rihgcn_baselines::HistoricalAverage::fit(&norm.train, cfg.horizon);
+    let ha_m = evaluate_prediction(&ha, &test, &z);
+
+    let mut model = RihgcnModel::from_dataset(&norm.train, cfg);
+    let tc = TrainConfig {
+        max_epochs: opts.get_parsed("epochs", 10usize)?,
+        ..Default::default()
+    };
+    fit(&mut model, &train, &val, &tc);
+    let pred = evaluate_prediction(&model, &test, &z);
+    let imp = evaluate_imputation(&model, &test, &z);
+
+    writeln!(out, "method,mae,rmse")?;
+    writeln!(out, "HA,{:.4},{:.4}", ha_m.mae, ha_m.rmse)?;
+    writeln!(out, "RIHGCN,{:.4},{:.4}", pred.mae, pred.rmse)?;
+    writeln!(out, "RIHGCN-imputation,{:.4},{:.4}", imp.mae, imp.rmse)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn options_parse_flags_and_positionals() {
+        let opts = Options::parse(&args(&["pos1", "--key", "value", "pos2"])).unwrap();
+        assert_eq!(opts.positional(), &["pos1", "pos2"]);
+        assert_eq!(opts.get("key"), Some("value"));
+        assert_eq!(opts.get_parsed("missing", 5usize).unwrap(), 5);
+    }
+
+    #[test]
+    fn options_reject_dangling_flag() {
+        assert!(Options::parse(&args(&["--key"])).is_err());
+    }
+
+    #[test]
+    fn options_reject_bad_parse() {
+        let opts = Options::parse(&args(&["--n", "abc"])).unwrap();
+        assert!(opts.get_parsed("n", 0usize).is_err());
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let mut buf = Vec::new();
+        run(&args(&["help"]), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("USAGE"));
+        assert!(text.contains("generate"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let mut buf = Vec::new();
+        let err = run(&args(&["frobnicate"]), &mut buf).unwrap_err();
+        assert!(err.to_string().contains("unknown command"));
+    }
+
+    #[test]
+    fn no_command_errors_with_usage() {
+        let mut buf = Vec::new();
+        let err = run(&[], &mut buf).unwrap_err();
+        assert!(err.to_string().contains("no command"));
+        assert!(String::from_utf8(buf).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn generate_and_impute_round_trip() {
+        let dir = std::env::temp_dir().join("rihgcn-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.csv");
+        let filled = dir.join("filled.csv");
+        let mut buf = Vec::new();
+        run(
+            &args(&[
+                "generate",
+                "--dataset",
+                "pems",
+                "--out",
+                data.to_str().unwrap(),
+                "--nodes",
+                "3",
+                "--days",
+                "1",
+                "--missing-rate",
+                "0.3",
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        assert!(data.exists());
+
+        run(
+            &args(&[
+                "impute",
+                "--data",
+                data.to_str().unwrap(),
+                "--method",
+                "last",
+                "--out",
+                filled.to_str().unwrap(),
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        assert!(filled.exists());
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("wrote"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn inspect_reports_quality() {
+        let dir = std::env::temp_dir().join("rihgcn-cli-inspect");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.csv");
+        let mut buf = Vec::new();
+        run(
+            &args(&[
+                "generate",
+                "--dataset",
+                "pems",
+                "--out",
+                data.to_str().unwrap(),
+                "--nodes",
+                "3",
+                "--days",
+                "1",
+                "--missing-rate",
+                "0.4",
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        run(
+            &args(&["inspect", "--data", data.to_str().unwrap()]),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("missing rate"), "{text}");
+        assert!(text.contains("daily autocorrelation"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generate_rejects_unknown_dataset() {
+        let mut buf = Vec::new();
+        let err = run(
+            &args(&["generate", "--dataset", "nope", "--out", "/tmp/x.csv"]),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown dataset"));
+    }
+}

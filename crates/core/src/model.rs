@@ -1,0 +1,690 @@
+//! The RIHGCN model: bi-directional recurrent imputation over a
+//! heterogeneous GCN + shared LSTM, with a joint prediction/imputation loss.
+//!
+//! Faithful to the paper's computational flow (§III-E/F):
+//!
+//! 1. at each history step `t`, the complement input
+//!    `X̄_t = M_t ⊙ X_t + (1−M_t) ⊙ X̂_t` mixes observations with the model's
+//!    own running estimate — and `X̂_t` stays on the autodiff tape, so later
+//!    losses refine earlier imputations ("delayed gradients");
+//! 2. `S_t = HGCN(X̄_t)` captures spatial structure via the geographic graph
+//!    plus `M` interval-specific temporal graphs;
+//! 3. a parameter-shared LSTM over `[S_t ; M_t]` captures temporal
+//!    structure; `Z_t = [S_t ; H_t]`;
+//! 4. `X̂_{t+1} = W_z·Z_t + b_z` (Eq. 5) feeds the next complement;
+//! 5. the same recurrence runs backward in time; a fully-connected head over
+//!    all `Z_t` (both directions) produces the `T'`-step forecast;
+//! 6. the loss is `L_c + λ·L_m` with `L_m` the masked observation error plus
+//!    the forward/backward consistency term on missing entries (Eq. 6).
+
+use crate::{PredictionHead, RihgcnConfig, TrainConfig};
+use st_autodiff::Var;
+use st_data::{DayProfiles, TrafficDataset, WindowSample};
+use st_graph::{gaussian_adjacency, partition_day, Interval, IntervalConfig};
+use st_nn::{HgcnBlock, Linear, LstmCell, ParamId, ParamStore, Session};
+use st_tensor::{rng, Matrix};
+
+/// One direction's recurrent cells: an LSTM plus the estimation head
+/// producing `X̂_{t+1}` from `Z_t`.
+#[derive(Debug, Clone)]
+struct DirectionCells {
+    lstm: LstmCell,
+    est_head: Linear,
+}
+
+/// Outputs of one directional pass over a sample.
+struct DirectionRun {
+    /// `Z_t = [S_t ; H_t]` per history step, each `N × (p+q)`.
+    z: Vec<Var>,
+    /// `estimates[t]` is the direction's estimate of `X_t` (a zero constant
+    /// at the direction's first step, matching the paper's `X̂_0 = 0`).
+    estimates: Vec<Var>,
+}
+
+/// Everything a forward pass produces for one sample.
+pub(crate) struct SampleRun {
+    /// Horizon predictions, one `N × D` tape node per step.
+    pub predictions: Vec<Var>,
+    /// Per-step imputation estimates `X̂_t` (average of directions).
+    pub estimates: Vec<Var>,
+    /// Prediction loss `L_c`.
+    pub prediction_loss: Var,
+    /// Imputation loss `L_m`.
+    pub imputation_loss: Var,
+    /// Total loss `L_c + λ·L_m`.
+    pub total_loss: Var,
+}
+
+/// Concrete (detached) outputs of the model on one sample, in the
+/// normalised data space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleOutput {
+    /// Forecast for each horizon step (`N × D` each).
+    pub predictions: Vec<Matrix>,
+    /// Imputation estimate `X̂_t` for each history step (`N × D` each).
+    pub estimates: Vec<Matrix>,
+}
+
+/// The Recurrent-Imputation Heterogeneous GCN traffic forecaster.
+///
+/// Build one with [`RihgcnModel::from_dataset`], train with
+/// [`RihgcnModel::fit`](crate::RihgcnModel::fit) and predict with
+/// [`RihgcnModel::forward`].
+#[derive(Debug)]
+pub struct RihgcnModel {
+    pub(crate) store: ParamStore,
+    hgcn: HgcnBlock,
+    fwd: DirectionCells,
+    bwd: Option<DirectionCells>,
+    pred_head: Linear,
+    attention: Option<ParamId>,
+    cfg: RihgcnConfig,
+    num_nodes: usize,
+    num_features: usize,
+    intervals: Vec<Interval>,
+}
+
+impl RihgcnModel {
+    /// Builds the model's graphs from a (training) dataset and initialises
+    /// all parameters.
+    ///
+    /// The geographic graph comes from the dataset's road network (Eq. 8);
+    /// the `cfg.num_temporal_graphs` temporal graphs come from DTW
+    /// similarities of historical per-interval profiles with interval
+    /// boundaries chosen by the constrained partitioning of Eq. 2. Pass
+    /// `num_temporal_graphs = 0` for the plain-GCN ablation (GCN-LSTM-I).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the dataset is empty.
+    pub fn from_dataset(train: &TrafficDataset, cfg: RihgcnConfig) -> Self {
+        cfg.validate();
+        assert!(train.num_times() > 0, "training dataset is empty");
+        let n = train.num_nodes();
+        let d = train.num_features();
+
+        let geo_adj = gaussian_adjacency(&train.network.road_distance_matrix(), None, cfg.epsilon);
+
+        let mut temporal_graphs = Vec::new();
+        let mut intervals = Vec::new();
+        if cfg.num_temporal_graphs > 0 {
+            let profiles = DayProfiles::from_dataset(train);
+            let slots = train.slots_per_day();
+            let icfg = interval_config(cfg.num_temporal_graphs, slots);
+            let partition = partition_day(profiles.profiles(), &icfg);
+            for interval in &partition.intervals {
+                let adj = profiles.interval_adjacency_with(*interval, cfg.epsilon, cfg.distance);
+                temporal_graphs.push((*interval, adj));
+                intervals.push(*interval);
+            }
+        }
+
+        let mut init_rng = rng(cfg.seed);
+        let mut store = ParamStore::new();
+        let hgcn = HgcnBlock::new(
+            &mut store,
+            &mut init_rng,
+            d,
+            cfg.gcn_dim,
+            cfg.cheb_k,
+            &geo_adj,
+            temporal_graphs,
+            train.slots_per_day(),
+            cfg.tau,
+            "hgcn",
+        );
+        let p = hgcn.out_dim();
+        let z_width = p + cfg.lstm_dim;
+
+        let fwd = DirectionCells {
+            lstm: LstmCell::new(&mut store, &mut init_rng, p + d, cfg.lstm_dim, "fwd.lstm"),
+            est_head: Linear::new(&mut store, &mut init_rng, z_width, d, "fwd.est"),
+        };
+        let bwd = cfg.bidirectional.then(|| DirectionCells {
+            lstm: LstmCell::new(&mut store, &mut init_rng, p + d, cfg.lstm_dim, "bwd.lstm"),
+            est_head: Linear::new(&mut store, &mut init_rng, z_width, d, "bwd.est"),
+        });
+
+        let dirs = if cfg.bidirectional { 2 } else { 1 };
+        let (head_in, attention) = match cfg.head {
+            PredictionHead::Concat => (cfg.history * dirs * z_width, None),
+            PredictionHead::Attention => {
+                let att = store.add(
+                    "pred.att",
+                    st_tensor::xavier_matrix(&mut init_rng, dirs * z_width, 1),
+                );
+                (dirs * z_width, Some(att))
+            }
+        };
+        let pred_head = Linear::new(&mut store, &mut init_rng, head_in, d * cfg.horizon, "pred");
+
+        Self {
+            store,
+            hgcn,
+            fwd,
+            bwd,
+            pred_head,
+            attention,
+            cfg,
+            num_nodes: n,
+            num_features: d,
+            intervals,
+        }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &RihgcnConfig {
+        &self.cfg
+    }
+
+    /// Number of graph nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of input features per node.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Total trainable scalars.
+    pub fn num_parameters(&self) -> usize {
+        self.store.num_scalars()
+    }
+
+    /// The time-of-day intervals backing the temporal graphs.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// Read-only access to the parameter store (for persistence).
+    pub fn params(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Mutable access to the parameter store (for loading persisted
+    /// parameters).
+    pub fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    /// Runs the model on one sample, returning detached predictions and
+    /// imputation estimates (normalised space).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample's shape disagrees with the model.
+    pub fn forward(&self, sample: &WindowSample) -> SampleOutput {
+        let mut sess = Session::new(&self.store);
+        let run = self.run_sample(&mut sess, sample);
+        SampleOutput {
+            predictions: run
+                .predictions
+                .iter()
+                .map(|&v| sess.tape.value(v).clone())
+                .collect(),
+            estimates: run
+                .estimates
+                .iter()
+                .map(|&v| sess.tape.value(v).clone())
+                .collect(),
+        }
+    }
+
+    /// The `(L_c, L_m)` pair — prediction and imputation loss — of one
+    /// sample, before the `λ` weighting (used by the Figure-5 λ study).
+    pub fn loss_components(&self, sample: &WindowSample) -> (f64, f64) {
+        let mut sess = Session::new(&self.store);
+        let run = self.run_sample(&mut sess, sample);
+        (
+            sess.tape.value(run.prediction_loss)[(0, 0)],
+            sess.tape.value(run.imputation_loss)[(0, 0)],
+        )
+    }
+
+    /// Builds the full tape for one sample.
+    pub(crate) fn run_sample(&self, sess: &mut Session, sample: &WindowSample) -> SampleRun {
+        assert_eq!(
+            sample.history_len(),
+            self.cfg.history,
+            "history length mismatch"
+        );
+        assert_eq!(
+            sample.horizon_len(),
+            self.cfg.horizon,
+            "horizon length mismatch"
+        );
+        assert_eq!(
+            sample.inputs[0].shape(),
+            (self.num_nodes, self.num_features)
+        );
+
+        let t_len = self.cfg.history;
+        let fwd_run = self.run_direction(sess, sample, &self.fwd, false);
+        let bwd_run = self
+            .bwd
+            .as_ref()
+            .map(|cells| self.run_direction(sess, sample, cells, true));
+
+        // --- imputation loss (Eq. 6) -----------------------------------
+        let mut imp_terms: Vec<Var> = Vec::with_capacity(2 * t_len);
+        let mut estimates: Vec<Var> = Vec::with_capacity(t_len);
+        for t in 0..t_len {
+            let est = match &bwd_run {
+                Some(b) => {
+                    let s = sess.tape.add(fwd_run.estimates[t], b.estimates[t]);
+                    sess.tape.scale(s, 0.5)
+                }
+                None => fwd_run.estimates[t],
+            };
+            estimates.push(est);
+            // Observation error on observed entries.
+            let target = sess.constant(sample.inputs[t].clone());
+            let obs_err = sess.tape.masked_mae(est, target, &sample.masks[t]);
+            imp_terms.push(obs_err);
+            // Forward/backward consistency on missing entries.
+            if self.cfg.consistency_weight > 0.0 {
+                if let Some(b) = &bwd_run {
+                    let inv_mask = sample.masks[t].map(|m| 1.0 - m);
+                    let cons =
+                        sess.tape
+                            .masked_mae(fwd_run.estimates[t], b.estimates[t], &inv_mask);
+                    let cons = sess.tape.scale(cons, self.cfg.consistency_weight);
+                    imp_terms.push(cons);
+                }
+            }
+        }
+        let imp_sum = sum_vars(sess, &imp_terms);
+        let imputation_loss = sess.tape.scale(imp_sum, 1.0 / t_len as f64);
+
+        // --- prediction (Eq. 7) -----------------------------------------
+        let z_bi: Vec<Var> = (0..t_len)
+            .map(|t| match &bwd_run {
+                Some(b) => sess.tape.concat_cols(fwd_run.z[t], b.z[t]),
+                None => fwd_run.z[t],
+            })
+            .collect();
+        let head_in = match self.cfg.head {
+            PredictionHead::Concat => {
+                let mut wide: Option<Var> = None;
+                for &z_t in &z_bi {
+                    wide = Some(match wide {
+                        Some(w) => sess.tape.concat_cols(w, z_t),
+                        None => z_t,
+                    });
+                }
+                wide.expect("history is non-empty")
+            }
+            PredictionHead::Attention => {
+                // Attention over time: α = softmax_t(mean_n(Z_t · v)),
+                // context = Σ α_t Z_t (the paper's weighted-sum option).
+                let va = sess.var(
+                    &self.store,
+                    self.attention.expect("attention head allocates its vector"),
+                );
+                let mut scores: Option<Var> = None;
+                for &z_t in &z_bi {
+                    let proj = sess.tape.matmul(z_t, va);
+                    let score = sess.tape.mean(proj);
+                    scores = Some(match scores {
+                        Some(acc) => sess.tape.concat_cols(acc, score),
+                        None => score,
+                    });
+                }
+                let alphas = sess
+                    .tape
+                    .softmax_rows(scores.expect("history is non-empty"));
+                let mut context: Option<Var> = None;
+                for (t, &z_t) in z_bi.iter().enumerate() {
+                    let a_t = sess.tape.slice_cols(alphas, t, t + 1);
+                    let weighted = sess.tape.scale_var(z_t, a_t);
+                    context = Some(match context {
+                        Some(acc) => sess.tape.add(acc, weighted),
+                        None => weighted,
+                    });
+                }
+                context.expect("history is non-empty")
+            }
+        };
+        let pred_flat = self.pred_head.forward(sess, &self.store, head_in);
+
+        let d = self.num_features;
+        let mut predictions = Vec::with_capacity(self.cfg.horizon);
+        let mut pred_terms = Vec::with_capacity(self.cfg.horizon);
+        for h in 0..self.cfg.horizon {
+            let step = sess.tape.slice_cols(pred_flat, h * d, (h + 1) * d);
+            let target = sess.constant(sample.targets[h].clone());
+            let err = sess.tape.masked_mae(step, target, &sample.target_masks[h]);
+            pred_terms.push(err);
+            predictions.push(step);
+        }
+        let pred_sum = sum_vars(sess, &pred_terms);
+        let prediction_loss = sess.tape.scale(pred_sum, 1.0 / self.cfg.horizon as f64);
+
+        let weighted_imp = sess.tape.scale(imputation_loss, self.cfg.lambda);
+        let total_loss = sess.tape.add(prediction_loss, weighted_imp);
+
+        SampleRun {
+            predictions,
+            estimates,
+            prediction_loss,
+            imputation_loss,
+            total_loss,
+        }
+    }
+
+    /// Runs one direction of the recurrent imputation.
+    fn run_direction(
+        &self,
+        sess: &mut Session,
+        sample: &WindowSample,
+        cells: &DirectionCells,
+        reverse: bool,
+    ) -> DirectionRun {
+        let t_len = self.cfg.history;
+        let order: Vec<usize> = if reverse {
+            (0..t_len).rev().collect()
+        } else {
+            (0..t_len).collect()
+        };
+
+        let mut z: Vec<Option<Var>> = vec![None; t_len];
+        let mut estimates: Vec<Option<Var>> = vec![None; t_len];
+        let mut est_prev = sess.constant(Matrix::zeros(self.num_nodes, self.num_features));
+        let mut state = cells.lstm.zero_state(sess, self.num_nodes);
+
+        for &t in &order {
+            estimates[t] = Some(est_prev);
+            // Complement input: X̄_t = M⊙X + (1−M)⊙X̂ (Eq. 3). `inputs[t]`
+            // is already M⊙X.
+            let obs = sess.constant(sample.inputs[t].clone());
+            let inv_mask = sess.constant(sample.masks[t].map(|m| 1.0 - m));
+            let est_part = sess.tape.mul(inv_mask, est_prev);
+            let x_bar = sess.tape.add(obs, est_part);
+
+            let s = self.hgcn.forward(sess, &self.store, sample.slots[t], x_bar);
+            let mask_c = sess.constant(sample.masks[t].clone());
+            let lstm_in = sess.tape.concat_cols(s, mask_c);
+            state = cells.lstm.step(sess, &self.store, lstm_in, &state);
+            let z_t = sess.tape.concat_cols(s, state.h);
+            z[t] = Some(z_t);
+            est_prev = cells.est_head.forward(sess, &self.store, z_t);
+        }
+
+        DirectionRun {
+            z: z.into_iter()
+                .map(|v| v.expect("all steps visited"))
+                .collect(),
+            estimates: estimates
+                .into_iter()
+                .map(|v| v.expect("all steps visited"))
+                .collect(),
+        }
+    }
+}
+
+/// Builds the interval-partitioning configuration for `m` intervals on a
+/// day of `slots` timestamps (hourly candidate grid when possible).
+fn interval_config(m: usize, slots: usize) -> IntervalConfig {
+    // Hourly candidates when the day divides into 24, otherwise the finest
+    // divisor grid that can host m intervals.
+    let step = if slots % 24 == 0 { slots / 24 } else { 1 };
+    let grid = slots / step;
+    let max_cells = ((2.0 * grid as f64 / m.max(1) as f64).ceil() as usize).clamp(1, grid / 2);
+    IntervalConfig {
+        num_intervals: m,
+        slots_per_day: slots,
+        candidate_step: step,
+        min_len: step,
+        max_len: max_cells * step,
+        eta: 0.1,
+        gamma: 0.5,
+    }
+}
+
+fn sum_vars(sess: &mut Session, terms: &[Var]) -> Var {
+    let mut acc = terms[0];
+    for &t in &terms[1..] {
+        acc = sess.tape.add(acc, t);
+    }
+    acc
+}
+
+impl RihgcnModel {
+    /// Convenience: fit on training windows with validation-based early
+    /// stopping. See [`crate::fit`] for details.
+    pub fn fit(
+        &mut self,
+        train: &[WindowSample],
+        val: &[WindowSample],
+        tc: &TrainConfig,
+    ) -> crate::TrainReport {
+        crate::fit(self, train, val, tc)
+    }
+
+    /// Loss of one sample without updating parameters (for validation).
+    pub fn loss(&self, sample: &WindowSample) -> f64 {
+        let mut sess = Session::new(&self.store);
+        let run = self.run_sample(&mut sess, sample);
+        sess.tape.value(run.total_loss)[(0, 0)]
+    }
+}
+
+impl crate::Forecaster for RihgcnModel {
+    fn params(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn accumulate_gradients(&mut self, sample: &WindowSample) -> f64 {
+        let mut sess = Session::new(&self.store);
+        let run = self.run_sample(&mut sess, sample);
+        let loss_value = sess.tape.value(run.total_loss)[(0, 0)];
+        sess.backward(run.total_loss);
+        sess.write_grads(&mut self.store);
+        loss_value
+    }
+
+    fn loss(&self, sample: &WindowSample) -> f64 {
+        RihgcnModel::loss(self, sample)
+    }
+
+    fn predict(&self, sample: &WindowSample) -> Vec<Matrix> {
+        self.forward(sample).predictions
+    }
+}
+
+impl crate::Imputer for RihgcnModel {
+    fn impute(&self, sample: &WindowSample) -> Vec<Matrix> {
+        self.forward(sample).estimates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Forecaster;
+    use st_data::{generate_pems, PemsConfig, WindowSampler};
+    use st_tensor::rng as seeded;
+
+    fn tiny_setup() -> (TrafficDataset, RihgcnConfig) {
+        let ds = generate_pems(&PemsConfig {
+            num_nodes: 4,
+            num_days: 3,
+            ..Default::default()
+        });
+        let ds = ds.with_extra_missing(0.4, &mut seeded(5));
+        let cfg = RihgcnConfig {
+            gcn_dim: 4,
+            lstm_dim: 6,
+            cheb_k: 2,
+            num_temporal_graphs: 2,
+            history: 4,
+            horizon: 2,
+            ..Default::default()
+        };
+        (ds, cfg)
+    }
+
+    #[test]
+    fn builds_with_temporal_graphs() {
+        let (ds, cfg) = tiny_setup();
+        let model = RihgcnModel::from_dataset(&ds, cfg);
+        assert_eq!(model.num_nodes(), 4);
+        assert_eq!(model.num_features(), 4);
+        assert_eq!(model.intervals().len(), 2);
+        assert!(model.num_parameters() > 0);
+    }
+
+    #[test]
+    fn builds_without_temporal_graphs() {
+        let (ds, cfg) = tiny_setup();
+        let model = RihgcnModel::from_dataset(&ds, cfg.with_num_temporal_graphs(0));
+        assert!(model.intervals().is_empty());
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let (ds, cfg) = tiny_setup();
+        let model = RihgcnModel::from_dataset(&ds, cfg);
+        let sampler = WindowSampler::new(4, 2, 1);
+        let sample = sampler.window_at(&ds, 0);
+        let out = model.forward(&sample);
+        assert_eq!(out.predictions.len(), 2);
+        assert_eq!(out.estimates.len(), 4);
+        assert_eq!(out.predictions[0].shape(), (4, 4));
+        assert_eq!(out.estimates[0].shape(), (4, 4));
+        assert!(out.predictions.iter().all(Matrix::is_finite));
+    }
+
+    #[test]
+    fn loss_is_finite_and_positive() {
+        let (ds, cfg) = tiny_setup();
+        let model = RihgcnModel::from_dataset(&ds, cfg);
+        let sample = WindowSampler::new(4, 2, 1).window_at(&ds, 10);
+        let l = model.loss(&sample);
+        assert!(l.is_finite());
+        assert!(l > 0.0);
+    }
+
+    #[test]
+    fn gradient_accumulation_touches_all_components() {
+        let (ds, cfg) = tiny_setup();
+        let mut model = RihgcnModel::from_dataset(&ds, cfg);
+        let sample = WindowSampler::new(4, 2, 1).window_at(&ds, 0);
+        let _ = model.accumulate_gradients(&sample);
+        // Every major component must receive some gradient.
+        for prefix in [
+            "hgcn.geo", "hgcn.t0", "fwd.lstm", "bwd.lstm", "fwd.est", "pred",
+        ] {
+            let touched = model
+                .store
+                .ids()
+                .filter(|&id| model.store.name(id).starts_with(prefix))
+                .any(|id| model.store.grad(id).max_abs() > 0.0);
+            assert!(touched, "no gradient reached {prefix}");
+        }
+    }
+
+    #[test]
+    fn loss_components_compose_total() {
+        let (ds, cfg) = tiny_setup();
+        let lambda = 0.7;
+        let model = RihgcnModel::from_dataset(&ds, cfg.with_lambda(lambda));
+        let sample = WindowSampler::new(4, 2, 1).window_at(&ds, 3);
+        let (lc, lm) = model.loss_components(&sample);
+        let total = model.loss(&sample);
+        assert!((total - (lc + lambda * lm)).abs() < 1e-9);
+        assert!(lc > 0.0 && lm > 0.0);
+    }
+
+    #[test]
+    fn attention_head_runs_and_learns() {
+        use crate::PredictionHead;
+        let (ds, cfg) = tiny_setup();
+        let mut model =
+            RihgcnModel::from_dataset(&ds, cfg.clone().with_head(PredictionHead::Attention));
+        let sample = WindowSampler::new(4, 2, 1).window_at(&ds, 0);
+        let out = model.forward(&sample);
+        assert_eq!(out.predictions.len(), 2);
+        assert!(out.predictions.iter().all(Matrix::is_finite));
+        let _ = model.accumulate_gradients(&sample);
+        let att_grad = model
+            .store
+            .ids()
+            .filter(|&id| model.store.name(id) == "pred.att")
+            .map(|id| model.store.grad(id).max_abs())
+            .next()
+            .unwrap();
+        assert!(att_grad > 0.0, "attention vector must receive gradients");
+        // Attention head has far fewer prediction parameters than concat.
+        let concat = RihgcnModel::from_dataset(&ds, cfg);
+        assert!(model.num_parameters() < concat.num_parameters());
+    }
+
+    #[test]
+    fn consistency_weight_zero_changes_loss() {
+        let (ds, cfg) = tiny_setup();
+        let with = RihgcnModel::from_dataset(&ds, cfg.clone());
+        let without = RihgcnModel::from_dataset(&ds, cfg.with_consistency_weight(0.0));
+        let sample = WindowSampler::new(4, 2, 1).window_at(&ds, 0);
+        let (_, lm_with) = with.loss_components(&sample);
+        let (_, lm_without) = without.loss_components(&sample);
+        assert!(
+            lm_with > lm_without,
+            "consistency term must add to L_m: {lm_with} vs {lm_without}"
+        );
+    }
+
+    #[test]
+    fn unidirectional_has_fewer_parameters() {
+        let (ds, cfg) = tiny_setup();
+        let bi = RihgcnModel::from_dataset(&ds, cfg.clone());
+        let uni = RihgcnModel::from_dataset(&ds, cfg.unidirectional());
+        assert!(uni.num_parameters() < bi.num_parameters());
+    }
+
+    #[test]
+    fn training_step_reduces_loss_on_one_sample() {
+        let (ds, cfg) = tiny_setup();
+        let mut model = RihgcnModel::from_dataset(&ds, cfg);
+        let sample = WindowSampler::new(4, 2, 1).window_at(&ds, 0);
+        let mut adam = st_nn::Adam::new(&model.store, 5e-3);
+        let before = model.loss(&sample);
+        for _ in 0..15 {
+            model.store.zero_grads();
+            let _ = model.accumulate_gradients(&sample);
+            model.store.clip_grad_norm(5.0);
+            adam.step(&mut model.store);
+        }
+        let after = model.loss(&sample);
+        assert!(
+            after < before,
+            "loss should fall when overfitting one sample: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn delayed_gradients_flow_into_imputation_path() {
+        // With λ = 0 the imputation loss contributes nothing, yet the
+        // estimation head must still receive gradients *through the
+        // complement inputs of later steps* — the paper's core mechanism.
+        let (ds, cfg) = tiny_setup();
+        let mut model = RihgcnModel::from_dataset(&ds, cfg.with_lambda(0.0));
+        let sample = WindowSampler::new(4, 2, 1).window_at(&ds, 0);
+        let _ = model.accumulate_gradients(&sample);
+        let est_grad = model
+            .store
+            .ids()
+            .filter(|&id| model.store.name(id).starts_with("fwd.est"))
+            .map(|id| model.store.grad(id).max_abs())
+            .fold(0.0_f64, f64::max);
+        assert!(
+            est_grad > 0.0,
+            "estimation head must get delayed gradients from the prediction loss"
+        );
+    }
+}

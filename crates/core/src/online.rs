@@ -1,0 +1,273 @@
+//! Streaming inference: forecasts as observations arrive.
+//!
+//! The paper's closing note — "the proposed method will be built into a
+//! transportation application system to provide future traffic conditions
+//! to users" — implies an online deployment mode. [`OnlineForecaster`]
+//! wraps a trained [`RihgcnModel`] with a rolling observation window: push
+//! each new (partial) measurement matrix as it arrives and ask for a
+//! forecast or the imputed recent history at any time, all in original
+//! data units.
+
+use crate::{RihgcnModel, SampleOutput};
+use st_data::{WindowSample, ZScore};
+use st_tensor::Matrix;
+use std::collections::VecDeque;
+
+/// A rolling-window online wrapper around a trained model.
+///
+/// # Examples
+///
+/// ```no_run
+/// use rihgcn_core::{prepare_split, OnlineForecaster, RihgcnConfig, RihgcnModel};
+/// use st_data::{generate_pems, PemsConfig};
+/// use st_tensor::Matrix;
+///
+/// let ds = generate_pems(&PemsConfig::default());
+/// let (norm, z) = prepare_split(&ds.split_chronological());
+/// let model = RihgcnModel::from_dataset(&norm.train, RihgcnConfig::default());
+/// let mut online = OnlineForecaster::new(model, z);
+/// // Feed measurements as they arrive (slot = time-of-day index).
+/// online.push(Matrix::zeros(20, 4), Matrix::zeros(20, 4), 100);
+/// ```
+#[derive(Debug)]
+pub struct OnlineForecaster {
+    model: RihgcnModel,
+    z: ZScore,
+    window: VecDeque<(Matrix, Matrix, usize)>, // (raw values, mask, slot)
+    history: usize,
+    horizon: usize,
+}
+
+impl OnlineForecaster {
+    /// Wraps a trained model and its normalisation transform.
+    pub fn new(model: RihgcnModel, z: ZScore) -> Self {
+        let history = model.config().history;
+        let horizon = model.config().horizon;
+        Self {
+            model,
+            z,
+            window: VecDeque::with_capacity(history),
+            history,
+            horizon,
+        }
+    }
+
+    /// Number of observations currently buffered (at most `history`).
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Whether no observations are buffered yet.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Whether a full history window is available for forecasting.
+    pub fn ready(&self) -> bool {
+        self.window.len() == self.history
+    }
+
+    /// Read-only access to the wrapped model.
+    pub fn model(&self) -> &RihgcnModel {
+        &self.model
+    }
+
+    /// Pushes one timestamp of measurements in **original units**.
+    ///
+    /// `values` holds the observed readings (entries with `mask == 0` are
+    /// ignored), `slot` is the time-of-day index of this timestamp. The
+    /// oldest timestamp falls out once the window is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes do not match the model.
+    pub fn push(&mut self, values: Matrix, mask: Matrix, slot: usize) {
+        assert_eq!(
+            values.shape(),
+            (self.model.num_nodes(), self.model.num_features()),
+            "observation shape must be nodes × features"
+        );
+        assert_eq!(values.shape(), mask.shape(), "values/mask shape mismatch");
+        if self.window.len() == self.history {
+            self.window.pop_front();
+        }
+        self.window.push_back((values, mask, slot));
+    }
+
+    /// Clears the buffered window.
+    pub fn reset(&mut self) {
+        self.window.clear();
+    }
+
+    fn build_sample(&self) -> WindowSample {
+        let n = self.model.num_nodes();
+        let d = self.model.num_features();
+        let mut inputs = Vec::with_capacity(self.history);
+        let mut masks = Vec::with_capacity(self.history);
+        let mut truths = Vec::with_capacity(self.history);
+        let mut slots = Vec::with_capacity(self.history);
+        for (raw, mask, slot) in &self.window {
+            let norm = self.z.apply_matrix(raw);
+            inputs.push(norm.hadamard(mask));
+            truths.push(norm);
+            masks.push(mask.clone());
+            slots.push(*slot);
+        }
+        // Inference-only: zero targets under an all-zero mask contribute
+        // nothing to the (unused) loss terms.
+        let targets = vec![Matrix::zeros(n, d); self.horizon];
+        let target_masks = vec![Matrix::zeros(n, d); self.horizon];
+        WindowSample {
+            inputs,
+            masks,
+            truths,
+            targets,
+            target_masks,
+            slots,
+            start: 0,
+        }
+    }
+
+    fn run(&self) -> Option<SampleOutput> {
+        if !self.ready() {
+            return None;
+        }
+        Some(self.model.forward(&self.build_sample()))
+    }
+
+    /// The `T'`-step forecast in original units, or `None` until a full
+    /// window has been pushed.
+    pub fn forecast(&self) -> Option<Vec<Matrix>> {
+        self.run().map(|out| {
+            out.predictions
+                .iter()
+                .map(|p| self.z.invert_matrix(p))
+                .collect()
+        })
+    }
+
+    /// The imputed history window in original units (model estimates at
+    /// hidden entries, observations elsewhere), or `None` until ready.
+    pub fn imputed_window(&self) -> Option<Vec<Matrix>> {
+        let out = self.run()?;
+        Some(
+            out.estimates
+                .iter()
+                .zip(self.window.iter())
+                .map(|(est, (raw, mask, _))| {
+                    // Complement in raw units: keep observations, fill holes
+                    // with the (denormalised) model estimate.
+                    let est_raw = self.z.invert_matrix(est);
+                    let holes = est_raw.zip_map(mask, |e, m| e * (1.0 - m));
+                    let observed = raw.hadamard(mask);
+                    &holes + &observed
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{prepare_split, RihgcnConfig};
+    use st_data::{generate_pems, PemsConfig};
+    use st_tensor::rng;
+
+    fn setup() -> (OnlineForecaster, st_data::TrafficDataset) {
+        let ds = generate_pems(&PemsConfig {
+            num_nodes: 4,
+            num_days: 2,
+            ..Default::default()
+        });
+        let ds = ds.with_extra_missing(0.3, &mut rng(3));
+        let (norm, z) = prepare_split(&ds.split_chronological());
+        let cfg = RihgcnConfig {
+            gcn_dim: 3,
+            lstm_dim: 4,
+            cheb_k: 2,
+            num_temporal_graphs: 2,
+            history: 4,
+            horizon: 2,
+            ..Default::default()
+        };
+        let model = RihgcnModel::from_dataset(&norm.train, cfg);
+        (OnlineForecaster::new(model, z), ds)
+    }
+
+    #[test]
+    fn not_ready_until_window_full() {
+        let (mut online, ds) = setup();
+        assert!(online.is_empty());
+        for t in 0..3 {
+            online.push(ds.values.time_slice(t), ds.mask.time_slice(t), t);
+            assert!(!online.ready());
+            assert!(online.forecast().is_none());
+        }
+        online.push(ds.values.time_slice(3), ds.mask.time_slice(3), 3);
+        assert!(online.ready());
+        assert!(online.forecast().is_some());
+    }
+
+    #[test]
+    fn forecast_shapes_and_units() {
+        let (mut online, ds) = setup();
+        for t in 0..4 {
+            online.push(ds.values.time_slice(t), ds.mask.time_slice(t), t);
+        }
+        let preds = online.forecast().unwrap();
+        assert_eq!(preds.len(), 2);
+        assert_eq!(preds[0].shape(), (4, 4));
+        // Raw units: an untrained model's output after denormalisation is
+        // still anchored near the data mean (tens of mph), not near 0.
+        assert!(preds[0].mean() > 10.0, "mean was {}", preds[0].mean());
+    }
+
+    #[test]
+    fn window_rolls_forward() {
+        let (mut online, ds) = setup();
+        for t in 0..4 {
+            online.push(ds.values.time_slice(t), ds.mask.time_slice(t), t);
+        }
+        let before = online.forecast().unwrap();
+        online.push(ds.values.time_slice(4), ds.mask.time_slice(4), 4);
+        assert_eq!(online.len(), 4); // still capped at history
+        let after = online.forecast().unwrap();
+        assert_ne!(before, after, "new observation must change the forecast");
+    }
+
+    #[test]
+    fn imputed_window_preserves_observations() {
+        let (mut online, ds) = setup();
+        for t in 0..4 {
+            online.push(ds.values.time_slice(t), ds.mask.time_slice(t), t);
+        }
+        let imputed = online.imputed_window().unwrap();
+        assert_eq!(imputed.len(), 4);
+        for (t, win) in imputed.iter().enumerate() {
+            for r in 0..4 {
+                for c in 0..4 {
+                    if ds.mask[(r, c, t)] != 0.0 {
+                        assert!(
+                            (win[(r, c)] - ds.values[(r, c, t)]).abs() < 1e-9,
+                            "observed entries must pass through"
+                        );
+                    } else {
+                        assert!(win[(r, c)].is_finite());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let (mut online, ds) = setup();
+        for t in 0..4 {
+            online.push(ds.values.time_slice(t), ds.mask.time_slice(t), t);
+        }
+        online.reset();
+        assert!(online.is_empty());
+        assert!(online.forecast().is_none());
+    }
+}

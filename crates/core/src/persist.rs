@@ -1,0 +1,216 @@
+//! Plain-text persistence for trained parameters.
+//!
+//! A deliberately simple, dependency-free format (one header line per
+//! parameter followed by its row-major values) so trained models can be
+//! saved and shipped without a binary serialisation crate:
+//!
+//! ```text
+//! rihgcn-params v1
+//! param <name> <rows> <cols>
+//! <v> <v> ...
+//! ```
+
+use st_nn::ParamStore;
+use st_tensor::Matrix;
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Error returned when loading persisted parameters fails.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The input is not in the expected format.
+    Format(String),
+    /// The file's parameters do not match the model (name/shape/order).
+    Mismatch(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Format(msg) => write!(f, "malformed parameter file: {msg}"),
+            PersistError::Mismatch(msg) => write!(f, "parameter mismatch: {msg}"),
+        }
+    }
+}
+
+impl Error for PersistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+const HEADER: &str = "rihgcn-params v1";
+
+/// Writes every parameter of the store.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn save_params<W: Write>(store: &ParamStore, mut w: W) -> Result<(), PersistError> {
+    writeln!(w, "{HEADER}")?;
+    for id in store.ids() {
+        let m = store.value(id);
+        writeln!(w, "param {} {} {}", store.name(id), m.rows(), m.cols())?;
+        let mut line = String::new();
+        for (i, v) in m.as_slice().iter().enumerate() {
+            if i > 0 {
+                line.push(' ');
+            }
+            line.push_str(&format!("{v:?}")); // Debug float formatting round-trips exactly
+        }
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Loads parameters into an existing store; names, shapes and order must
+/// match exactly (i.e. the model must be built with the same configuration).
+///
+/// # Errors
+///
+/// Returns [`PersistError::Format`] for malformed input and
+/// [`PersistError::Mismatch`] when the stored parameters do not line up with
+/// the model's.
+pub fn load_params<R: BufRead>(store: &mut ParamStore, r: R) -> Result<(), PersistError> {
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| PersistError::Format("empty file".into()))??;
+    if header.trim() != HEADER {
+        return Err(PersistError::Format(format!("bad header: {header:?}")));
+    }
+
+    let ids: Vec<_> = store.ids().collect();
+    for &id in &ids {
+        let meta = lines
+            .next()
+            .ok_or_else(|| PersistError::Format("unexpected end of file".into()))??;
+        let parts: Vec<&str> = meta.split_whitespace().collect();
+        if parts.len() != 4 || parts[0] != "param" {
+            return Err(PersistError::Format(format!("bad param header: {meta:?}")));
+        }
+        let (name, rows, cols) = (
+            parts[1],
+            parts[2]
+                .parse::<usize>()
+                .map_err(|e| PersistError::Format(e.to_string()))?,
+            parts[3]
+                .parse::<usize>()
+                .map_err(|e| PersistError::Format(e.to_string()))?,
+        );
+        if name != store.name(id) {
+            return Err(PersistError::Mismatch(format!(
+                "expected parameter {:?}, file has {:?}",
+                store.name(id),
+                name
+            )));
+        }
+        if (rows, cols) != store.value(id).shape() {
+            return Err(PersistError::Mismatch(format!(
+                "parameter {name}: expected shape {:?}, file has {rows}x{cols}",
+                store.value(id).shape()
+            )));
+        }
+        let data_line = lines
+            .next()
+            .ok_or_else(|| PersistError::Format("missing data line".into()))??;
+        let values: Result<Vec<f64>, _> = data_line
+            .split_whitespace()
+            .map(str::parse::<f64>)
+            .collect();
+        let values = values.map_err(|e| PersistError::Format(e.to_string()))?;
+        if values.len() != rows * cols {
+            return Err(PersistError::Format(format!(
+                "parameter {name}: expected {} values, found {}",
+                rows * cols,
+                values.len()
+            )));
+        }
+        store.set_value(id, Matrix::from_vec(rows, cols, values));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_tensor::{rng, uniform_matrix};
+
+    fn sample_store() -> ParamStore {
+        let mut store = ParamStore::new();
+        store.add("a.w", uniform_matrix(&mut rng(1), 2, 3, -1.0, 1.0));
+        store.add("a.b", uniform_matrix(&mut rng(2), 1, 3, -1.0, 1.0));
+        store
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        save_params(&store, &mut buf).unwrap();
+        let mut fresh = sample_store();
+        // Perturb, then load back.
+        let ids: Vec<_> = fresh.ids().collect();
+        fresh.set_value(ids[0], st_tensor::Matrix::zeros(2, 3));
+        load_params(&mut fresh, buf.as_slice()).unwrap();
+        for (a, b) in store.ids().zip(fresh.ids()) {
+            assert_eq!(store.value(a), fresh.value(b));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let mut store = sample_store();
+        let err = load_params(&mut store, "nonsense\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, PersistError::Format(_)));
+    }
+
+    #[test]
+    fn rejects_name_mismatch() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        save_params(&store, &mut buf).unwrap();
+        let mut other = ParamStore::new();
+        other.add("different", st_tensor::Matrix::zeros(2, 3));
+        other.add("a.b", st_tensor::Matrix::zeros(1, 3));
+        let err = load_params(&mut other, buf.as_slice()).unwrap_err();
+        assert!(matches!(err, PersistError::Mismatch(_)));
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        save_params(&store, &mut buf).unwrap();
+        let mut other = ParamStore::new();
+        other.add("a.w", st_tensor::Matrix::zeros(3, 2));
+        other.add("a.b", st_tensor::Matrix::zeros(1, 3));
+        let err = load_params(&mut other, buf.as_slice()).unwrap_err();
+        assert!(matches!(err, PersistError::Mismatch(_)));
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        save_params(&store, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let truncated: String = text.lines().take(2).collect::<Vec<_>>().join("\n");
+        let mut fresh = sample_store();
+        let err = load_params(&mut fresh, truncated.as_bytes()).unwrap_err();
+        assert!(matches!(err, PersistError::Format(_)));
+    }
+}

@@ -1,0 +1,234 @@
+//! Z-score normalisation over masked spatio-temporal cubes.
+//!
+//! The paper normalises each dataset with Z-score statistics. Because the
+//! data carries missing values, the statistics must be computed from
+//! *observed* entries only — this module does so per feature.
+
+use serde::{Deserialize, Serialize};
+use st_tensor::{Matrix, Tensor3};
+
+/// Per-feature Z-score parameters fitted on observed entries.
+///
+/// # Examples
+///
+/// ```
+/// use st_data::ZScore;
+/// use st_tensor::Tensor3;
+///
+/// let x = Tensor3::from_fn(2, 1, 4, |_, _, t| t as f64);
+/// let mask = Tensor3::ones(2, 1, 4);
+/// let z = ZScore::fit(&x, &mask);
+/// let n = z.apply(&x);
+/// assert!((n.mean()).abs() < 1e-9);
+/// let back = z.invert(&n);
+/// assert!(back.zip_map(&x, |a, b| (a - b).abs()).mean() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZScore {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl ZScore {
+    /// Fits per-feature mean/std from entries where `mask != 0`.
+    ///
+    /// Features with no observed entries get mean 0 / std 1; features with
+    /// zero variance get std 1 so normalisation stays invertible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn fit(values: &Tensor3, mask: &Tensor3) -> Self {
+        assert_eq!(values.shape(), mask.shape(), "values/mask shape mismatch");
+        let (n, d, t) = values.shape();
+        let mut mean = vec![0.0; d];
+        let mut std = vec![1.0; d];
+        for f in 0..d {
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            for node in 0..n {
+                for time in 0..t {
+                    if mask[(node, f, time)] != 0.0 {
+                        sum += values[(node, f, time)];
+                        count += 1;
+                    }
+                }
+            }
+            if count == 0 {
+                continue;
+            }
+            let m = sum / count as f64;
+            let mut var = 0.0;
+            for node in 0..n {
+                for time in 0..t {
+                    if mask[(node, f, time)] != 0.0 {
+                        let dv = values[(node, f, time)] - m;
+                        var += dv * dv;
+                    }
+                }
+            }
+            mean[f] = m;
+            let s = (var / count as f64).sqrt();
+            std[f] = if s > 1e-12 { s } else { 1.0 };
+        }
+        Self { mean, std }
+    }
+
+    /// Number of features the transform was fitted on.
+    pub fn num_features(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Fitted per-feature means.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Fitted per-feature standard deviations.
+    pub fn std(&self) -> &[f64] {
+        &self.std
+    }
+
+    /// Normalises a cube: `(x − μ_d) / σ_d` per feature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature count differs from the fitted statistics.
+    pub fn apply(&self, values: &Tensor3) -> Tensor3 {
+        assert_eq!(values.features(), self.mean.len(), "feature count mismatch");
+        Tensor3::from_fn(
+            values.nodes(),
+            values.features(),
+            values.times(),
+            |n, d, t| (values[(n, d, t)] - self.mean[d]) / self.std[d],
+        )
+    }
+
+    /// Inverts [`ZScore::apply`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature count differs from the fitted statistics.
+    pub fn invert(&self, values: &Tensor3) -> Tensor3 {
+        assert_eq!(values.features(), self.mean.len(), "feature count mismatch");
+        Tensor3::from_fn(
+            values.nodes(),
+            values.features(),
+            values.times(),
+            |n, d, t| values[(n, d, t)] * self.std[d] + self.mean[d],
+        )
+    }
+
+    /// Normalises an `N × D` single-timestamp matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the fitted statistics.
+    pub fn apply_matrix(&self, values: &Matrix) -> Matrix {
+        assert_eq!(values.cols(), self.mean.len(), "feature count mismatch");
+        Matrix::from_fn(values.rows(), values.cols(), |r, c| {
+            (values[(r, c)] - self.mean[c]) / self.std[c]
+        })
+    }
+
+    /// Inverts [`ZScore::apply_matrix`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the fitted statistics.
+    pub fn invert_matrix(&self, values: &Matrix) -> Matrix {
+        assert_eq!(values.cols(), self.mean.len(), "feature count mismatch");
+        Matrix::from_fn(values.rows(), values.cols(), |r, c| {
+            values[(r, c)] * self.std[c] + self.mean[c]
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_ignores_masked_entries() {
+        let mut x = Tensor3::zeros(1, 1, 4);
+        x[(0, 0, 0)] = 10.0;
+        x[(0, 0, 1)] = 20.0;
+        x[(0, 0, 2)] = 1000.0; // hidden by mask
+        x[(0, 0, 3)] = 30.0;
+        let mut mask = Tensor3::ones(1, 1, 4);
+        mask[(0, 0, 2)] = 0.0;
+        let z = ZScore::fit(&x, &mask);
+        assert!((z.mean()[0] - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_invert_round_trip() {
+        let x = Tensor3::from_fn(3, 2, 5, |n, d, t| (n + d * 10 + t * 100) as f64);
+        let mask = Tensor3::ones(3, 2, 5);
+        let z = ZScore::fit(&x, &mask);
+        let norm = z.apply(&x);
+        let back = z.invert(&norm);
+        assert!(back.zip_map(&x, |a, b| (a - b).abs()).mean() < 1e-9);
+    }
+
+    #[test]
+    fn normalised_observed_entries_have_unit_stats() {
+        let x = Tensor3::from_fn(4, 1, 50, |n, _, t| (n * t) as f64 * 0.3 + n as f64);
+        let mask = Tensor3::ones(4, 1, 50);
+        let z = ZScore::fit(&x, &mask);
+        let norm = z.apply(&x);
+        let mean = norm.mean();
+        assert!(mean.abs() < 1e-9);
+        let var = norm.map(|v| v * v).mean() - mean * mean;
+        assert!((var - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_feature_gets_unit_std() {
+        let x = Tensor3::filled(2, 1, 4, 7.0);
+        let mask = Tensor3::ones(2, 1, 4);
+        let z = ZScore::fit(&x, &mask);
+        assert_eq!(z.std()[0], 1.0);
+        let norm = z.apply(&x);
+        assert_eq!(norm.mean(), 0.0);
+    }
+
+    #[test]
+    fn fully_masked_feature_is_identity() {
+        let x = Tensor3::filled(2, 1, 4, 42.0);
+        let mask = Tensor3::zeros(2, 1, 4);
+        let z = ZScore::fit(&x, &mask);
+        assert_eq!(z.mean()[0], 0.0);
+        assert_eq!(z.std()[0], 1.0);
+    }
+
+    #[test]
+    fn matrix_round_trip() {
+        let z = ZScore {
+            mean: vec![5.0, -1.0],
+            std: vec![2.0, 4.0],
+        };
+        let m = Matrix::from_rows(&[&[7.0, 3.0], &[5.0, -1.0]]);
+        let n = z.apply_matrix(&m);
+        assert_eq!(n[(0, 0)], 1.0);
+        assert_eq!(n[(0, 1)], 1.0);
+        assert_eq!(n[(1, 0)], 0.0);
+        let back = z.invert_matrix(&n);
+        assert!(back.max_abs_diff(&m) < 1e-12);
+    }
+
+    #[test]
+    fn per_feature_statistics_are_independent() {
+        let x = Tensor3::from_fn(2, 2, 10, |_, d, t| {
+            if d == 0 {
+                t as f64
+            } else {
+                100.0 + t as f64 * 5.0
+            }
+        });
+        let mask = Tensor3::ones(2, 2, 10);
+        let z = ZScore::fit(&x, &mask);
+        assert!(z.mean()[1] > z.mean()[0]);
+        assert!(z.std()[1] > z.std()[0]);
+    }
+}

@@ -1,0 +1,301 @@
+//! Synthetic Stampede-like roving-sensor dataset.
+//!
+//! The paper's Stampede data is private: GPS traces from smartphones on 15
+//! campus shuttles, aggregated into per-segment travel times for 12 road
+//! segments (Feb–Jun 2019). Its defining characteristics — the ones the
+//! Table-II comparison actually stresses — are:
+//!
+//! * only 12 nodes with travel-time (seconds) as the single feature;
+//! * **very high structural missingness**: a segment is only observed when
+//!   a shuttle happens to traverse it, producing bursty, irregular
+//!   observation patterns and ~70–90% missing entries;
+//! * urban dynamics: traffic-light delays and rush-hour multipliers on top
+//!   of a per-segment base travel time.
+//!
+//! This generator reproduces all three. Ground truth is materialised for
+//! every timestamp (so imputation can be scored exactly); the mask comes
+//! from an explicit shuttle-fleet simulation over the loop route.
+
+use crate::TrafficDataset;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use st_graph::RoadNetwork;
+use st_tensor::{rng, standard_normal, Tensor3};
+
+/// Configuration for [`generate_stampede`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StampedeConfig {
+    /// Number of road segments on the shuttle loop (paper: 12).
+    pub num_segments: usize,
+    /// Number of simulated days.
+    pub num_days: usize,
+    /// Sampling interval in minutes (paper aggregates to 5).
+    pub interval_minutes: usize,
+    /// Number of shuttles simultaneously serving the loop.
+    pub num_shuttles: usize,
+    /// First service hour (shuttles do not run at night).
+    pub service_start_hour: usize,
+    /// Last service hour (exclusive).
+    pub service_end_hour: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StampedeConfig {
+    fn default() -> Self {
+        Self {
+            num_segments: 12,
+            num_days: 28,
+            interval_minutes: 5,
+            num_shuttles: 4,
+            service_start_hour: 6,
+            service_end_hour: 22,
+            seed: 11,
+        }
+    }
+}
+
+/// Generates the synthetic Stampede-like dataset (travel times in seconds).
+///
+/// # Examples
+///
+/// ```
+/// use st_data::{generate_stampede, StampedeConfig};
+///
+/// let ds = generate_stampede(&StampedeConfig { num_days: 2, ..Default::default() });
+/// assert_eq!(ds.num_nodes(), 12);
+/// assert!(ds.missing_rate() > 0.5); // roving coverage is sparse
+/// ```
+///
+/// # Panics
+///
+/// Panics if any dimension is zero, the interval does not divide a day, or
+/// the service window is empty.
+pub fn generate_stampede(cfg: &StampedeConfig) -> TrafficDataset {
+    assert!(
+        cfg.num_segments > 0 && cfg.num_days > 0,
+        "empty dataset requested"
+    );
+    assert!(
+        cfg.service_start_hour < cfg.service_end_hour && cfg.service_end_hour <= 24,
+        "invalid service window"
+    );
+    let slots = 24 * 60 / cfg.interval_minutes;
+    let total = slots * cfg.num_days;
+    let n = cfg.num_segments;
+    let mut rand = rng(cfg.seed);
+
+    let network = RoadNetwork::loop_route(n, 1.6);
+
+    // Base travel time per segment from its geometry: length / limit, plus
+    // a fixed delay per traffic light.
+    let seg_len_km = 2.0 * std::f64::consts::PI * 1.6 / n as f64;
+    let base_tt: Vec<f64> = network
+        .segments()
+        .iter()
+        .map(|s| {
+            let drive = seg_len_km / s.speed_limit * 3600.0;
+            let lights = s.traffic_lights as f64 * 18.0;
+            let lane_penalty = 25.0 / s.lanes as f64;
+            drive + lights + lane_penalty
+        })
+        .collect();
+
+    // Ground-truth travel times with rush-hour multipliers and AR(1) noise.
+    let mut ar = vec![0.0f64; n];
+    let rho = 0.9;
+    let mut values = Tensor3::zeros(n, 1, total);
+    for t in 0..total {
+        let day = t / slots;
+        let slot = t % slots;
+        let minute = (slot * cfg.interval_minutes) as f64;
+        let weekday = day % 7 < 5;
+        for seg in 0..n {
+            let mut mult = 1.0;
+            if weekday {
+                mult += 0.75 * bump(minute, 480.0, 60.0); // 8:00 class rush
+                mult += 0.55 * bump(minute, 720.0, 70.0); // lunchtime
+                mult += 0.85 * bump(minute, 1020.0, 75.0); // 17:00 rush
+            } else {
+                mult += 0.25 * bump(minute, 840.0, 120.0);
+            }
+            // Segments with more lights suffer disproportionally in rush.
+            let lights = network.segments()[seg].traffic_lights as f64;
+            mult += (mult - 1.0) * 0.15 * lights;
+            let eps = standard_normal(&mut rand);
+            ar[seg] = rho * ar[seg] + 4.0 * eps;
+            let tt = (base_tt[seg] * mult + ar[seg] + 2.0 * standard_normal(&mut rand)).max(20.0);
+            values[(seg, 0, t)] = tt;
+        }
+    }
+
+    let mask = simulate_fleet(cfg, &values, slots, &mut rand);
+    TrafficDataset::new(
+        "stampede-synth",
+        values,
+        mask,
+        network,
+        cfg.interval_minutes,
+    )
+}
+
+fn bump(x: f64, centre: f64, width: f64) -> f64 {
+    let z = (x - centre) / width;
+    (-0.5 * z * z).exp()
+}
+
+/// Simulates shuttles driving the loop: a segment is observed at a timestamp
+/// only when some shuttle traverses it then. Shuttles take layover breaks at
+/// the depot (segment 0) and only run during service hours, yielding the
+/// bursty high-missingness pattern characteristic of roving sensors.
+fn simulate_fleet(
+    cfg: &StampedeConfig,
+    values: &Tensor3,
+    slots: usize,
+    rand: &mut StdRng,
+) -> Tensor3 {
+    let n = cfg.num_segments;
+    let total = values.times();
+    let mut mask = Tensor3::zeros(n, 1, total);
+    let service_start = cfg.service_start_hour * 60 / cfg.interval_minutes;
+    let service_end = cfg.service_end_hour * 60 / cfg.interval_minutes;
+    let slot_secs = (cfg.interval_minutes * 60) as f64;
+
+    for _shuttle in 0..cfg.num_shuttles {
+        let mut seg = rand.gen_range(0..n);
+        // Fractional progress through the current segment, in seconds.
+        let mut progress = 0.0f64;
+        let mut layover_until = 0usize;
+        for t in 0..total {
+            let slot = t % slots;
+            if slot < service_start || slot >= service_end {
+                // Out of service: park at the depot.
+                seg = 0;
+                progress = 0.0;
+                continue;
+            }
+            if t < layover_until {
+                continue;
+            }
+            // The shuttle spends this slot on its current segment.
+            mask[(seg, 0, t)] = 1.0;
+            progress += slot_secs;
+            let needed = values[(seg, 0, t)].max(30.0);
+            if progress >= needed {
+                progress = 0.0;
+                seg = (seg + 1) % n;
+                // Occasional layover at the depot.
+                if seg == 0 && rand.gen::<f64>() < 0.6 {
+                    layover_until = t + rand.gen_range(3..12);
+                }
+            }
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::masking::missing_rate;
+
+    fn small() -> TrafficDataset {
+        generate_stampede(&StampedeConfig {
+            num_days: 7,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn shapes_and_determinism() {
+        let ds = small();
+        assert_eq!(ds.num_nodes(), 12);
+        assert_eq!(ds.num_features(), 1);
+        assert_eq!(ds.num_times(), 7 * 288);
+        assert_eq!(ds.values, small().values);
+        assert_eq!(ds.mask, small().mask);
+    }
+
+    #[test]
+    fn high_intrinsic_missing_rate() {
+        let ds = small();
+        let rate = missing_rate(&ds.mask);
+        assert!(
+            (0.55..0.97).contains(&rate),
+            "roving missing rate should be high, was {rate}"
+        );
+    }
+
+    #[test]
+    fn travel_times_plausible() {
+        let ds = small();
+        for &v in ds.values.as_slice() {
+            assert!((20.0..2000.0).contains(&v), "travel time {v} out of range");
+        }
+    }
+
+    #[test]
+    fn rush_hour_travel_time_higher() {
+        let ds = small();
+        let rush_slot = 17 * 12; // 17:00
+        let calm_slot = 10 * 12 + 6; // 10:30
+        let mut rush = 0.0;
+        let mut calm = 0.0;
+        for day in 0..5 {
+            rush += ds.values[(3, 0, day * 288 + rush_slot)];
+            calm += ds.values[(3, 0, day * 288 + calm_slot)];
+        }
+        assert!(rush > calm, "rush {rush} should exceed calm {calm}");
+    }
+
+    #[test]
+    fn no_observations_outside_service_hours() {
+        let ds = small();
+        let slots = ds.slots_per_day();
+        for day in 0..7 {
+            for slot in 0..(6 * 60 / 5) {
+                for seg in 0..12 {
+                    assert_eq!(ds.mask[(seg, 0, day * slots + slot)], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn observations_are_bursty_consecutive_runs() {
+        // A shuttle sitting on a slow segment observes it for several
+        // consecutive slots — verify runs of length ≥ 2 exist.
+        let ds = small();
+        let mut found_run = false;
+        'outer: for seg in 0..12 {
+            let series = ds.mask.series(seg, 0);
+            for w in series.windows(2) {
+                if w[0] == 1.0 && w[1] == 1.0 {
+                    found_run = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(found_run, "expected bursty observation runs");
+    }
+
+    #[test]
+    fn every_segment_observed_sometimes() {
+        let ds = small();
+        for seg in 0..12 {
+            let count: f64 = ds.mask.series(seg, 0).iter().sum();
+            assert!(count > 0.0, "segment {seg} never observed");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid service window")]
+    fn rejects_empty_service_window() {
+        let _ = generate_stampede(&StampedeConfig {
+            service_start_hour: 10,
+            service_end_hour: 10,
+            ..Default::default()
+        });
+    }
+}

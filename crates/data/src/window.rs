@@ -1,0 +1,235 @@
+//! Sliding-window sampling for sequence-to-sequence forecasting.
+//!
+//! The paper uses 12 historical timestamps (1 hour at 5-minute resolution)
+//! to predict up to the next 12. A [`WindowSampler`] walks a dataset
+//! chronologically and yields [`WindowSample`]s carrying the input window
+//! (values + mask), the target horizon and the time-of-day slots of the
+//! input steps (needed by the HGCN's interval weighting).
+
+use crate::TrafficDataset;
+use st_tensor::Matrix;
+
+/// One training/evaluation sample: `history` → `horizon`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSample {
+    /// Input values per step: `T` matrices of shape `N × D` (hidden entries
+    /// zeroed).
+    pub inputs: Vec<Matrix>,
+    /// `{0,1}` observation masks per input step, same shapes as `inputs`.
+    pub masks: Vec<Matrix>,
+    /// Ground-truth values per input step (used for imputation scoring on
+    /// synthetic data; identical to `inputs` where observed).
+    pub truths: Vec<Matrix>,
+    /// Target values per horizon step: `T'` matrices of shape `N × D`.
+    pub targets: Vec<Matrix>,
+    /// `{0,1}` masks for the targets (scoring only counts observed truth).
+    pub target_masks: Vec<Matrix>,
+    /// Time-of-day slot of each input step.
+    pub slots: Vec<usize>,
+    /// Absolute start timestamp of the window within the source dataset.
+    pub start: usize,
+}
+
+impl WindowSample {
+    /// History length `T`.
+    pub fn history_len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Horizon length `T'`.
+    pub fn horizon_len(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+/// Chronological sliding-window sampler.
+///
+/// # Examples
+///
+/// ```
+/// use st_data::{generate_pems, PemsConfig, WindowSampler};
+///
+/// let ds = generate_pems(&PemsConfig { num_nodes: 3, num_days: 1, ..Default::default() });
+/// let sampler = WindowSampler::new(12, 6, 12);
+/// let windows = sampler.sample(&ds);
+/// assert_eq!(windows.len(), sampler.num_windows(ds.num_times()));
+/// assert_eq!(windows[0].history_len(), 12);
+/// assert_eq!(windows[0].horizon_len(), 6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowSampler {
+    history: usize,
+    horizon: usize,
+    stride: usize,
+}
+
+impl WindowSampler {
+    /// Creates a sampler producing `history`-step inputs and `horizon`-step
+    /// targets, advancing by `stride` between windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero.
+    pub fn new(history: usize, horizon: usize, stride: usize) -> Self {
+        assert!(
+            history > 0 && horizon > 0 && stride > 0,
+            "window sizes must be positive"
+        );
+        Self {
+            history,
+            horizon,
+            stride,
+        }
+    }
+
+    /// The paper's setting: 12 history steps, 12 horizon steps, stride 1.
+    pub fn paper_default() -> Self {
+        Self::new(12, 12, 1)
+    }
+
+    /// Number of windows available in a dataset of `t` timestamps.
+    pub fn num_windows(&self, t: usize) -> usize {
+        let span = self.history + self.horizon;
+        if t < span {
+            0
+        } else {
+            (t - span) / self.stride + 1
+        }
+    }
+
+    /// Extracts all windows from the dataset.
+    ///
+    /// For synthetic data `truths` carries the complete ground truth, so
+    /// imputation error can be computed exactly on hidden entries.
+    pub fn sample(&self, ds: &TrafficDataset) -> Vec<WindowSample> {
+        let t = ds.num_times();
+        let count = self.num_windows(t);
+        let mut out = Vec::with_capacity(count);
+        for w in 0..count {
+            let start = w * self.stride;
+            out.push(self.window_at(ds, start));
+        }
+        out
+    }
+
+    /// Extracts the single window starting at timestamp `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window does not fit in the dataset.
+    pub fn window_at(&self, ds: &TrafficDataset, start: usize) -> WindowSample {
+        assert!(
+            start + self.history + self.horizon <= ds.num_times(),
+            "window starting at {start} does not fit"
+        );
+        let mut inputs = Vec::with_capacity(self.history);
+        let mut masks = Vec::with_capacity(self.history);
+        let mut truths = Vec::with_capacity(self.history);
+        let mut slots = Vec::with_capacity(self.history);
+        for i in 0..self.history {
+            let t = start + i;
+            let truth = ds.values.time_slice(t);
+            let mask = ds.mask.time_slice(t);
+            inputs.push(truth.hadamard(&mask));
+            masks.push(mask);
+            truths.push(truth);
+            slots.push(ds.slot_of(t));
+        }
+        let mut targets = Vec::with_capacity(self.horizon);
+        let mut target_masks = Vec::with_capacity(self.horizon);
+        for i in 0..self.horizon {
+            let t = start + self.history + i;
+            targets.push(ds.values.time_slice(t));
+            target_masks.push(ds.mask.time_slice(t));
+        }
+        WindowSample {
+            inputs,
+            masks,
+            truths,
+            targets,
+            target_masks,
+            slots,
+            start,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_graph::RoadNetwork;
+    use st_tensor::Tensor3;
+
+    fn toy(t: usize) -> TrafficDataset {
+        let values = Tensor3::from_fn(2, 1, t, |n, _, tt| (n * 1000 + tt) as f64);
+        let mut mask = Tensor3::ones(2, 1, t);
+        if t > 3 {
+            mask[(0, 0, 3)] = 0.0;
+        }
+        TrafficDataset::new("toy", values, mask, RoadNetwork::corridor(2, 1.0), 5)
+    }
+
+    #[test]
+    fn window_count() {
+        let s = WindowSampler::new(12, 12, 1);
+        assert_eq!(s.num_windows(24), 1);
+        assert_eq!(s.num_windows(23), 0);
+        assert_eq!(s.num_windows(30), 7);
+        let s2 = WindowSampler::new(12, 12, 6);
+        assert_eq!(s2.num_windows(36), 3);
+    }
+
+    #[test]
+    fn window_contents_line_up() {
+        let ds = toy(30);
+        let s = WindowSampler::new(4, 2, 1);
+        let w = s.window_at(&ds, 5);
+        assert_eq!(w.history_len(), 4);
+        assert_eq!(w.horizon_len(), 2);
+        assert_eq!(w.truths[0][(0, 0)], 5.0);
+        assert_eq!(w.truths[3][(1, 0)], 1008.0);
+        assert_eq!(w.targets[0][(0, 0)], 9.0);
+        assert_eq!(w.targets[1][(0, 0)], 10.0);
+        assert_eq!(w.slots, vec![5, 6, 7, 8]);
+        assert_eq!(w.start, 5);
+    }
+
+    #[test]
+    fn hidden_entries_zeroed_in_inputs_but_kept_in_truths() {
+        let ds = toy(30);
+        let s = WindowSampler::new(6, 1, 1);
+        let w = s.window_at(&ds, 0);
+        assert_eq!(w.inputs[3][(0, 0)], 0.0); // masked
+        assert_eq!(w.truths[3][(0, 0)], 3.0); // ground truth survives
+        assert_eq!(w.masks[3][(0, 0)], 0.0);
+        assert_eq!(w.masks[3][(1, 0)], 1.0);
+    }
+
+    #[test]
+    fn sample_walks_chronologically() {
+        let ds = toy(20);
+        let s = WindowSampler::new(4, 2, 3);
+        let windows = s.sample(&ds);
+        assert_eq!(windows.len(), s.num_windows(20));
+        assert_eq!(windows[0].start, 0);
+        assert_eq!(windows[1].start, 3);
+    }
+
+    #[test]
+    fn slots_wrap_daily() {
+        let values = Tensor3::zeros(1, 1, 600);
+        let mask = Tensor3::ones(1, 1, 600);
+        let ds = TrafficDataset::new("w", values, mask, RoadNetwork::corridor(1, 1.0), 5);
+        let s = WindowSampler::new(4, 1, 1);
+        let w = s.window_at(&ds, 286);
+        assert_eq!(w.slots, vec![286, 287, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn window_past_end_panics() {
+        let ds = toy(10);
+        let s = WindowSampler::new(8, 4, 1);
+        let _ = s.window_at(&ds, 0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Adjacency-matrix construction (paper Eq. 8).
+//!
+//! Both the geographic graph and every temporal graph in the HGCN are built
+//! the same way: a pairwise distance matrix is passed through a thresholded
+//! Gaussian kernel
+//!
+//! ```text
+//! A_ij = exp(−d_ij² / σ²)   if exp(−d_ij² / σ²) ≥ ε, else 0
+//! ```
+//!
+//! where `σ` is the standard deviation of the distances and `ε` controls
+//! sparsity (0.1 in the paper).
+
+use st_tensor::Matrix;
+
+/// Builds a Gaussian-kernel adjacency matrix from a symmetric pairwise
+/// distance matrix, following the paper's Eq. (8).
+///
+/// The diagonal is forced to zero (no self loops); self-connections enter
+/// the model through the Chebyshev `T_0` term instead. `sigma` defaults to
+/// the standard deviation of the off-diagonal distances when `None`.
+///
+/// # Panics
+///
+/// Panics if `distances` is not square or `epsilon` is not in `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use st_graph::gaussian_adjacency;
+/// use st_tensor::Matrix;
+///
+/// let d = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+/// let a = gaussian_adjacency(&d, None, 0.1);
+/// assert!(a[(0, 1)] > 0.0);
+/// assert_eq!(a[(0, 0)], 0.0);
+/// ```
+pub fn gaussian_adjacency(distances: &Matrix, sigma: Option<f64>, epsilon: f64) -> Matrix {
+    let n = distances.rows();
+    assert_eq!(distances.cols(), n, "distance matrix must be square");
+    assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0, 1]");
+
+    let sigma = sigma
+        .unwrap_or_else(|| {
+            let std = off_diagonal_std(distances);
+            if std > 1e-12 {
+                std
+            } else {
+                // All pairwise distances equal (e.g. two nodes): fall back to
+                // the mean distance so equal weights survive the kernel.
+                off_diagonal_mean(distances).max(1.0)
+            }
+        })
+        .max(1e-12);
+    let sigma2 = sigma * sigma;
+    Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            return 0.0;
+        }
+        let d = distances[(i, j)];
+        let w = (-d * d / sigma2).exp();
+        if w >= epsilon {
+            w
+        } else {
+            0.0
+        }
+    })
+}
+
+fn off_diagonal_mean(m: &Matrix) -> f64 {
+    let n = m.rows();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                sum += m[(i, j)];
+            }
+        }
+    }
+    sum / (n * n - n) as f64
+}
+
+/// Standard deviation of the off-diagonal entries of a square matrix.
+///
+/// Returns `0.0` for matrices with fewer than two nodes.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square.
+pub fn off_diagonal_std(m: &Matrix) -> f64 {
+    let n = m.rows();
+    assert_eq!(m.cols(), n, "matrix must be square");
+    if n < 2 {
+        return 0.0;
+    }
+    let count = (n * n - n) as f64;
+    let mut sum = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                sum += m[(i, j)];
+            }
+        }
+    }
+    let mean = sum / count;
+    let mut var = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                let d = m[(i, j)] - mean;
+                var += d * d;
+            }
+        }
+    }
+    (var / count).sqrt()
+}
+
+/// Fraction of off-diagonal entries that are exactly zero.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square or has fewer than two nodes.
+pub fn sparsity(a: &Matrix) -> f64 {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "matrix must be square");
+    assert!(n >= 2, "sparsity needs at least two nodes");
+    let mut zeros = 0usize;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && a[(i, j)] == 0.0 {
+                zeros += 1;
+            }
+        }
+    }
+    zeros as f64 / (n * n - n) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_distances() -> Matrix {
+        Matrix::from_rows(&[
+            &[0.0, 1.0, 5.0, 9.0],
+            &[1.0, 0.0, 4.0, 8.0],
+            &[5.0, 4.0, 0.0, 3.0],
+            &[9.0, 8.0, 3.0, 0.0],
+        ])
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_with_zero_diagonal() {
+        let a = gaussian_adjacency(&sample_distances(), None, 0.1);
+        for i in 0..4 {
+            assert_eq!(a[(i, i)], 0.0);
+            for j in 0..4 {
+                assert_eq!(a[(i, j)], a[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn closer_nodes_get_larger_weights() {
+        let a = gaussian_adjacency(&sample_distances(), None, 0.0);
+        assert!(a[(0, 1)] > a[(0, 2)]);
+        assert!(a[(0, 2)] > a[(0, 3)]);
+    }
+
+    #[test]
+    fn epsilon_prunes_weak_edges() {
+        let dense = gaussian_adjacency(&sample_distances(), None, 0.0);
+        let sparse = gaussian_adjacency(&sample_distances(), None, 0.5);
+        assert!(sparsity(&sparse) >= sparsity(&dense));
+        // The most distant pair must be pruned at a high threshold.
+        assert_eq!(sparse[(0, 3)], 0.0);
+        assert!(dense[(0, 3)] > 0.0);
+    }
+
+    #[test]
+    fn explicit_sigma_is_respected() {
+        let d = Matrix::from_rows(&[&[0.0, 2.0], &[2.0, 0.0]]);
+        let a = gaussian_adjacency(&d, Some(2.0), 0.0);
+        assert!((a[(0, 1)] - (-1.0_f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_bounded_by_one() {
+        let a = gaussian_adjacency(&sample_distances(), None, 0.0);
+        assert!(a.as_slice().iter().all(|&w| (0.0..=1.0).contains(&w)));
+    }
+
+    #[test]
+    fn off_diagonal_std_of_constant_is_zero() {
+        let mut d = Matrix::filled(3, 3, 4.0);
+        for i in 0..3 {
+            d[(i, i)] = 0.0;
+        }
+        assert_eq!(off_diagonal_std(&d), 0.0);
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let d = Matrix::zeros(1, 1);
+        let a = gaussian_adjacency(&d, None, 0.1);
+        assert_eq!(a.shape(), (1, 1));
+        assert_eq!(a[(0, 0)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_non_square() {
+        let _ = gaussian_adjacency(&Matrix::zeros(2, 3), None, 0.1);
+    }
+}

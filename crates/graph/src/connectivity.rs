@@ -1,0 +1,158 @@
+//! Graph connectivity and neighbourhood utilities.
+//!
+//! Diagnostics over (weighted) adjacency matrices: connected components,
+//! degree statistics and k-hop neighbourhoods. The experiment harness uses
+//! them to sanity-check that the ε-sparsified graphs (paper Eq. 8) stay
+//! connected enough for information to propagate within `K` Chebyshev hops.
+
+use st_tensor::Matrix;
+
+/// Connected components of a weighted undirected graph (edges are entries
+/// `> 0`). Returns one sorted vector of node indices per component, ordered
+/// by their smallest member.
+///
+/// # Panics
+///
+/// Panics if the adjacency matrix is not square.
+pub fn connected_components(adjacency: &Matrix) -> Vec<Vec<usize>> {
+    let n = adjacency.rows();
+    assert_eq!(adjacency.cols(), n, "adjacency must be square");
+    let mut seen = vec![false; n];
+    let mut components = Vec::new();
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        let mut stack = vec![start];
+        let mut component = Vec::new();
+        seen[start] = true;
+        while let Some(u) = stack.pop() {
+            component.push(u);
+            for v in 0..n {
+                if !seen[v] && (adjacency[(u, v)] > 0.0 || adjacency[(v, u)] > 0.0) {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        component.sort_unstable();
+        components.push(component);
+    }
+    components
+}
+
+/// Whether the graph is a single connected component (vacuously true for
+/// the empty graph).
+pub fn is_connected(adjacency: &Matrix) -> bool {
+    adjacency.rows() == 0 || connected_components(adjacency).len() == 1
+}
+
+/// Weighted degree (row sum) of every node.
+///
+/// # Panics
+///
+/// Panics if the adjacency matrix is not square.
+pub fn degrees(adjacency: &Matrix) -> Vec<f64> {
+    let n = adjacency.rows();
+    assert_eq!(adjacency.cols(), n, "adjacency must be square");
+    (0..n).map(|i| adjacency.row(i).iter().sum()).collect()
+}
+
+/// All nodes within `k` hops of `start` (excluding `start` itself),
+/// sorted.
+///
+/// # Panics
+///
+/// Panics if the adjacency matrix is not square or `start` is out of
+/// bounds.
+pub fn k_hop_neighbourhood(adjacency: &Matrix, start: usize, k: usize) -> Vec<usize> {
+    let n = adjacency.rows();
+    assert_eq!(adjacency.cols(), n, "adjacency must be square");
+    assert!(start < n, "start node out of bounds");
+    let mut dist = vec![usize::MAX; n];
+    dist[start] = 0;
+    let mut frontier = vec![start];
+    for hop in 1..=k {
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for v in 0..n {
+                if dist[v] == usize::MAX && adjacency[(u, v)] > 0.0 {
+                    dist[v] = hop;
+                    next.push(v);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+    let mut out: Vec<usize> = (0..n).filter(|&v| v != start && dist[v] <= k).collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_triangles() -> Matrix {
+        // {0,1,2} and {3,4,5}, disconnected.
+        let mut a = Matrix::zeros(6, 6);
+        for &(i, j) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            a[(i, j)] = 1.0;
+            a[(j, i)] = 1.0;
+        }
+        a
+    }
+
+    #[test]
+    fn components_found() {
+        let comps = connected_components(&two_triangles());
+        assert_eq!(comps, vec![vec![0, 1, 2], vec![3, 4, 5]]);
+        assert!(!is_connected(&two_triangles()));
+    }
+
+    #[test]
+    fn path_graph_is_connected() {
+        let mut a = Matrix::zeros(4, 4);
+        for i in 0..3 {
+            a[(i, i + 1)] = 0.5;
+            a[(i + 1, i)] = 0.5;
+        }
+        assert!(is_connected(&a));
+        assert_eq!(connected_components(&a).len(), 1);
+    }
+
+    #[test]
+    fn isolated_nodes_are_their_own_components() {
+        let a = Matrix::zeros(3, 3);
+        assert_eq!(connected_components(&a).len(), 3);
+        assert!(is_connected(&Matrix::zeros(0, 0)));
+    }
+
+    #[test]
+    fn degrees_weighted() {
+        let a = Matrix::from_rows(&[&[0.0, 2.0, 0.5], &[2.0, 0.0, 0.0], &[0.5, 0.0, 0.0]]);
+        assert_eq!(degrees(&a), vec![2.5, 2.0, 0.5]);
+    }
+
+    #[test]
+    fn k_hop_expands_with_k() {
+        let mut a = Matrix::zeros(5, 5);
+        for i in 0..4 {
+            a[(i, i + 1)] = 1.0;
+            a[(i + 1, i)] = 1.0;
+        }
+        assert_eq!(k_hop_neighbourhood(&a, 0, 1), vec![1]);
+        assert_eq!(k_hop_neighbourhood(&a, 0, 2), vec![1, 2]);
+        assert_eq!(k_hop_neighbourhood(&a, 0, 4), vec![1, 2, 3, 4]);
+        assert_eq!(k_hop_neighbourhood(&a, 2, 1), vec![1, 3]);
+    }
+
+    #[test]
+    fn k_hop_stops_at_component_boundary() {
+        let a = two_triangles();
+        assert_eq!(k_hop_neighbourhood(&a, 0, 10), vec![1, 2]);
+    }
+}

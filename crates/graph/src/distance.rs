@@ -1,0 +1,314 @@
+//! Time-series distance measures: DTW, ERP and LCSS.
+//!
+//! The paper measures similarity between road segments' historical profiles
+//! with Dynamic Time Warping (Section III-D), mentioning Edit distance with
+//! Real Penalty and Longest Common Subsequence as alternatives; all three are
+//! implemented here so the temporal-graph construction can be ablated.
+
+/// A pluggable time-series distance measure.
+///
+/// The paper uses DTW for temporal-graph construction and names ERP and
+/// LCSS as alternatives (§III-D); this enum lets the graph builders and the
+/// ablation benches switch between all three.
+///
+/// # Examples
+///
+/// ```
+/// use st_graph::SeriesDistance;
+///
+/// let a = [1.0, 2.0, 3.0];
+/// assert_eq!(SeriesDistance::Dtw.compute(&a, &a), 0.0);
+/// assert_eq!(SeriesDistance::Erp { gap: 0.0 }.compute(&a, &a), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum SeriesDistance {
+    /// Dynamic Time Warping (the paper's choice).
+    Dtw,
+    /// Edit distance with Real Penalty, with the given gap value.
+    Erp {
+        /// Gap (reference) value `g`.
+        gap: f64,
+    },
+    /// LCSS-based distance with the given matching threshold.
+    Lcss {
+        /// Pointwise matching threshold `ε`.
+        epsilon: f64,
+    },
+}
+
+impl Default for SeriesDistance {
+    fn default() -> Self {
+        SeriesDistance::Dtw
+    }
+}
+
+impl SeriesDistance {
+    /// Computes the distance between two scalar series.
+    pub fn compute(&self, a: &[f64], b: &[f64]) -> f64 {
+        match *self {
+            SeriesDistance::Dtw => dtw(a, b),
+            SeriesDistance::Erp { gap } => erp(a, b, gap),
+            SeriesDistance::Lcss { epsilon } => lcss(a, b, epsilon),
+        }
+    }
+}
+
+/// Dynamic Time Warping distance between two scalar series.
+///
+/// Handles series of different lengths; uses squared pointwise cost summed
+/// along the optimal warping path, returned as the square root (a common
+/// DTW convention that keeps units comparable to Euclidean distance).
+///
+/// Returns `f64::INFINITY` if either series is empty (nothing to align).
+///
+/// # Examples
+///
+/// ```
+/// let d = st_graph::dtw(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]);
+/// assert_eq!(d, 0.0);
+/// ```
+pub fn dtw(a: &[f64], b: &[f64]) -> f64 {
+    dtw_windowed(a, b, usize::MAX)
+}
+
+/// DTW with a Sakoe–Chiba band of half-width `window` (in indices).
+///
+/// `window = usize::MAX` disables the band. A tighter band speeds up the
+/// computation and regularises pathological alignments.
+///
+/// Returns `f64::INFINITY` if either series is empty or the band makes the
+/// end state unreachable.
+pub fn dtw_windowed(a: &[f64], b: &[f64], window: usize) -> f64 {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return f64::INFINITY;
+    }
+    // The band must be at least |n−m| wide to reach the corner.
+    let w = window.max(n.abs_diff(m));
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut curr = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+    for i in 1..=n {
+        curr.fill(f64::INFINITY);
+        let lo = i.saturating_sub(w).max(1);
+        let hi = i.saturating_add(w).min(m);
+        for j in lo..=hi {
+            let cost = {
+                let d = a[i - 1] - b[j - 1];
+                d * d
+            };
+            let best = prev[j - 1].min(prev[j]).min(curr[j - 1]);
+            curr[j] = cost + best;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m].sqrt()
+}
+
+/// Multivariate DTW: the mean of per-dimension DTW distances.
+///
+/// Each element of `a`/`b` is one dimension's series. Dimensions present in
+/// only one input are ignored; returns `f64::INFINITY` when no dimension is
+/// comparable.
+pub fn dtw_multivariate(a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
+    let dims = a.len().min(b.len());
+    if dims == 0 {
+        return f64::INFINITY;
+    }
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for d in 0..dims {
+        let dist = dtw(&a[d], &b[d]);
+        if dist.is_finite() {
+            total += dist;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        f64::INFINITY
+    } else {
+        total / count as f64
+    }
+}
+
+/// Edit distance with Real Penalty (ERP) with gap value `g`.
+///
+/// A metric (satisfies the triangle inequality) unlike raw DTW. Empty series
+/// are handled by pure gap cost.
+pub fn erp(a: &[f64], b: &[f64], g: f64) -> f64 {
+    let (n, m) = (a.len(), b.len());
+    let mut prev: Vec<f64> = (0..=m)
+        .map(|j| b[..j].iter().map(|x| (x - g).abs()).sum())
+        .collect();
+    let mut curr = vec![0.0; m + 1];
+    for i in 1..=n {
+        curr[0] = prev[0] + (a[i - 1] - g).abs();
+        for j in 1..=m {
+            let match_cost = prev[j - 1] + (a[i - 1] - b[j - 1]).abs();
+            let gap_a = prev[j] + (a[i - 1] - g).abs();
+            let gap_b = curr[j - 1] + (b[j - 1] - g).abs();
+            curr[j] = match_cost.min(gap_a).min(gap_b);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+/// Longest-Common-SubSequence similarity turned into a distance:
+/// `1 − |LCSS| / min(n, m)` with matching threshold `epsilon`.
+///
+/// Returns `1.0` (maximally distant) when either series is empty.
+pub fn lcss(a: &[f64], b: &[f64], epsilon: f64) -> f64 {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return 1.0;
+    }
+    let mut prev = vec![0usize; m + 1];
+    let mut curr = vec![0usize; m + 1];
+    for i in 1..=n {
+        for j in 1..=m {
+            curr[j] = if (a[i - 1] - b[j - 1]).abs() <= epsilon {
+                prev[j - 1] + 1
+            } else {
+                prev[j].max(curr[j - 1])
+            };
+        }
+        std::mem::swap(&mut prev, &mut curr);
+        curr.fill(0);
+    }
+    1.0 - prev[m] as f64 / n.min(m) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtw_identity_is_zero() {
+        let s = [1.0, 3.0, 2.0, 5.0];
+        assert_eq!(dtw(&s, &s), 0.0);
+    }
+
+    #[test]
+    fn dtw_is_symmetric() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.5, 2.5, 2.0];
+        assert!((dtw(&a, &b) - dtw(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dtw_aligns_shifted_series() {
+        // A time-shifted copy should be much closer under DTW than
+        // pointwise Euclidean distance.
+        let a: Vec<f64> = (0..20).map(|i| ((i as f64) * 0.5).sin()).collect();
+        let b: Vec<f64> = (0..20).map(|i| (((i + 2) as f64) * 0.5).sin()).collect();
+        let euclid: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt();
+        let d = dtw(&a, &b);
+        assert!(d < euclid, "dtw {d} should beat euclidean {euclid}");
+    }
+
+    #[test]
+    fn dtw_brute_force_agreement() {
+        // Compare against a straightforward full-matrix implementation.
+        fn brute(a: &[f64], b: &[f64]) -> f64 {
+            let (n, m) = (a.len(), b.len());
+            let mut dp = vec![vec![f64::INFINITY; m + 1]; n + 1];
+            dp[0][0] = 0.0;
+            for i in 1..=n {
+                for j in 1..=m {
+                    let c = (a[i - 1] - b[j - 1]).powi(2);
+                    dp[i][j] = c + dp[i - 1][j - 1].min(dp[i - 1][j]).min(dp[i][j - 1]);
+                }
+            }
+            dp[n][m].sqrt()
+        }
+        let a = [0.3, 1.2, -0.5, 2.0, 0.0, 1.1];
+        let b = [0.1, 1.0, 0.0, 1.8];
+        assert!((dtw(&a, &b) - brute(&a, &b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dtw_empty_is_infinite() {
+        assert!(dtw(&[], &[1.0]).is_infinite());
+        assert!(dtw(&[1.0], &[]).is_infinite());
+    }
+
+    #[test]
+    fn dtw_window_matches_full_when_wide() {
+        let a = [1.0, 2.0, 1.5, 0.5];
+        let b = [1.1, 1.9, 1.4, 0.6];
+        assert_eq!(dtw_windowed(&a, &b, 100), dtw(&a, &b));
+    }
+
+    #[test]
+    fn dtw_window_never_below_full() {
+        // Constraining alignments can only increase the optimal cost.
+        let a: Vec<f64> = (0..15).map(|i| (i as f64 * 0.7).cos()).collect();
+        let b: Vec<f64> = (0..15).map(|i| (i as f64 * 0.7 + 1.0).cos()).collect();
+        assert!(dtw_windowed(&a, &b, 1) >= dtw(&a, &b) - 1e-12);
+    }
+
+    #[test]
+    fn multivariate_averages_dimensions() {
+        let a = vec![vec![1.0, 2.0], vec![5.0, 5.0]];
+        let b = vec![vec![1.0, 2.0], vec![5.0, 5.0]];
+        assert_eq!(dtw_multivariate(&a, &b), 0.0);
+        let c = vec![vec![2.0, 3.0], vec![5.0, 5.0]];
+        assert!(dtw_multivariate(&a, &c) > 0.0);
+    }
+
+    #[test]
+    fn erp_identity_and_symmetry() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(erp(&a, &a, 0.0), 0.0);
+        let b = [2.0, 2.5];
+        assert!((erp(&a, &b, 0.0) - erp(&b, &a, 0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erp_triangle_inequality_spot_check() {
+        let a = [1.0, 2.0];
+        let b = [1.5, 2.5, 0.0];
+        let c = [0.5];
+        let (ab, bc, ac) = (erp(&a, &b, 0.0), erp(&b, &c, 0.0), erp(&a, &c, 0.0));
+        assert!(ac <= ab + bc + 1e-12);
+    }
+
+    #[test]
+    fn lcss_bounds() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(lcss(&a, &a, 0.01), 0.0);
+        let far = [100.0, 200.0, 300.0];
+        assert_eq!(lcss(&a, &far, 0.01), 1.0);
+        assert_eq!(lcss(&[], &a, 0.1), 1.0);
+    }
+
+    #[test]
+    fn series_distance_dispatch_matches_functions() {
+        let a = [1.0, 2.0, 3.0, 2.0];
+        let b = [1.5, 2.5, 2.0];
+        assert_eq!(SeriesDistance::Dtw.compute(&a, &b), dtw(&a, &b));
+        assert_eq!(
+            SeriesDistance::Erp { gap: 0.5 }.compute(&a, &b),
+            erp(&a, &b, 0.5)
+        );
+        assert_eq!(
+            SeriesDistance::Lcss { epsilon: 0.6 }.compute(&a, &b),
+            lcss(&a, &b, 0.6)
+        );
+        assert_eq!(SeriesDistance::default(), SeriesDistance::Dtw);
+    }
+
+    #[test]
+    fn lcss_partial_overlap() {
+        let a = [1.0, 5.0, 2.0, 8.0];
+        let b = [1.0, 2.0];
+        // Subsequence [1, 2] matches fully against the shorter series.
+        assert_eq!(lcss(&a, &b, 0.01), 0.0);
+    }
+}

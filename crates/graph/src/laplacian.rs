@@ -1,0 +1,187 @@
+//! Graph Laplacians and Chebyshev polynomial propagation.
+//!
+//! The spectral GCN in the paper (Eq. 1) convolves node features with
+//! `Σ_{k<K} θ_k T_k(L̃)` where `L̃ = (2/λ_max)·L − I` is the scaled normalized
+//! Laplacian and `T_k` are Chebyshev polynomials of the first kind. This
+//! module computes `L`, `L̃` and the stack `[T_0(L̃)X, …, T_{K−1}(L̃)X]` used
+//! by the GCN layer.
+
+use st_tensor::{linalg, Matrix};
+
+/// Symmetric normalized Laplacian `L = I − D^{−1/2} A D^{−1/2}`.
+///
+/// Isolated nodes (zero degree) contribute an identity row/column, matching
+/// the convention `D^{−1/2}_{ii} = 0` when `D_ii = 0`.
+///
+/// # Panics
+///
+/// Panics if `adjacency` is not square.
+pub fn normalized_laplacian(adjacency: &Matrix) -> Matrix {
+    let n = adjacency.rows();
+    assert_eq!(adjacency.cols(), n, "adjacency must be square");
+    let mut d_inv_sqrt = vec![0.0; n];
+    for (i, d) in d_inv_sqrt.iter_mut().enumerate() {
+        let deg: f64 = adjacency.row(i).iter().sum();
+        *d = if deg > 0.0 { 1.0 / deg.sqrt() } else { 0.0 };
+    }
+    Matrix::from_fn(n, n, |i, j| {
+        let norm = d_inv_sqrt[i] * adjacency[(i, j)] * d_inv_sqrt[j];
+        if i == j {
+            1.0 - norm
+        } else {
+            -norm
+        }
+    })
+}
+
+/// Scaled Laplacian `L̃ = (2/λ_max)·L − I`, whose spectrum lies in `[−1, 1]`.
+///
+/// `λ_max` is estimated by power iteration; for the normalized Laplacian it
+/// is at most 2, and we clamp the estimate into `[1e-6, 2]` for robustness.
+///
+/// # Panics
+///
+/// Panics if `laplacian` is not square.
+pub fn scaled_laplacian(laplacian: &Matrix) -> Matrix {
+    let n = laplacian.rows();
+    assert_eq!(laplacian.cols(), n, "laplacian must be square");
+    let lambda_max = linalg::power_iteration_max_eig(laplacian, 200, 1e-9).clamp(1e-6, 2.0);
+    let mut out = laplacian.scale(2.0 / lambda_max);
+    for i in 0..n {
+        out[(i, i)] -= 1.0;
+    }
+    out
+}
+
+/// Convenience: scaled Laplacian straight from an adjacency matrix.
+///
+/// # Panics
+///
+/// Panics if `adjacency` is not square.
+pub fn scaled_laplacian_from_adjacency(adjacency: &Matrix) -> Matrix {
+    scaled_laplacian(&normalized_laplacian(adjacency))
+}
+
+/// Computes the Chebyshev feature stack `[T_0(L̃)X, T_1(L̃)X, …, T_{K−1}(L̃)X]`.
+///
+/// Uses the recurrence `T_k(L̃)X = 2·L̃·T_{k−1}(L̃)X − T_{k−2}(L̃)X`, which
+/// needs only matrix–matrix products against `X` (never materialises
+/// `T_k(L̃)` itself).
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `scaled` is not square, or `x.rows()` does not match
+/// the node count.
+pub fn chebyshev_stack(scaled: &Matrix, x: &Matrix, k: usize) -> Vec<Matrix> {
+    assert!(k >= 1, "chebyshev order must be at least 1");
+    let n = scaled.rows();
+    assert_eq!(scaled.cols(), n, "scaled laplacian must be square");
+    assert_eq!(x.rows(), n, "feature matrix must have one row per node");
+
+    let mut stack = Vec::with_capacity(k);
+    stack.push(x.clone()); // T_0 X = X
+    if k >= 2 {
+        stack.push(scaled.matmul(x)); // T_1 X = L̃ X
+    }
+    for i in 2..k {
+        let next = {
+            let prev = &stack[i - 1];
+            let prev2 = &stack[i - 2];
+            let mut t = scaled.matmul(prev).scale(2.0);
+            t.axpy(-1.0, prev2);
+            t
+        };
+        stack.push(next);
+    }
+    stack
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph3() -> Matrix {
+        // 0 — 1 — 2 with unit weights.
+        Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 1.0], &[0.0, 1.0, 0.0]])
+    }
+
+    #[test]
+    fn laplacian_known_values() {
+        let l = normalized_laplacian(&path_graph3());
+        // Degrees: 1, 2, 1 → L_01 = −1/√2.
+        assert!((l[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((l[(0, 1)] + 1.0 / 2.0_f64.sqrt()).abs() < 1e-12);
+        assert!((l[(1, 1)] - 1.0).abs() < 1e-12);
+        assert_eq!(l[(0, 2)], 0.0);
+    }
+
+    #[test]
+    fn laplacian_rows_annihilate_constant_vector_after_degree_scaling() {
+        // L·D^{1/2}·1 = 0 for the symmetric normalized Laplacian.
+        let a = path_graph3();
+        let l = normalized_laplacian(&a);
+        let d_sqrt = Matrix::col_vector(&[1.0, 2.0_f64.sqrt(), 1.0]);
+        let res = l.matmul(&d_sqrt);
+        assert!(res.max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn laplacian_handles_isolated_nodes() {
+        let a = Matrix::zeros(3, 3);
+        let l = normalized_laplacian(&a);
+        assert_eq!(l, Matrix::identity(3));
+    }
+
+    #[test]
+    fn scaled_laplacian_spectrum_in_unit_interval() {
+        let l = normalized_laplacian(&path_graph3());
+        let s = scaled_laplacian(&l);
+        let lambda = linalg::power_iteration_max_eig(&s, 500, 1e-10);
+        assert!(lambda <= 1.0 + 1e-6, "spectral radius was {lambda}");
+    }
+
+    #[test]
+    fn chebyshev_stack_first_terms() {
+        let l = scaled_laplacian_from_adjacency(&path_graph3());
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        let stack = chebyshev_stack(&l, &x, 3);
+        assert_eq!(stack.len(), 3);
+        assert_eq!(stack[0], x);
+        assert_eq!(stack[1], l.matmul(&x));
+        let expected_t2 = {
+            let mut t = l.matmul(&stack[1]).scale(2.0);
+            t.axpy(-1.0, &stack[0]);
+            t
+        };
+        assert_eq!(stack[2], expected_t2);
+    }
+
+    #[test]
+    fn chebyshev_order_one_is_identity_propagation() {
+        let l = scaled_laplacian_from_adjacency(&path_graph3());
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0], &[-1.0, 0.5]]);
+        let stack = chebyshev_stack(&l, &x, 1);
+        assert_eq!(stack, vec![x]);
+    }
+
+    #[test]
+    fn chebyshev_matches_explicit_polynomials() {
+        // T_3(x) = 4x³ − 3x applied to the matrix must match the recurrence.
+        let l = scaled_laplacian_from_adjacency(&path_graph3());
+        let x = Matrix::identity(3);
+        let stack = chebyshev_stack(&l, &x, 4);
+        let l2 = l.matmul(&l);
+        let l3 = l2.matmul(&l);
+        let mut explicit = l3.scale(4.0);
+        explicit.axpy(-3.0, &l);
+        assert!(stack[3].max_abs_diff(&explicit) < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn chebyshev_rejects_zero_order() {
+        let l = Matrix::identity(2);
+        let x = Matrix::zeros(2, 1);
+        let _ = chebyshev_stack(&l, &x, 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Adam optimiser (Kingma & Ba), the paper's optimiser of choice
+//! (learning rate 0.001, gradient clipping).
+
+use crate::ParamStore;
+use st_tensor::Matrix;
+
+/// Adam with bias-corrected first/second moment estimates.
+///
+/// # Examples
+///
+/// ```
+/// use st_nn::{Adam, ParamStore};
+/// use st_tensor::Matrix;
+///
+/// let mut store = ParamStore::new();
+/// let p = store.add("p", Matrix::from_rows(&[&[1.0]]));
+/// let mut adam = Adam::new(&store, 0.1);
+/// store.accumulate_grad(p, &Matrix::from_rows(&[&[2.0]]));
+/// adam.step(&mut store);
+/// assert!(store.value(p)[(0, 0)] < 1.0); // moved against the gradient
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Creates an optimiser with the standard β₁ = 0.9, β₂ = 0.999,
+    /// ε = 1e-8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    pub fn new(store: &ParamStore, lr: f64) -> Self {
+        Self::with_betas(store, lr, 0.9, 0.999, 1e-8)
+    }
+
+    /// Creates an optimiser with explicit hyper-parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`, betas are outside `[0, 1)`, or `eps <= 0`.
+    pub fn with_betas(store: &ParamStore, lr: f64, beta1: f64, beta2: f64, eps: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!(
+            (0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2),
+            "betas in [0,1)"
+        );
+        assert!(eps > 0.0, "eps must be positive");
+        let m = store
+            .ids()
+            .map(|id| {
+                let (r, c) = store.value(id).shape();
+                Matrix::zeros(r, c)
+            })
+            .collect::<Vec<_>>();
+        let v = m.clone();
+        Self {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            m,
+            v,
+        }
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    /// Changes the learning rate (e.g. for decay schedules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive.
+    pub fn set_learning_rate(&mut self, lr: f64) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one update using the gradients accumulated in the store,
+    /// then leaves the gradients untouched (call
+    /// [`ParamStore::zero_grads`] before the next accumulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store gained or lost parameters since construction.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        assert_eq!(
+            store.len(),
+            self.m.len(),
+            "parameter set changed under the optimiser"
+        );
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let ids: Vec<_> = store.ids().collect();
+        for id in ids {
+            let g = store.grad(id).clone();
+            let m = &mut self.m[id.index()];
+            let v = &mut self.v[id.index()];
+            let mut new_value = store.value(id).clone();
+            for i in 0..g.len() {
+                let gi = g.as_slice()[i];
+                let mi = self.beta1 * m.as_slice()[i] + (1.0 - self.beta1) * gi;
+                let vi = self.beta2 * v.as_slice()[i] + (1.0 - self.beta2) * gi * gi;
+                m.as_mut_slice()[i] = mi;
+                v.as_mut_slice()[i] = vi;
+                let m_hat = mi / bc1;
+                let v_hat = vi / bc2;
+                new_value.as_mut_slice()[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+            store.set_value(id, new_value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_quadratic() {
+        // Minimise f(x) = (x − 3)² from x = 0.
+        let mut store = ParamStore::new();
+        let p = store.add("x", Matrix::from_rows(&[&[0.0]]));
+        let mut adam = Adam::new(&store, 0.1);
+        for _ in 0..300 {
+            store.zero_grads();
+            let x = store.value(p)[(0, 0)];
+            store.accumulate_grad(p, &Matrix::from_rows(&[&[2.0 * (x - 3.0)]]));
+            adam.step(&mut store);
+        }
+        let x = store.value(p)[(0, 0)];
+        assert!((x - 3.0).abs() < 1e-2, "converged to {x}");
+    }
+
+    #[test]
+    fn first_step_size_is_lr() {
+        // With bias correction, the very first Adam step is ≈ lr for any
+        // non-zero gradient.
+        let mut store = ParamStore::new();
+        let p = store.add("x", Matrix::from_rows(&[&[5.0]]));
+        let mut adam = Adam::new(&store, 0.01);
+        store.accumulate_grad(p, &Matrix::from_rows(&[&[123.0]]));
+        adam.step(&mut store);
+        let moved = 5.0 - store.value(p)[(0, 0)];
+        assert!((moved - 0.01).abs() < 1e-6, "first step was {moved}");
+    }
+
+    #[test]
+    fn zero_gradient_means_no_motion() {
+        let mut store = ParamStore::new();
+        let p = store.add("x", Matrix::from_rows(&[&[1.5]]));
+        let mut adam = Adam::new(&store, 0.1);
+        adam.step(&mut store);
+        assert_eq!(store.value(p)[(0, 0)], 1.5);
+    }
+
+    #[test]
+    fn handles_multiple_params_independently() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Matrix::from_rows(&[&[0.0]]));
+        let b = store.add("b", Matrix::from_rows(&[&[0.0]]));
+        let mut adam = Adam::new(&store, 0.05);
+        for _ in 0..400 {
+            store.zero_grads();
+            let xa = store.value(a)[(0, 0)];
+            let xb = store.value(b)[(0, 0)];
+            store.accumulate_grad(a, &Matrix::from_rows(&[&[2.0 * (xa - 1.0)]]));
+            store.accumulate_grad(b, &Matrix::from_rows(&[&[2.0 * (xb + 2.0)]]));
+            adam.step(&mut store);
+        }
+        assert!((store.value(a)[(0, 0)] - 1.0).abs() < 1e-2);
+        assert!((store.value(b)[(0, 0)] + 2.0).abs() < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "changed under")]
+    fn detects_store_mutation() {
+        let mut store = ParamStore::new();
+        let _ = store.add("a", Matrix::zeros(1, 1));
+        let mut adam = Adam::new(&store, 0.1);
+        let _ = store.add("b", Matrix::zeros(1, 1));
+        adam.step(&mut store);
+    }
+}

@@ -1,0 +1,200 @@
+//! Batched GRU cell.
+//!
+//! A lighter recurrent alternative to [`crate::LstmCell`]; the DCRNN
+//! comparator uses a graph-convolutional variant of this update, and the
+//! plain cell is provided for downstream users who want a smaller
+//! recurrent backbone.
+
+use crate::{ParamId, ParamStore, Session};
+use rand::rngs::StdRng;
+use st_autodiff::Var;
+use st_tensor::{xavier_matrix, Matrix};
+
+/// A batched GRU cell with shared parameters.
+///
+/// Gate layout in the fused weight matrices: `[reset | update | candidate]`.
+///
+/// # Examples
+///
+/// ```
+/// use st_nn::{GruCell, ParamStore, Session};
+/// use st_tensor::{rng, Matrix};
+///
+/// let mut store = ParamStore::new();
+/// let cell = GruCell::new(&mut store, &mut rng(0), 3, 4, "gru");
+/// let mut sess = Session::new(&store);
+/// let h0 = cell.zero_state(&mut sess, 5);
+/// let x = sess.constant(Matrix::ones(5, 3));
+/// let h1 = cell.step(&mut sess, &store, x, h0);
+/// assert_eq!(sess.tape.value(h1).shape(), (5, 4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GruCell {
+    w: ParamId, // input → 3 gates, (in × 3q)
+    u: ParamId, // hidden → 3 gates, (q × 3q)
+    b: ParamId, // (1 × 3q)
+    in_dim: usize,
+    hidden_dim: usize,
+}
+
+impl GruCell {
+    /// Creates a cell with Xavier-initialised weights and zero biases.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        in_dim: usize,
+        hidden_dim: usize,
+        name: &str,
+    ) -> Self {
+        let w = store.add(
+            format!("{name}.w"),
+            xavier_matrix(rng, in_dim, 3 * hidden_dim),
+        );
+        let u = store.add(
+            format!("{name}.u"),
+            xavier_matrix(rng, hidden_dim, 3 * hidden_dim),
+        );
+        let b = store.add(format!("{name}.b"), Matrix::zeros(1, 3 * hidden_dim));
+        Self {
+            w,
+            u,
+            b,
+            in_dim,
+            hidden_dim,
+        }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Hidden width.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Zero initial hidden state for a batch of `batch` rows.
+    pub fn zero_state(&self, sess: &mut Session, batch: usize) -> Var {
+        sess.constant(Matrix::zeros(batch, self.hidden_dim))
+    }
+
+    /// One step: `h' = u⊙h + (1−u)⊙tanh(W_c x + U_c (r⊙h) + b_c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width differs from `in_dim`.
+    pub fn step(&self, sess: &mut Session, store: &ParamStore, x: Var, h: Var) -> Var {
+        assert_eq!(
+            sess.tape.value(x).cols(),
+            self.in_dim,
+            "gru cell expects width {}",
+            self.in_dim
+        );
+        let q = self.hidden_dim;
+        let batch = sess.tape.value(x).rows();
+        let w = sess.var(store, self.w);
+        let u = sess.var(store, self.u);
+        let b = sess.var(store, self.b);
+
+        let xw = sess.tape.matmul(x, w); // B × 3q
+        let hu = sess.tape.matmul(h, u); // B × 3q
+
+        // Reset and update gates use the fused pre-activations directly.
+        let xw_r = sess.tape.slice_cols(xw, 0, q);
+        let hu_r = sess.tape.slice_cols(hu, 0, q);
+        let b_r = sess.tape.slice_cols(b, 0, q);
+        let r_pre = sess.tape.add(xw_r, hu_r);
+        let r_pre = sess.tape.add_bias(r_pre, b_r);
+        let r = sess.tape.sigmoid(r_pre);
+
+        let xw_u = sess.tape.slice_cols(xw, q, 2 * q);
+        let hu_u = sess.tape.slice_cols(hu, q, 2 * q);
+        let b_u = sess.tape.slice_cols(b, q, 2 * q);
+        let u_pre = sess.tape.add(xw_u, hu_u);
+        let u_pre = sess.tape.add_bias(u_pre, b_u);
+        let z = sess.tape.sigmoid(u_pre);
+
+        // Candidate uses the reset-gated hidden state: U_c·(r⊙h).
+        let rh = sess.tape.mul(r, h);
+        let u_c = sess.tape.slice_cols(u, 2 * q, 3 * q); // q × q block of the fused param
+        let hu_c = sess.tape.matmul(rh, u_c);
+        let xw_c = sess.tape.slice_cols(xw, 2 * q, 3 * q);
+        let b_c = sess.tape.slice_cols(b, 2 * q, 3 * q);
+        let c_pre = sess.tape.add(xw_c, hu_c);
+        let c_pre = sess.tape.add_bias(c_pre, b_c);
+        let c = sess.tape.tanh(c_pre);
+
+        // h' = z⊙h + (1−z)⊙c.
+        let zh = sess.tape.mul(z, h);
+        let ones = sess.constant(Matrix::ones(batch, q));
+        let inv_z = sess.tape.sub(ones, z);
+        let zc = sess.tape.mul(inv_z, c);
+        sess.tape.add(zh, zc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_autodiff::check_gradient;
+    use st_tensor::rng;
+
+    #[test]
+    fn step_shapes_and_bounds() {
+        let mut store = ParamStore::new();
+        let cell = GruCell::new(&mut store, &mut rng(1), 3, 4, "gru");
+        let mut sess = Session::new(&store);
+        let h0 = cell.zero_state(&mut sess, 2);
+        let x = sess.constant(Matrix::from_rows(&[&[10.0, -10.0, 5.0], &[0.0, 0.0, 0.0]]));
+        let h1 = cell.step(&mut sess, &store, x, h0);
+        let v = sess.tape.value(h1);
+        assert_eq!(v.shape(), (2, 4));
+        // From a zero state, h' = (1−z)·tanh(…) is inside (−1, 1).
+        assert!(v.as_slice().iter().all(|h| h.abs() < 1.0));
+    }
+
+    #[test]
+    fn state_evolves() {
+        let mut store = ParamStore::new();
+        let cell = GruCell::new(&mut store, &mut rng(2), 2, 3, "gru");
+        let mut sess = Session::new(&store);
+        let mut h = cell.zero_state(&mut sess, 1);
+        let x = sess.constant(Matrix::from_rows(&[&[1.0, -0.4]]));
+        let h1 = cell.step(&mut sess, &store, x, h);
+        h = h1;
+        let h2 = cell.step(&mut sess, &store, x, h);
+        assert_ne!(sess.tape.value(h1), sess.tape.value(h2));
+    }
+
+    #[test]
+    fn unrolled_gradcheck() {
+        let mut store = ParamStore::new();
+        let cell = GruCell::new(&mut store, &mut rng(3), 2, 3, "gru");
+        let xs = [
+            Matrix::from_rows(&[&[0.4, -0.2]]),
+            Matrix::from_rows(&[&[-0.7, 0.5]]),
+        ];
+        let run = |store: &ParamStore| -> (f64, Matrix) {
+            let mut sess = Session::new(store);
+            let mut h = cell.zero_state(&mut sess, 1);
+            for x0 in &xs {
+                let x = sess.constant(x0.clone());
+                h = cell.step(&mut sess, store, x, h);
+            }
+            let loss = sess.tape.mean(h);
+            sess.backward(loss);
+            let mut tmp = store.clone();
+            tmp.zero_grads();
+            sess.write_grads(&mut tmp);
+            (sess.tape.value(loss)[(0, 0)], tmp.grad(cell.u).clone())
+        };
+        let (_, gu) = run(&store);
+        let res = check_gradient(store.value(cell.u), &gu, 1e-6, |m| {
+            let mut s2 = store.clone();
+            s2.set_value(cell.u, m.clone());
+            run(&s2).0
+        });
+        assert!(res.passes(1e-5), "gru recurrent grad failed: {res:?}");
+    }
+}

@@ -1,0 +1,152 @@
+//! Fully-connected (affine) layer.
+
+use crate::{ParamId, ParamStore, Session};
+use rand::rngs::StdRng;
+use st_autodiff::Var;
+use st_tensor::{xavier_matrix, Matrix};
+
+/// An affine map `y = x·W + b` applied row-wise to a batch.
+///
+/// # Examples
+///
+/// ```
+/// use st_nn::{Linear, ParamStore, Session};
+/// use st_tensor::{rng, Matrix};
+///
+/// let mut store = ParamStore::new();
+/// let layer = Linear::new(&mut store, &mut rng(0), 3, 2, "head");
+/// let mut sess = Session::new(&store);
+/// let x = sess.constant(Matrix::ones(5, 3));
+/// let y = layer.forward(&mut sess, &store, x);
+/// assert_eq!(sess.tape.value(y).shape(), (5, 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: ParamId,
+    b: ParamId,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-initialised weights and zero bias.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        in_dim: usize,
+        out_dim: usize,
+        name: &str,
+    ) -> Self {
+        let w = store.add(format!("{name}.w"), xavier_matrix(rng, in_dim, out_dim));
+        let b = store.add(format!("{name}.b"), Matrix::zeros(1, out_dim));
+        Self {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Applies the layer to a `B × in_dim` batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width differs from `in_dim`.
+    pub fn forward(&self, sess: &mut Session, store: &ParamStore, x: Var) -> Var {
+        assert_eq!(
+            sess.tape.value(x).cols(),
+            self.in_dim,
+            "linear layer expects width {}",
+            self.in_dim
+        );
+        let w = sess.var(store, self.w);
+        let b = sess.var(store, self.b);
+        let xw = sess.tape.matmul(x, w);
+        sess.tape.add_bias(xw, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_autodiff::check_gradient;
+    use st_tensor::rng;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut store = ParamStore::new();
+        let layer = Linear::new(&mut store, &mut rng(1), 2, 3, "l");
+        // Overwrite for a deterministic check.
+        store.set_value(
+            layer.w,
+            Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 1.0, -1.0]]),
+        );
+        store.set_value(layer.b, Matrix::from_rows(&[&[10.0, 20.0, 30.0]]));
+        let mut sess = Session::new(&store);
+        let x = sess.constant(Matrix::from_rows(&[&[1.0, 2.0]]));
+        let y = layer.forward(&mut sess, &store, x);
+        assert_eq!(
+            sess.tape.value(y),
+            &Matrix::from_rows(&[&[11.0, 22.0, 30.0]])
+        );
+    }
+
+    #[test]
+    fn gradients_check_against_finite_differences() {
+        let mut store = ParamStore::new();
+        let layer = Linear::new(&mut store, &mut rng(2), 3, 2, "l");
+        let x0 = Matrix::from_rows(&[&[0.5, -1.0, 2.0], &[1.0, 0.0, -0.5]]);
+
+        let run = |store: &ParamStore| -> (f64, Matrix, Matrix) {
+            let mut sess = Session::new(store);
+            let x = sess.constant(x0.clone());
+            let y = layer.forward(&mut sess, store, x);
+            let sq = sess.tape.mul(y, y);
+            let loss = sess.tape.sum(sq);
+            sess.backward(loss);
+            let mut tmp = store.clone();
+            tmp.zero_grads();
+            sess.write_grads(&mut tmp);
+            (
+                sess.tape.value(loss)[(0, 0)],
+                tmp.grad(layer.w).clone(),
+                tmp.grad(layer.b).clone(),
+            )
+        };
+        let (_, gw, gb) = run(&store);
+
+        let res_w = check_gradient(store.value(layer.w), &gw, 1e-6, |m| {
+            let mut s2 = store.clone();
+            s2.set_value(layer.w, m.clone());
+            run(&s2).0
+        });
+        assert!(res_w.passes(1e-5), "weight grad failed: {res_w:?}");
+
+        let res_b = check_gradient(store.value(layer.b), &gb, 1e-6, |m| {
+            let mut s2 = store.clone();
+            s2.set_value(layer.b, m.clone());
+            run(&s2).0
+        });
+        assert!(res_b.passes(1e-5), "bias grad failed: {res_b:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "expects width")]
+    fn rejects_wrong_width() {
+        let mut store = ParamStore::new();
+        let layer = Linear::new(&mut store, &mut rng(3), 4, 2, "l");
+        let mut sess = Session::new(&store);
+        let x = sess.constant(Matrix::ones(1, 3));
+        let _ = layer.forward(&mut sess, &store, x);
+    }
+}

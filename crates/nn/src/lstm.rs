@@ -1,0 +1,245 @@
+//! LSTM cell shared across graph nodes.
+//!
+//! The paper runs one LSTM per node but shares the parameters across all
+//! nodes (§III-E), which is exactly a batched LSTM cell with batch size `N`.
+//! Its input at time `t` is the concatenation `[s_t ; m_t]` of the HGCN
+//! embedding and the missingness mask — the concatenation is done by the
+//! caller, the cell is input-agnostic.
+//!
+//! Note on the paper's Eq. block: the printed equations contain an obvious
+//! typo (`ĥ = o ⊙ c + i ⊙ c`); we implement the standard LSTM update the
+//! text refers to ("we use an LSTM structure"): `c_t = f ⊙ c_{t−1} + i ⊙ g`
+//! and `h_t = o ⊙ tanh(c_t)`.
+
+use crate::{ParamId, ParamStore, Session};
+use rand::rngs::StdRng;
+use st_autodiff::Var;
+use st_tensor::{xavier_matrix, Matrix};
+
+/// A batched LSTM cell with shared parameters.
+///
+/// # Examples
+///
+/// ```
+/// use st_nn::{LstmCell, LstmState, ParamStore, Session};
+/// use st_tensor::{rng, Matrix};
+///
+/// let mut store = ParamStore::new();
+/// let cell = LstmCell::new(&mut store, &mut rng(0), 3, 4, "lstm");
+/// let mut sess = Session::new(&store);
+/// let state = cell.zero_state(&mut sess, 5);
+/// let x = sess.constant(Matrix::ones(5, 3));
+/// let next = cell.step(&mut sess, &store, x, &state);
+/// assert_eq!(sess.tape.value(next.h).shape(), (5, 4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LstmCell {
+    w: ParamId, // input → 4 gates, (in × 4q)
+    u: ParamId, // hidden → 4 gates, (q × 4q)
+    b: ParamId, // (1 × 4q)
+    in_dim: usize,
+    hidden_dim: usize,
+}
+
+/// Hidden and cell state of an [`LstmCell`] at one timestep.
+#[derive(Debug, Clone, Copy)]
+pub struct LstmState {
+    /// Hidden state `h`, `B × q`.
+    pub h: Var,
+    /// Cell state `c`, `B × q`.
+    pub c: Var,
+}
+
+impl LstmCell {
+    /// Creates a cell with Xavier-initialised weights; the forget-gate bias
+    /// starts at 1.0 (standard practice to ease early training).
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+        in_dim: usize,
+        hidden_dim: usize,
+        name: &str,
+    ) -> Self {
+        let w = store.add(
+            format!("{name}.w"),
+            xavier_matrix(rng, in_dim, 4 * hidden_dim),
+        );
+        let u = store.add(
+            format!("{name}.u"),
+            xavier_matrix(rng, hidden_dim, 4 * hidden_dim),
+        );
+        let mut bias = Matrix::zeros(1, 4 * hidden_dim);
+        for j in 0..hidden_dim {
+            bias[(0, j)] = 1.0; // forget gate slice
+        }
+        let b = store.add(format!("{name}.b"), bias);
+        Self {
+            w,
+            u,
+            b,
+            in_dim,
+            hidden_dim,
+        }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Hidden width `q`.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Zero initial state for a batch of `batch` rows.
+    pub fn zero_state(&self, sess: &mut Session, batch: usize) -> LstmState {
+        let h = sess.constant(Matrix::zeros(batch, self.hidden_dim));
+        let c = sess.constant(Matrix::zeros(batch, self.hidden_dim));
+        LstmState { h, c }
+    }
+
+    /// One step: consumes `x` (`B × in_dim`) and the previous state,
+    /// producing the next state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width differs from `in_dim`.
+    pub fn step(
+        &self,
+        sess: &mut Session,
+        store: &ParamStore,
+        x: Var,
+        prev: &LstmState,
+    ) -> LstmState {
+        assert_eq!(
+            sess.tape.value(x).cols(),
+            self.in_dim,
+            "lstm cell expects width {}",
+            self.in_dim
+        );
+        let w = sess.var(store, self.w);
+        let u = sess.var(store, self.u);
+        let b = sess.var(store, self.b);
+
+        let xw = sess.tape.matmul(x, w);
+        let hu = sess.tape.matmul(prev.h, u);
+        let pre = sess.tape.add(xw, hu);
+        let pre = sess.tape.add_bias(pre, b);
+
+        let q = self.hidden_dim;
+        let f_pre = sess.tape.slice_cols(pre, 0, q);
+        let i_pre = sess.tape.slice_cols(pre, q, 2 * q);
+        let o_pre = sess.tape.slice_cols(pre, 2 * q, 3 * q);
+        let g_pre = sess.tape.slice_cols(pre, 3 * q, 4 * q);
+
+        let f = sess.tape.sigmoid(f_pre);
+        let i = sess.tape.sigmoid(i_pre);
+        let o = sess.tape.sigmoid(o_pre);
+        let g = sess.tape.tanh(g_pre);
+
+        let fc = sess.tape.mul(f, prev.c);
+        let ig = sess.tape.mul(i, g);
+        let c = sess.tape.add(fc, ig);
+        let ct = sess.tape.tanh(c);
+        let h = sess.tape.mul(o, ct);
+        LstmState { h, c }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_autodiff::check_gradient;
+    use st_tensor::rng;
+
+    #[test]
+    fn step_shapes() {
+        let mut store = ParamStore::new();
+        let cell = LstmCell::new(&mut store, &mut rng(1), 3, 4, "lstm");
+        let mut sess = Session::new(&store);
+        let st0 = cell.zero_state(&mut sess, 2);
+        let x = sess.constant(Matrix::ones(2, 3));
+        let st1 = cell.step(&mut sess, &store, x, &st0);
+        assert_eq!(sess.tape.value(st1.h).shape(), (2, 4));
+        assert_eq!(sess.tape.value(st1.c).shape(), (2, 4));
+        assert!(sess.tape.value(st1.h).is_finite());
+    }
+
+    #[test]
+    fn hidden_state_bounded_by_tanh() {
+        let mut store = ParamStore::new();
+        let cell = LstmCell::new(&mut store, &mut rng(2), 2, 3, "lstm");
+        let mut sess = Session::new(&store);
+        let st0 = cell.zero_state(&mut sess, 1);
+        let x = sess.constant(Matrix::from_rows(&[&[100.0, -100.0]]));
+        let st1 = cell.step(&mut sess, &store, x, &st0);
+        for &v in sess.tape.value(st1.h).as_slice() {
+            assert!(v.abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn state_evolves_over_steps() {
+        let mut store = ParamStore::new();
+        let cell = LstmCell::new(&mut store, &mut rng(3), 2, 3, "lstm");
+        let mut sess = Session::new(&store);
+        let mut state = cell.zero_state(&mut sess, 1);
+        let x = sess.constant(Matrix::from_rows(&[&[1.0, -0.5]]));
+        let h_values: Vec<Matrix> = (0..3)
+            .map(|_| {
+                state = cell.step(&mut sess, &store, x, &state);
+                sess.tape.value(state.h).clone()
+            })
+            .collect();
+        assert_ne!(h_values[0], h_values[1]);
+        assert_ne!(h_values[1], h_values[2]);
+    }
+
+    #[test]
+    fn unrolled_gradient_checks_against_finite_differences() {
+        // Three steps unrolled; checks the recurrent weight U, whose gradient
+        // only exists through the unrolled chain.
+        let mut store = ParamStore::new();
+        let cell = LstmCell::new(&mut store, &mut rng(4), 2, 3, "lstm");
+        let xs = [
+            Matrix::from_rows(&[&[0.5, -0.2]]),
+            Matrix::from_rows(&[&[-1.0, 0.3]]),
+            Matrix::from_rows(&[&[0.1, 0.9]]),
+        ];
+        let run = |store: &ParamStore| -> (f64, Matrix) {
+            let mut sess = Session::new(store);
+            let mut state = cell.zero_state(&mut sess, 1);
+            for x0 in &xs {
+                let x = sess.constant(x0.clone());
+                state = cell.step(&mut sess, store, x, &state);
+            }
+            let loss = sess.tape.mean(state.h);
+            sess.backward(loss);
+            let mut tmp = store.clone();
+            tmp.zero_grads();
+            sess.write_grads(&mut tmp);
+            (sess.tape.value(loss)[(0, 0)], tmp.grad(cell.u).clone())
+        };
+        let (_, gu) = run(&store);
+        let res = check_gradient(store.value(cell.u), &gu, 1e-6, |m| {
+            let mut s2 = store.clone();
+            s2.set_value(cell.u, m.clone());
+            run(&s2).0
+        });
+        assert!(res.passes(1e-5), "recurrent grad failed: {res:?}");
+    }
+
+    #[test]
+    fn forget_bias_initialised_to_one() {
+        let mut store = ParamStore::new();
+        let cell = LstmCell::new(&mut store, &mut rng(5), 2, 3, "lstm");
+        let b = store.value(cell.b);
+        for j in 0..3 {
+            assert_eq!(b[(0, j)], 1.0);
+        }
+        for j in 3..12 {
+            assert_eq!(b[(0, j)], 0.0);
+        }
+    }
+}

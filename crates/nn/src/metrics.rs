@@ -1,0 +1,251 @@
+//! Evaluation metrics: MAE and RMSE with optional masking.
+//!
+//! The paper reports mean absolute error and root mean squared error for
+//! both prediction and imputation; imputation is scored only on hidden (or
+//! held-out) entries, so every metric here takes an optional `{0,1}` weight
+//! mask.
+
+use st_tensor::Matrix;
+
+/// Incremental accumulator for MAE/RMSE over many batches.
+///
+/// # Examples
+///
+/// ```
+/// use st_nn::ErrorAccum;
+/// use st_tensor::Matrix;
+///
+/// let mut acc = ErrorAccum::new();
+/// acc.update(&Matrix::from_rows(&[&[1.0]]), &Matrix::from_rows(&[&[3.0]]), None);
+/// assert_eq!(acc.mae(), 2.0);
+/// assert_eq!(acc.rmse(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ErrorAccum {
+    abs_sum: f64,
+    sq_sum: f64,
+    count: f64,
+}
+
+impl ErrorAccum {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds the errors between `prediction` and `target`, optionally
+    /// weighted by a `{0,1}` mask (entries with mask 0 are skipped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn update(&mut self, prediction: &Matrix, target: &Matrix, mask: Option<&Matrix>) {
+        assert_eq!(
+            prediction.shape(),
+            target.shape(),
+            "prediction/target shape mismatch"
+        );
+        if let Some(m) = mask {
+            assert_eq!(m.shape(), target.shape(), "mask shape mismatch");
+        }
+        for i in 0..prediction.len() {
+            let w = mask.map_or(1.0, |m| m.as_slice()[i]);
+            if w == 0.0 {
+                continue;
+            }
+            let e = prediction.as_slice()[i] - target.as_slice()[i];
+            self.abs_sum += w * e.abs();
+            self.sq_sum += w * e * e;
+            self.count += w;
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &ErrorAccum) {
+        self.abs_sum += other.abs_sum;
+        self.sq_sum += other.sq_sum;
+        self.count += other.count;
+    }
+
+    /// Number of scored entries.
+    pub fn count(&self) -> f64 {
+        self.count
+    }
+
+    /// Mean absolute error; `0.0` when nothing was scored.
+    pub fn mae(&self) -> f64 {
+        if self.count > 0.0 {
+            self.abs_sum / self.count
+        } else {
+            0.0
+        }
+    }
+
+    /// Root mean squared error; `0.0` when nothing was scored.
+    pub fn rmse(&self) -> f64 {
+        if self.count > 0.0 {
+            (self.sq_sum / self.count).sqrt()
+        } else {
+            0.0
+        }
+    }
+
+    /// Final `(MAE, RMSE)` pair.
+    pub fn summary(&self) -> Metrics {
+        Metrics {
+            mae: self.mae(),
+            rmse: self.rmse(),
+        }
+    }
+}
+
+/// A reported `(MAE, RMSE)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Metrics {
+    /// Mean absolute error.
+    pub mae: f64,
+    /// Root mean squared error.
+    pub rmse: f64,
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MAE {:.4} / RMSE {:.4}", self.mae, self.rmse)
+    }
+}
+
+/// One-shot MAE between two matrices (optionally masked).
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn mae(prediction: &Matrix, target: &Matrix, mask: Option<&Matrix>) -> f64 {
+    let mut acc = ErrorAccum::new();
+    acc.update(prediction, target, mask);
+    acc.mae()
+}
+
+/// One-shot mean absolute percentage error (in %), skipping entries whose
+/// target magnitude is below `floor` (MAPE is undefined near zero).
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn mape(prediction: &Matrix, target: &Matrix, mask: Option<&Matrix>, floor: f64) -> f64 {
+    assert_eq!(
+        prediction.shape(),
+        target.shape(),
+        "prediction/target shape mismatch"
+    );
+    if let Some(m) = mask {
+        assert_eq!(m.shape(), target.shape(), "mask shape mismatch");
+    }
+    let mut acc = 0.0;
+    let mut count = 0.0;
+    for i in 0..prediction.len() {
+        let w = mask.map_or(1.0, |m| m.as_slice()[i]);
+        let t = target.as_slice()[i];
+        if w == 0.0 || t.abs() < floor {
+            continue;
+        }
+        acc += w * ((prediction.as_slice()[i] - t) / t).abs();
+        count += w;
+    }
+    if count > 0.0 {
+        100.0 * acc / count
+    } else {
+        0.0
+    }
+}
+
+/// One-shot RMSE between two matrices (optionally masked).
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn rmse(prediction: &Matrix, target: &Matrix, mask: Option<&Matrix>) -> f64 {
+    let mut acc = ErrorAccum::new();
+    acc.update(prediction, target, mask);
+    acc.rmse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_rmse_known_values() {
+        let p = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let t = Matrix::from_rows(&[&[2.0, 2.0], &[1.0, 4.0]]);
+        assert_eq!(mae(&p, &t, None), 0.75); // (1+0+2+0)/4
+        assert!((rmse(&p, &t, None) - (5.0_f64 / 4.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mask_restricts_scoring() {
+        let p = Matrix::from_rows(&[&[1.0, 100.0]]);
+        let t = Matrix::from_rows(&[&[2.0, 0.0]]);
+        let m = Matrix::from_rows(&[&[1.0, 0.0]]);
+        assert_eq!(mae(&p, &t, Some(&m)), 1.0);
+        assert_eq!(rmse(&p, &t, Some(&m)), 1.0);
+    }
+
+    #[test]
+    fn empty_mask_yields_zero() {
+        let p = Matrix::ones(2, 2);
+        let t = Matrix::zeros(2, 2);
+        let m = Matrix::zeros(2, 2);
+        assert_eq!(mae(&p, &t, Some(&m)), 0.0);
+        assert_eq!(rmse(&p, &t, Some(&m)), 0.0);
+    }
+
+    #[test]
+    fn accumulator_merges_batches() {
+        let mut a = ErrorAccum::new();
+        a.update(
+            &Matrix::from_rows(&[&[1.0]]),
+            &Matrix::from_rows(&[&[0.0]]),
+            None,
+        );
+        let mut b = ErrorAccum::new();
+        b.update(
+            &Matrix::from_rows(&[&[3.0]]),
+            &Matrix::from_rows(&[&[0.0]]),
+            None,
+        );
+        a.merge(&b);
+        assert_eq!(a.count(), 2.0);
+        assert_eq!(a.mae(), 2.0);
+        assert!((a.rmse() - (5.0_f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_known_values_and_floor() {
+        let p = Matrix::from_rows(&[&[110.0, 90.0, 1.0]]);
+        let t = Matrix::from_rows(&[&[100.0, 100.0, 0.001]]);
+        // Third entry is below the floor and skipped: (10% + 10%) / 2.
+        assert!((mape(&p, &t, None, 0.01) - 10.0).abs() < 1e-9);
+        let m = Matrix::from_rows(&[&[1.0, 0.0, 0.0]]);
+        assert!((mape(&p, &t, Some(&m), 0.01) - 10.0).abs() < 1e-9);
+        // Nothing scoreable.
+        let zeros = Matrix::zeros(1, 3);
+        assert_eq!(mape(&p, &zeros, None, 0.01), 0.0);
+    }
+
+    #[test]
+    fn rmse_at_least_mae() {
+        let p = Matrix::from_rows(&[&[1.0, 5.0, -2.0]]);
+        let t = Matrix::from_rows(&[&[0.0, 0.0, 0.0]]);
+        assert!(rmse(&p, &t, None) >= mae(&p, &t, None));
+    }
+
+    #[test]
+    fn display_formats_both() {
+        let m = Metrics {
+            mae: 1.0,
+            rmse: 2.0,
+        };
+        let s = format!("{m}");
+        assert!(s.contains("1.0000") && s.contains("2.0000"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Learning-rate schedules.
+//!
+//! The paper trains with a constant 1e-3; these schedules are opt-in
+//! extensions for longer runs (`TrainConfig::lr_schedule` in
+//! `rihgcn-core`). All schedules are pure functions of the epoch index, so
+//! training stays deterministic and resumable.
+
+use serde::{Deserialize, Serialize};
+
+/// A deterministic learning-rate schedule over epochs.
+///
+/// # Examples
+///
+/// ```
+/// use st_nn::LrSchedule;
+///
+/// let step = LrSchedule::StepDecay { every: 10, factor: 0.5 };
+/// assert_eq!(step.at(1e-3, 0), 1e-3);
+/// assert_eq!(step.at(1e-3, 10), 5e-4);
+/// assert_eq!(step.at(1e-3, 20), 2.5e-4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// The base learning rate every epoch (the paper's setting).
+    #[default]
+    Constant,
+    /// Multiply by `factor` every `every` epochs.
+    StepDecay {
+        /// Epochs between decays.
+        every: usize,
+        /// Multiplicative factor per decay (in `(0, 1]`).
+        factor: f64,
+    },
+    /// Cosine annealing from the base rate down to `min_factor × base`
+    /// over `period` epochs, then flat at the minimum.
+    Cosine {
+        /// Epochs to reach the minimum.
+        period: usize,
+        /// Final rate as a fraction of the base rate.
+        min_factor: f64,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate for `epoch` (0-based) given a base rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule parameters are degenerate (`every == 0`,
+    /// `factor` outside `(0, 1]`, `period == 0`, or `min_factor` outside
+    /// `[0, 1]`).
+    pub fn at(&self, base_lr: f64, epoch: usize) -> f64 {
+        match *self {
+            LrSchedule::Constant => base_lr,
+            LrSchedule::StepDecay { every, factor } => {
+                assert!(every > 0, "step decay needs every > 0");
+                assert!(factor > 0.0 && factor <= 1.0, "factor must be in (0, 1]");
+                base_lr * factor.powi((epoch / every) as i32)
+            }
+            LrSchedule::Cosine { period, min_factor } => {
+                assert!(period > 0, "cosine needs period > 0");
+                assert!((0.0..=1.0).contains(&min_factor), "min_factor in [0, 1]");
+                let progress = (epoch as f64 / period as f64).min(1.0);
+                let cos = 0.5 * (1.0 + (std::f64::consts::PI * progress).cos());
+                base_lr * (min_factor + (1.0 - min_factor) * cos)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_flat() {
+        for epoch in [0, 5, 100] {
+            assert_eq!(LrSchedule::Constant.at(1e-3, epoch), 1e-3);
+        }
+        assert_eq!(LrSchedule::default(), LrSchedule::Constant);
+    }
+
+    #[test]
+    fn step_decay_halves() {
+        let s = LrSchedule::StepDecay {
+            every: 5,
+            factor: 0.5,
+        };
+        assert_eq!(s.at(1.0, 0), 1.0);
+        assert_eq!(s.at(1.0, 4), 1.0);
+        assert_eq!(s.at(1.0, 5), 0.5);
+        assert_eq!(s.at(1.0, 14), 0.25);
+    }
+
+    #[test]
+    fn cosine_monotone_to_floor() {
+        let s = LrSchedule::Cosine {
+            period: 10,
+            min_factor: 0.1,
+        };
+        let values: Vec<f64> = (0..=12).map(|e| s.at(1.0, e)).collect();
+        assert_eq!(values[0], 1.0);
+        for w in values.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "cosine must not increase");
+        }
+        assert!((values[10] - 0.1).abs() < 1e-12);
+        assert_eq!(values[12], values[10], "flat after the period");
+    }
+
+    #[test]
+    #[should_panic(expected = "every > 0")]
+    fn degenerate_step_rejected() {
+        let _ = LrSchedule::StepDecay {
+            every: 0,
+            factor: 0.5,
+        }
+        .at(1.0, 1);
+    }
+}

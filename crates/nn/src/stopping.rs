@@ -1,0 +1,123 @@
+//! Early stopping on a validation metric.
+//!
+//! The paper stops training "when the validation performance does not
+//! improve for 6 epochs".
+
+/// Decision returned by [`EarlyStopping::update`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopDecision {
+    /// The metric improved; keep training (and keep this checkpoint).
+    Improved,
+    /// No improvement yet, but patience remains.
+    Continue,
+    /// Patience exhausted; stop training.
+    Stop,
+}
+
+/// Patience-based early stopping on a to-be-minimised metric.
+///
+/// # Examples
+///
+/// ```
+/// use st_nn::{EarlyStopping, StopDecision};
+///
+/// let mut es = EarlyStopping::new(2);
+/// assert_eq!(es.update(1.0), StopDecision::Improved);
+/// assert_eq!(es.update(1.5), StopDecision::Continue);
+/// assert_eq!(es.update(0.8), StopDecision::Improved);
+/// assert_eq!(es.update(0.9), StopDecision::Continue);
+/// assert_eq!(es.update(0.9), StopDecision::Stop);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EarlyStopping {
+    patience: usize,
+    best: f64,
+    wait: usize,
+    best_epoch: usize,
+    epoch: usize,
+}
+
+impl EarlyStopping {
+    /// Creates a stopper that tolerates `patience` consecutive epochs
+    /// without improvement (paper: 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patience == 0`.
+    pub fn new(patience: usize) -> Self {
+        assert!(patience > 0, "patience must be positive");
+        Self {
+            patience,
+            best: f64::INFINITY,
+            wait: 0,
+            best_epoch: 0,
+            epoch: 0,
+        }
+    }
+
+    /// Best metric value seen so far.
+    pub fn best(&self) -> f64 {
+        self.best
+    }
+
+    /// Epoch index (0-based) at which the best value occurred.
+    pub fn best_epoch(&self) -> usize {
+        self.best_epoch
+    }
+
+    /// Feeds this epoch's validation metric.
+    pub fn update(&mut self, metric: f64) -> StopDecision {
+        let epoch = self.epoch;
+        self.epoch += 1;
+        if metric < self.best {
+            self.best = metric;
+            self.best_epoch = epoch;
+            self.wait = 0;
+            StopDecision::Improved
+        } else {
+            self.wait += 1;
+            if self.wait >= self.patience {
+                StopDecision::Stop
+            } else {
+                StopDecision::Continue
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_resets_patience() {
+        let mut es = EarlyStopping::new(2);
+        assert_eq!(es.update(5.0), StopDecision::Improved);
+        assert_eq!(es.update(6.0), StopDecision::Continue);
+        assert_eq!(es.update(4.0), StopDecision::Improved);
+        assert_eq!(es.update(4.5), StopDecision::Continue);
+        assert_eq!(es.update(4.4), StopDecision::Stop);
+        assert_eq!(es.best(), 4.0);
+        assert_eq!(es.best_epoch(), 2);
+    }
+
+    #[test]
+    fn equal_value_is_not_improvement() {
+        let mut es = EarlyStopping::new(1);
+        assert_eq!(es.update(1.0), StopDecision::Improved);
+        assert_eq!(es.update(1.0), StopDecision::Stop);
+    }
+
+    #[test]
+    fn nan_never_improves() {
+        let mut es = EarlyStopping::new(2);
+        assert_eq!(es.update(f64::NAN), StopDecision::Continue);
+        assert_eq!(es.update(1.0), StopDecision::Improved);
+    }
+
+    #[test]
+    #[should_panic(expected = "patience")]
+    fn zero_patience_rejected() {
+        let _ = EarlyStopping::new(0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Descriptive statistics over slices and matrices.
+//!
+//! Small, allocation-light helpers used by the dataset quality reports,
+//! the synthetic-generator tests and the experiment harness: moments,
+//! quantiles, Pearson correlation, autocorrelation and correlation
+//! matrices.
+
+use crate::Matrix;
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance; `0.0` for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Linear-interpolated quantile `q ∈ [0, 1]` of a sample.
+///
+/// Returns `None` for an empty slice or a `q` outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median (the 0.5 quantile).
+pub fn median(xs: &[f64]) -> Option<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Pearson correlation of two equal-length samples; `0.0` when either side
+/// is constant.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pearson needs equal-length samples");
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let (ma, mb) = (mean(a), mean(b));
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    let denom = (va * vb).sqrt();
+    if denom < 1e-12 {
+        0.0
+    } else {
+        cov / denom
+    }
+}
+
+/// Autocorrelation of a series at the given lag; `0.0` when undefined.
+pub fn autocorrelation(xs: &[f64], lag: usize) -> f64 {
+    if lag == 0 {
+        return 1.0;
+    }
+    if xs.len() <= lag + 1 {
+        return 0.0;
+    }
+    pearson(&xs[..xs.len() - lag], &xs[lag..])
+}
+
+/// Pearson correlation matrix of a set of equal-length series.
+///
+/// # Panics
+///
+/// Panics if the series lengths differ.
+pub fn correlation_matrix(series: &[Vec<f64>]) -> Matrix {
+    let n = series.len();
+    if n == 0 {
+        return Matrix::zeros(0, 0);
+    }
+    let len = series[0].len();
+    for s in series {
+        assert_eq!(s.len(), len, "correlation matrix needs equal-length series");
+    }
+    let mut out = Matrix::identity(n);
+    for i in 0..n {
+        for j in i + 1..n {
+            let r = pearson(&series[i], &series[j]);
+            out[(i, j)] = r;
+            out[(j, i)] = r;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments_known_values() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(variance(&xs), 4.0);
+        assert_eq!(std_dev(&xs), 2.0);
+    }
+
+    #[test]
+    fn empty_and_short_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(4.0));
+        assert_eq!(median(&xs), Some(2.5));
+        assert_eq!(quantile(&xs, 1.5), None);
+        // Order-independent.
+        let shuffled = [3.0, 1.0, 4.0, 2.0];
+        assert_eq!(median(&shuffled), Some(2.5));
+    }
+
+    #[test]
+    fn pearson_extremes() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&a, &up) - 1.0).abs() < 1e-12);
+        assert!((pearson(&a, &down) + 1.0).abs() < 1e-12);
+        let constant = [5.0; 4];
+        assert_eq!(pearson(&a, &constant), 0.0);
+    }
+
+    #[test]
+    fn autocorrelation_of_periodic_signal() {
+        let xs: Vec<f64> = (0..200)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 20.0).sin())
+            .collect();
+        assert_eq!(autocorrelation(&xs, 0), 1.0);
+        assert!(autocorrelation(&xs, 20) > 0.95, "period-20 signal");
+        assert!(autocorrelation(&xs, 10) < -0.95, "half-period anti-phase");
+    }
+
+    #[test]
+    fn correlation_matrix_properties() {
+        let series = vec![
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![2.0, 4.0, 6.0, 8.0],
+            vec![4.0, 3.0, 2.0, 1.0],
+        ];
+        let m = correlation_matrix(&series);
+        assert_eq!(m.shape(), (3, 3));
+        for i in 0..3 {
+            assert_eq!(m[(i, i)], 1.0);
+        }
+        assert!((m[(0, 1)] - 1.0).abs() < 1e-12);
+        assert!((m[(0, 2)] + 1.0).abs() < 1e-12);
+        assert_eq!(m[(1, 2)], m[(2, 1)]);
+        assert_eq!(correlation_matrix(&[]).shape(), (0, 0));
+    }
+}

@@ -1,0 +1,86 @@
+//! Streaming deployment: feed observations to a trained model one timestamp
+//! at a time and read out rolling forecasts plus the imputed recent
+//! history — the paper's "transportation application system" mode.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example online_forecast
+//! ```
+
+use rihgcn::core::{fit, prepare_split, OnlineForecaster, RihgcnConfig, RihgcnModel, TrainConfig};
+use rihgcn::data::{generate_pems, PemsConfig, WindowSampler};
+use rihgcn::tensor::rng;
+
+fn main() {
+    // Train a small model offline.
+    let ds = generate_pems(&PemsConfig {
+        num_nodes: 6,
+        num_days: 6,
+        ..Default::default()
+    });
+    let ds = ds.with_extra_missing(0.4, &mut rng(21));
+    let (norm, z) = prepare_split(&ds.split_chronological());
+    let sampler = WindowSampler::new(12, 12, 6);
+    let cfg = RihgcnConfig {
+        gcn_dim: 8,
+        lstm_dim: 16,
+        num_temporal_graphs: 4,
+        ..Default::default()
+    };
+    let mut model = RihgcnModel::from_dataset(&norm.train, cfg);
+    let tc = TrainConfig {
+        max_epochs: 8,
+        patience: 3,
+        ..Default::default()
+    };
+    fit(
+        &mut model,
+        &sampler.sample(&norm.train),
+        &sampler.sample(&norm.val),
+        &tc,
+    );
+    println!("model trained; switching to streaming mode\n");
+
+    // Go online: replay the test period as a live feed.
+    let mut online = OnlineForecaster::new(model, z);
+    let test_start = (ds.num_times() as f64 * 0.9) as usize;
+    for step in 0..24 {
+        let t = test_start + step;
+        online.push(
+            ds.values.time_slice(t),
+            ds.mask.time_slice(t),
+            ds.slot_of(t),
+        );
+        match online.forecast() {
+            None => println!("t+{step:>2}: buffering ({}/12 observations)", online.len()),
+            Some(preds) => {
+                // Report node 0's average-speed forecast for +5 and +60 min.
+                let in5 = preds[0][(0, 0)];
+                let in60 = preds[11][(0, 0)];
+                let now = ds.values[(0, 0, t)];
+                println!(
+                    "t+{step:>2}: node 0 now {now:5.1} mph → +5 min {in5:5.1}, +60 min {in60:5.1}"
+                );
+            }
+        }
+    }
+
+    // The imputed window fills the gaps the sensors dropped.
+    let window = online.imputed_window().expect("window is full");
+    let hidden: usize = (0..12)
+        .map(|i| {
+            let t = test_start + 12 + i;
+            ds.mask
+                .time_slice(t)
+                .as_slice()
+                .iter()
+                .filter(|&&m| m == 0.0)
+                .count()
+        })
+        .sum();
+    println!(
+        "\nimputed window covers {} matrices; {hidden} hidden entries were filled in",
+        window.len()
+    );
+}

@@ -1,0 +1,76 @@
+//! Roving-sensor scenario: forecasting travel times for the Stampede-like
+//! shuttle loop, where ~80% of entries are structurally missing because a
+//! segment is only observed when a shuttle happens to traverse it.
+//!
+//! Demonstrates why imputation-aware models matter in exactly the setting
+//! the paper motivates: the mean-fill GCN-LSTM baseline has to invent most
+//! of its input, while RIHGCN reconstructs it jointly with the forecast.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example roving_sensors
+//! ```
+
+use rihgcn::baselines::{BaselineConfig, BaselineKind, StBaseline};
+use rihgcn::core::{
+    evaluate_prediction, fit, prepare_split, RihgcnConfig, RihgcnModel, TrainConfig,
+};
+use rihgcn::data::{generate_stampede, StampedeConfig, WindowSampler};
+
+fn main() {
+    // 12 road segments on a shuttle loop, 10 simulated days; the mask comes
+    // from an explicit shuttle-fleet simulation.
+    let ds = generate_stampede(&StampedeConfig {
+        num_days: 10,
+        ..Default::default()
+    });
+    println!(
+        "Stampede-like dataset: {} segments, {} timestamps, intrinsic missing rate {:.1}%",
+        ds.num_nodes(),
+        ds.num_times(),
+        ds.missing_rate() * 100.0
+    );
+
+    let (norm, z) = prepare_split(&ds.split_chronological());
+    let sampler = WindowSampler::new(12, 12, 6);
+    let train = sampler.sample(&norm.train);
+    let val = sampler.sample(&norm.val);
+    let test = sampler.sample(&norm.test);
+    let tc = TrainConfig {
+        max_epochs: 10,
+        patience: 3,
+        ..Default::default()
+    };
+
+    // Baseline: GCN-LSTM with global-mean-filled inputs (no imputation
+    // path). In normalised space the global per-feature mean is zero, so
+    // the zero-filled window samples are exactly the paper's mean-fill
+    // preprocessing.
+    let bl_cfg = BaselineConfig {
+        gcn_dim: 8,
+        lstm_dim: 16,
+        ..Default::default()
+    };
+    let mut baseline = StBaseline::from_dataset(&norm.train, BaselineKind::GcnLstm, bl_cfg);
+    fit(&mut baseline, &train, &val, &tc);
+    let baseline_pred = evaluate_prediction(&baseline, &test, &z);
+
+    // RIHGCN: joint recurrent imputation + forecasting.
+    let cfg = RihgcnConfig {
+        gcn_dim: 8,
+        lstm_dim: 16,
+        num_temporal_graphs: 4,
+        ..Default::default()
+    };
+    let mut model = RihgcnModel::from_dataset(&norm.train, cfg);
+    fit(&mut model, &train, &val, &tc);
+    let rihgcn_pred = evaluate_prediction(&model, &test, &z);
+
+    println!("\n60-minute travel-time forecast (test, seconds):");
+    println!("  GCN-LSTM (mean fill)  {baseline_pred}");
+    println!("  RIHGCN                {rihgcn_pred}");
+    println!("\nUnder ~80% structural missingness the mean-fill baseline mostly");
+    println!("sees the global average; RIHGCN's recurrent imputation reconstructs");
+    println!("the hidden inputs from spatio-temporal correlations instead.");
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Regenerates every table, figure and ablation of the paper reproduction.
+#
+# Usage:
+#   RIHGCN_SCALE=default scripts/run_experiments.sh [results-dir]
+#
+# Each binary writes its stdout to <results-dir>/results_<name>.txt and its
+# progress log (stderr) to <results-dir>/results_<name>.log.
+
+set -u
+DIR="${1:-results}"
+mkdir -p "$DIR"
+
+# Set SKIP="name1 name2" to skip binaries whose results already exist.
+SKIP="${SKIP:-}"
+
+BINARIES=(
+  table1_missing
+  table1_horizon
+  table2_stampede
+  table3_imputation
+  fig3_graphs
+  fig4_num_graphs
+  fig5_lambda
+  ablation_components
+  ablation_distance
+  ablation_circular
+)
+
+cargo build --release -p rihgcn-bench || exit 1
+
+for bin in "${BINARIES[@]}"; do
+  case " $SKIP " in
+    *" $bin "*) echo "=== $bin (skipped) ==="; continue ;;
+  esac
+  echo "=== $bin ==="
+  cargo run --release -q -p rihgcn-bench --bin "$bin" \
+    > "$DIR/results_$bin.txt" 2> "$DIR/results_$bin.log"
+  status=$?
+  if [ $status -ne 0 ]; then
+    echo "FAILED ($status) — see $DIR/results_$bin.log"
+  else
+    echo "ok — $DIR/results_$bin.txt"
+  fi
+done

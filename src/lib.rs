@@ -1,0 +1,40 @@
+//! # rihgcn — traffic forecasting with missing values
+//!
+//! Facade crate for the from-scratch Rust reproduction of *"Heterogeneous
+//! Spatio-Temporal Graph Convolution Network for Traffic Forecasting with
+//! Missing Values"* (Zhong et al., ICDCS 2021).
+//!
+//! Re-exports the workspace's public API:
+//!
+//! * [`core`] — the RIHGCN model, trainer and evaluation;
+//! * [`baselines`] — HA, VAR, the FC/GCN/LSTM family, ASTGCN-lite,
+//!   GraphWaveNet-lite and classical imputers;
+//! * [`data`] — synthetic PeMS/Stampede datasets, masking, windowing;
+//! * [`graph`] — adjacency, Laplacians, DTW, interval partitioning;
+//! * [`nn`] — layers and optimiser;
+//! * [`autodiff`] / [`tensor`] — the numerical substrate.
+//!
+//! # Examples
+//!
+//! See `examples/quickstart.rs` for a end-to-end train-and-forecast run:
+//!
+//! ```no_run
+//! use rihgcn::core::{fit, prepare_split, RihgcnConfig, RihgcnModel, TrainConfig};
+//! use rihgcn::data::{generate_pems, PemsConfig, WindowSampler};
+//!
+//! let ds = generate_pems(&PemsConfig::default());
+//! let (norm, _z) = prepare_split(&ds.split_chronological());
+//! let mut model = RihgcnModel::from_dataset(&norm.train, RihgcnConfig::default());
+//! let sampler = WindowSampler::paper_default();
+//! fit(&mut model, &sampler.sample(&norm.train), &[], &TrainConfig::default());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use rihgcn_baselines as baselines;
+pub use rihgcn_core as core;
+pub use st_autodiff as autodiff;
+pub use st_data as data;
+pub use st_graph as graph;
+pub use st_nn as nn;
+pub use st_tensor as tensor;

@@ -1,0 +1,83 @@
+//! Facade-level tests for the analytics utilities: statistics, dataset
+//! quality reports and the extended metrics.
+
+use rihgcn::data::{generate_pems, generate_stampede, PemsConfig, QualityReport, StampedeConfig};
+use rihgcn::nn::mape;
+use rihgcn::tensor::stats;
+use rihgcn::tensor::Matrix;
+
+#[test]
+fn quality_reports_distinguish_sensor_types() {
+    let pems = generate_pems(&PemsConfig {
+        num_nodes: 4,
+        num_days: 4,
+        ..Default::default()
+    })
+    .with_extra_missing(0.4, &mut rihgcn::tensor::rng(1));
+    let stampede = generate_stampede(&StampedeConfig {
+        num_days: 4,
+        ..Default::default()
+    });
+
+    let static_report = QualityReport::compute(&pems);
+    let roving_report = QualityReport::compute(&stampede);
+
+    // MCAR gaps are short; fleet-coverage gaps are long.
+    assert!(
+        roving_report.mean_gap_length > 2.0 * static_report.mean_gap_length,
+        "roving gaps ({}) must dwarf MCAR gaps ({})",
+        roving_report.mean_gap_length,
+        static_report.mean_gap_length
+    );
+    // Both datasets are strongly daily-periodic.
+    assert!(static_report.daily_autocorrelation > 0.4);
+    assert!(roving_report.daily_autocorrelation > 0.2);
+}
+
+#[test]
+fn stats_detect_the_generators_daily_period() {
+    let ds = generate_pems(&PemsConfig {
+        num_nodes: 2,
+        num_days: 6,
+        ..Default::default()
+    });
+    let series = ds.values.series(0, 0);
+    let day = ds.slots_per_day();
+    let at_day = stats::autocorrelation(&series, day);
+    let off_phase = stats::autocorrelation(&series, day / 2);
+    assert!(
+        at_day > off_phase,
+        "one-day lag ({at_day}) must beat half-day lag ({off_phase})"
+    );
+}
+
+#[test]
+fn mape_complements_mae_on_scaled_errors() {
+    // The same absolute error is a bigger relative error on smaller targets.
+    let pred = Matrix::from_rows(&[&[12.0, 102.0]]);
+    let target = Matrix::from_rows(&[&[10.0, 100.0]]);
+    let m = mape(&pred, &target, None, 1e-6);
+    assert!(
+        (m - 11.0).abs() < 1e-9,
+        "mean of 20% and 2% is 11%, got {m}"
+    );
+}
+
+#[test]
+fn correlation_matrix_reflects_direction_structure() {
+    // Even (eastbound) sensors correlate with each other more than with the
+    // adjacent odd (westbound) sensor — the Fig.-3 heterogeneity.
+    let ds = generate_pems(&PemsConfig {
+        num_nodes: 6,
+        num_days: 5,
+        ..Default::default()
+    });
+    let series: Vec<Vec<f64>> = (0..4).map(|n| ds.values.series(n, 0)).collect();
+    let corr = stats::correlation_matrix(&series);
+    assert!(
+        corr[(0, 2)] > corr[(0, 1)],
+        "same-direction corr {} must beat cross-direction {}",
+        corr[(0, 2)],
+        corr[(0, 1)]
+    );
+}

@@ -1,0 +1,177 @@
+//! Integration tests over the full baseline roster: every comparison model
+//! trains, predicts finitely, and the classical models behave as specified.
+
+use rihgcn::baselines::{
+    mean_fill_samples, AstgcnConfig, AstgcnLite, BaselineConfig, BaselineKind, DcrnnConfig,
+    DcrnnLite, GraphWaveNetConfig, GraphWaveNetLite, HistoricalAverage, StBaseline, VarModel,
+};
+use rihgcn::core::{evaluate_prediction, fit, prepare_split, Forecaster, TrainConfig};
+use rihgcn::data::{generate_pems, DatasetSplit, PemsConfig, WindowSampler, ZScore};
+use rihgcn::tensor::rng;
+
+fn setup() -> (DatasetSplit, ZScore) {
+    let ds = generate_pems(&PemsConfig {
+        num_nodes: 5,
+        num_days: 3,
+        ..Default::default()
+    });
+    let ds = ds.with_extra_missing(0.4, &mut rng(11));
+    prepare_split(&ds.split_chronological())
+}
+
+#[test]
+fn every_deep_baseline_trains_and_predicts() {
+    let (norm, z) = setup();
+    let sampler = WindowSampler::new(6, 3, 24);
+    let train = sampler.sample(&norm.train);
+    let test = sampler.sample(&norm.test);
+    let tc = TrainConfig {
+        max_epochs: 2,
+        batch_size: 8,
+        ..Default::default()
+    };
+
+    for kind in BaselineKind::all() {
+        let cfg = BaselineConfig {
+            gcn_dim: 4,
+            lstm_dim: 5,
+            cheb_k: 2,
+            history: 6,
+            horizon: 3,
+            ..Default::default()
+        };
+        let mut model = StBaseline::from_dataset(&norm.train, kind, cfg);
+        let (tr, te) = if kind.imputing() {
+            (train.clone(), test.clone())
+        } else {
+            (mean_fill_samples(&train), mean_fill_samples(&test))
+        };
+        let report = fit(&mut model, &tr, &[], &tc);
+        assert!(
+            report.train_losses.iter().all(|l| l.is_finite()),
+            "{}",
+            kind.name()
+        );
+        let m = evaluate_prediction(&model, &te, &z);
+        assert!(
+            m.mae.is_finite() && m.mae > 0.0,
+            "{} MAE {}",
+            kind.name(),
+            m.mae
+        );
+        assert!(m.mae < 60.0, "{} diverged: {}", kind.name(), m.mae);
+    }
+}
+
+#[test]
+fn comparator_architectures_train() {
+    let (norm, z) = setup();
+    let sampler = WindowSampler::new(6, 3, 24);
+    let train = mean_fill_samples(&sampler.sample(&norm.train));
+    let test = mean_fill_samples(&sampler.sample(&norm.test));
+    let tc = TrainConfig {
+        max_epochs: 2,
+        batch_size: 8,
+        ..Default::default()
+    };
+
+    let mut astgcn = AstgcnLite::from_dataset(
+        &norm.train,
+        AstgcnConfig {
+            gcn_dim: 4,
+            cheb_k: 2,
+            history: 6,
+            horizon: 3,
+            ..Default::default()
+        },
+    );
+    fit(&mut astgcn, &train, &[], &tc);
+    let m = evaluate_prediction(&astgcn, &test, &z);
+    assert!(m.mae.is_finite() && m.mae < 60.0, "ASTGCN MAE {}", m.mae);
+
+    let mut gwn = GraphWaveNetLite::from_dataset(
+        &norm.train,
+        GraphWaveNetConfig {
+            hidden_dim: 4,
+            embed_dim: 3,
+            history: 6,
+            horizon: 3,
+            ..Default::default()
+        },
+    );
+    fit(&mut gwn, &train, &[], &tc);
+    let m = evaluate_prediction(&gwn, &test, &z);
+    assert!(
+        m.mae.is_finite() && m.mae < 60.0,
+        "GraphWaveNet MAE {}",
+        m.mae
+    );
+
+    let mut dcrnn = DcrnnLite::from_dataset(
+        &norm.train,
+        DcrnnConfig {
+            hidden_dim: 4,
+            cheb_k: 2,
+            history: 6,
+            horizon: 3,
+            ..Default::default()
+        },
+    );
+    fit(&mut dcrnn, &train, &[], &tc);
+    let m = evaluate_prediction(&dcrnn, &test, &z);
+    assert!(m.mae.is_finite() && m.mae < 60.0, "DCRNN MAE {}", m.mae);
+}
+
+#[test]
+fn classical_models_are_competitive_on_their_home_turf() {
+    let (norm, z) = setup();
+    let sampler = WindowSampler::new(6, 3, 24);
+    let test = sampler.sample(&norm.test);
+
+    // HA on strongly periodic data is a solid yardstick.
+    let ha = HistoricalAverage::fit(&norm.train, 3);
+    let ha_m = evaluate_prediction(&ha, &test, &z);
+    assert!(
+        ha_m.mae.is_finite() && ha_m.mae < 30.0,
+        "HA MAE {}",
+        ha_m.mae
+    );
+
+    // VAR must be fittable and finite on mean-filled data.
+    let var = VarModel::fit(&norm.train, 3, 3).expect("VAR fit");
+    let var_m = evaluate_prediction(&var, &test, &z);
+    assert!(var_m.mae.is_finite(), "VAR MAE {}", var_m.mae);
+}
+
+#[test]
+fn untrained_vs_trained_gap_exists_for_deep_baselines() {
+    let (norm, z) = setup();
+    let sampler = WindowSampler::new(6, 3, 24);
+    let train = mean_fill_samples(&sampler.sample(&norm.train));
+    let test = mean_fill_samples(&sampler.sample(&norm.test));
+    let cfg = BaselineConfig {
+        gcn_dim: 4,
+        lstm_dim: 5,
+        cheb_k: 2,
+        history: 6,
+        horizon: 3,
+        ..Default::default()
+    };
+    let untrained = StBaseline::from_dataset(&norm.train, BaselineKind::GcnLstm, cfg.clone());
+    let before = evaluate_prediction(&untrained, &test, &z);
+    let mut model = StBaseline::from_dataset(&norm.train, BaselineKind::GcnLstm, cfg);
+    let tc = TrainConfig {
+        max_epochs: 5,
+        batch_size: 8,
+        learning_rate: 3e-3,
+        ..Default::default()
+    };
+    fit(&mut model, &train, &[], &tc);
+    let after = evaluate_prediction(&model, &test, &z);
+    assert!(
+        after.mae < before.mae,
+        "training must help: {} → {}",
+        before.mae,
+        after.mae
+    );
+}

@@ -1,0 +1,150 @@
+//! End-to-end integration: generate data → split → train RIHGCN → evaluate
+//! prediction and imputation, exercising every crate in the workspace.
+
+use rihgcn::core::{
+    evaluate_imputation, evaluate_prediction, fit, prepare_split, RihgcnConfig, RihgcnModel,
+    TrainConfig,
+};
+use rihgcn::data::{generate_pems, PemsConfig, WindowSampler};
+use rihgcn::tensor::rng;
+
+fn tiny_cfg() -> RihgcnConfig {
+    RihgcnConfig {
+        gcn_dim: 4,
+        lstm_dim: 6,
+        cheb_k: 2,
+        num_temporal_graphs: 2,
+        history: 6,
+        horizon: 3,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn rihgcn_full_pipeline_produces_sane_metrics() {
+    let ds = generate_pems(&PemsConfig {
+        num_nodes: 5,
+        num_days: 3,
+        ..Default::default()
+    });
+    let ds = ds.with_extra_missing(0.4, &mut rng(42));
+    let (norm, z) = prepare_split(&ds.split_chronological());
+    let sampler = WindowSampler::new(6, 3, 24);
+    let train = sampler.sample(&norm.train);
+    let val = sampler.sample(&norm.val);
+    let test = sampler.sample(&norm.test);
+    assert!(!train.is_empty() && !test.is_empty());
+
+    let mut model = RihgcnModel::from_dataset(&norm.train, tiny_cfg());
+    let tc = TrainConfig {
+        max_epochs: 3,
+        batch_size: 8,
+        ..Default::default()
+    };
+    let report = fit(&mut model, &train, &val, &tc);
+    assert!(report.epochs() >= 1);
+    assert!(report.train_losses.iter().all(|l| l.is_finite()));
+
+    let pred = evaluate_prediction(&model, &test, &z);
+    // Speeds are ~20–70 mph; a sane model is well inside this band.
+    assert!(
+        pred.mae > 0.0 && pred.mae < 40.0,
+        "prediction MAE {}",
+        pred.mae
+    );
+    assert!(pred.rmse >= pred.mae);
+
+    let imp = evaluate_imputation(&model, &test, &z);
+    assert!(
+        imp.mae > 0.0 && imp.mae < 40.0,
+        "imputation MAE {}",
+        imp.mae
+    );
+}
+
+#[test]
+fn training_beats_untrained_model() {
+    let ds = generate_pems(&PemsConfig {
+        num_nodes: 5,
+        num_days: 3,
+        ..Default::default()
+    });
+    let ds = ds.with_extra_missing(0.3, &mut rng(7));
+    let (norm, z) = prepare_split(&ds.split_chronological());
+    let sampler = WindowSampler::new(6, 3, 24);
+    let train = sampler.sample(&norm.train);
+    let test = sampler.sample(&norm.test);
+
+    let untrained = RihgcnModel::from_dataset(&norm.train, tiny_cfg());
+    let before = evaluate_prediction(&untrained, &test, &z);
+
+    let mut model = RihgcnModel::from_dataset(&norm.train, tiny_cfg());
+    let tc = TrainConfig {
+        max_epochs: 5,
+        batch_size: 8,
+        learning_rate: 3e-3,
+        ..Default::default()
+    };
+    fit(&mut model, &train, &[], &tc);
+    let after = evaluate_prediction(&model, &test, &z);
+
+    assert!(
+        after.mae < before.mae,
+        "training must help: untrained {} vs trained {}",
+        before.mae,
+        after.mae
+    );
+}
+
+#[test]
+fn stampede_pipeline_handles_structural_missingness() {
+    use rihgcn::data::{generate_stampede, StampedeConfig};
+    let ds = generate_stampede(&StampedeConfig {
+        num_days: 4,
+        ..Default::default()
+    });
+    assert!(
+        ds.missing_rate() > 0.5,
+        "roving data must be mostly missing"
+    );
+    let (norm, z) = prepare_split(&ds.split_chronological());
+    let sampler = WindowSampler::new(6, 3, 36);
+    let train = sampler.sample(&norm.train);
+    let test = sampler.sample(&norm.test);
+    assert!(!train.is_empty() && !test.is_empty());
+
+    let mut model = RihgcnModel::from_dataset(&norm.train, tiny_cfg());
+    let tc = TrainConfig {
+        max_epochs: 2,
+        batch_size: 8,
+        ..Default::default()
+    };
+    fit(&mut model, &train, &[], &tc);
+    let pred = evaluate_prediction(&model, &test, &z);
+    // Travel times are tens–hundreds of seconds.
+    assert!(pred.mae.is_finite() && pred.mae > 0.0 && pred.mae < 500.0);
+}
+
+#[test]
+fn deterministic_given_seeds() {
+    let build = || {
+        let ds = generate_pems(&PemsConfig {
+            num_nodes: 4,
+            num_days: 2,
+            ..Default::default()
+        });
+        let ds = ds.with_extra_missing(0.3, &mut rng(5));
+        let (norm, _) = prepare_split(&ds.split_chronological());
+        let sampler = WindowSampler::new(6, 3, 24);
+        let train = sampler.sample(&norm.train);
+        let mut model = RihgcnModel::from_dataset(&norm.train, tiny_cfg());
+        let tc = TrainConfig {
+            max_epochs: 2,
+            batch_size: 4,
+            ..Default::default()
+        };
+        let report = fit(&mut model, &train, &[], &tc);
+        report.train_losses
+    };
+    assert_eq!(build(), build(), "identical seeds must give identical runs");
+}
