@@ -1,11 +1,11 @@
 //! Property test: randomly composed tape programs must gradcheck.
 
-use proptest::prelude::*;
 use st_autodiff::{check_gradient, Tape, Var};
+use st_check::{prop_assert, prop_assume, Check, Gen};
 use st_tensor::Matrix;
 
 /// One step of a randomly chosen smooth operation.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 enum OpChoice {
     Tanh,
     Sigmoid,
@@ -15,15 +15,38 @@ enum OpChoice {
     MatmulConst,
 }
 
-fn op_strategy() -> impl Strategy<Value = OpChoice> {
-    prop_oneof![
-        Just(OpChoice::Tanh),
-        Just(OpChoice::Sigmoid),
-        Just(OpChoice::Scale),
-        Just(OpChoice::AddConst),
-        Just(OpChoice::MulSelf),
-        Just(OpChoice::MatmulConst),
-    ]
+const ALL_OPS: [OpChoice; 6] = [
+    OpChoice::Tanh,
+    OpChoice::Sigmoid,
+    OpChoice::Scale,
+    OpChoice::AddConst,
+    OpChoice::MulSelf,
+    OpChoice::MatmulConst,
+];
+
+fn gen_ops(g: &mut Gen, max_len: usize) -> Vec<OpChoice> {
+    let len = g.usize_in(1, max_len);
+    (0..len).map(|_| *g.choose(&ALL_OPS)).collect()
+}
+
+/// Shrinks a failing program by dropping ops (data is shrunk element-wise).
+fn shrink_case(case: &(Vec<OpChoice>, Vec<f64>)) -> Vec<(Vec<OpChoice>, Vec<f64>)> {
+    use st_check::Shrink;
+    let (ops, data) = case;
+    let mut out = Vec::new();
+    for i in 0..ops.len() {
+        let mut fewer = ops.clone();
+        fewer.remove(i);
+        if !fewer.is_empty() {
+            out.push((fewer, data.clone()));
+        }
+    }
+    for cand in data.shrink() {
+        if cand.len() == data.len() {
+            out.push((ops.clone(), cand));
+        }
+    }
+    out
 }
 
 fn apply(tape: &mut Tape, x: Var, op: OpChoice) -> Var {
@@ -43,51 +66,61 @@ fn apply(tape: &mut Tape, x: Var, op: OpChoice) -> Var {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn random_programs_gradcheck() {
+    Check::new("random_programs_gradcheck")
+        .cases(48)
+        .run_with_shrink(
+            |g| (gen_ops(g, 6), g.vec_f64(6, -0.9, 0.9)),
+            shrink_case,
+            |(ops, data)| {
+                prop_assume!(!ops.is_empty() && data.len() == 6);
+                let at = Matrix::from_vec(2, 3, data.clone());
+                let build = |tape: &mut Tape, p: Var| -> Var {
+                    let mut x = p;
+                    for &op in ops {
+                        x = apply(tape, x, op);
+                    }
+                    tape.mean(x)
+                };
+                let mut tape = Tape::new();
+                let p = tape.parameter(at.clone());
+                let loss = build(&mut tape, p);
+                tape.backward(loss);
+                let analytic = tape.grad(p);
 
-    #[test]
-    fn random_programs_gradcheck(
-        ops in proptest::collection::vec(op_strategy(), 1..6),
-        data in proptest::collection::vec(-0.9f64..0.9, 6),
-    ) {
-        let at = Matrix::from_vec(2, 3, data);
-        let build = |tape: &mut Tape, p: Var| -> Var {
-            let mut x = p;
-            for &op in &ops {
-                x = apply(tape, x, op);
-            }
-            tape.mean(x)
-        };
-        let mut tape = Tape::new();
-        let p = tape.parameter(at.clone());
-        let loss = build(&mut tape, p);
-        tape.backward(loss);
-        let analytic = tape.grad(p);
+                let res = check_gradient(&at, &analytic, 1e-6, |m| {
+                    let mut t = Tape::new();
+                    let p = t.parameter(m.clone());
+                    let l = build(&mut t, p);
+                    t.value(l)[(0, 0)]
+                });
+                prop_assert!(res.passes(1e-4), "ops {ops:?} failed: {res:?}");
+                Ok(())
+            },
+        );
+}
 
-        let res = check_gradient(&at, &analytic, 1e-6, |m| {
-            let mut t = Tape::new();
-            let p = t.parameter(m.clone());
-            let l = build(&mut t, p);
-            t.value(l)[(0, 0)]
-        });
-        prop_assert!(res.passes(1e-4), "ops {:?} failed: {:?}", ops, res);
-    }
-
-    #[test]
-    fn gradients_always_finite(
-        ops in proptest::collection::vec(op_strategy(), 1..8),
-        data in proptest::collection::vec(-3.0f64..3.0, 6),
-    ) {
-        let at = Matrix::from_vec(2, 3, data);
-        let mut tape = Tape::new();
-        let p = tape.parameter(at);
-        let mut x = p;
-        for &op in &ops {
-            x = apply(&mut tape, x, op);
-        }
-        let loss = tape.mean(x);
-        tape.backward(loss);
-        prop_assert!(tape.grad(p).is_finite());
-    }
+#[test]
+fn gradients_always_finite() {
+    Check::new("gradients_always_finite")
+        .cases(48)
+        .run_with_shrink(
+            |g| (gen_ops(g, 8), g.vec_f64(6, -3.0, 3.0)),
+            shrink_case,
+            |(ops, data)| {
+                prop_assume!(!ops.is_empty() && data.len() == 6);
+                let at = Matrix::from_vec(2, 3, data.clone());
+                let mut tape = Tape::new();
+                let p = tape.parameter(at);
+                let mut x = p;
+                for &op in ops {
+                    x = apply(&mut tape, x, op);
+                }
+                let loss = tape.mean(x);
+                tape.backward(loss);
+                prop_assert!(tape.grad(p).is_finite());
+                Ok(())
+            },
+        );
 }

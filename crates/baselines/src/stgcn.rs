@@ -13,7 +13,7 @@ use st_autodiff::Var;
 use st_data::{TrafficDataset, WindowSample};
 use st_graph::{gaussian_adjacency, scaled_laplacian_from_adjacency};
 use st_nn::{Activation, ChebGcn, Linear, ParamStore, Session};
-use st_tensor::{rng, Matrix};
+use st_tensor::{rng, Matrix, StRng};
 
 /// Hyper-parameters for [`StgcnLite`].
 #[derive(Debug, Clone, PartialEq)]
@@ -59,7 +59,7 @@ struct GatedTemporalConv {
 impl GatedTemporalConv {
     fn new(
         store: &mut ParamStore,
-        init: &mut rand::rngs::StdRng,
+        init: &mut StRng,
         in_dim: usize,
         out_dim: usize,
         kernel: usize,

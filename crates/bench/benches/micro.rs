@@ -1,8 +1,15 @@
-//! Criterion micro-benchmarks for the computational kernels behind the
-//! experiments: dense matmul, Chebyshev GCN forward, LSTM step, DTW,
-//! adjacency construction, and a full RIHGCN forward+backward step.
+//! Micro-benchmarks for the computational kernels behind the experiments:
+//! dense matmul, Chebyshev GCN forward, LSTM step, DTW, adjacency
+//! construction, and a full RIHGCN forward+backward step.
+//!
+//! Runs on the in-tree timing harness (`rihgcn_bench::timing`) so the
+//! workspace needs no external benchmark crate:
+//!
+//! ```text
+//! cargo bench -p rihgcn-bench --bench micro
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rihgcn_bench::timing::Runner;
 use rihgcn_core::{Forecaster, RihgcnConfig, RihgcnModel};
 use st_autodiff::Tape;
 use st_data::{generate_pems, DayProfiles, PemsConfig, WindowSampler};
@@ -10,20 +17,15 @@ use st_graph::{dtw, gaussian_adjacency, scaled_laplacian_from_adjacency, Interva
 use st_nn::{Activation, ChebGcn, LstmCell, ParamStore, Session};
 use st_tensor::{rng, uniform_matrix, Matrix};
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matmul");
+fn bench_matmul(runner: &mut Runner) {
     for &n in &[16usize, 64, 128] {
         let a = uniform_matrix(&mut rng(1), n, n, -1.0, 1.0);
         let b = uniform_matrix(&mut rng(2), n, n, -1.0, 1.0);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| a.matmul(&b));
-        });
+        runner.bench(&format!("matmul/{n}"), || a.matmul(&b));
     }
-    group.finish();
 }
 
-fn bench_gcn_forward(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cheb_gcn_forward");
+fn bench_gcn_forward(runner: &mut Runner) {
     for &n in &[10usize, 50] {
         let net = RoadNetwork::corridor(n, 1.0);
         let adj = gaussian_adjacency(&net.distance_matrix(), None, 0.1);
@@ -31,75 +33,64 @@ fn bench_gcn_forward(c: &mut Criterion) {
         let mut store = ParamStore::new();
         let gcn = ChebGcn::new(&mut store, &mut rng(3), 4, 16, 3, Activation::Relu, "g");
         let x0 = uniform_matrix(&mut rng(4), n, 4, -1.0, 1.0);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| {
-                let mut sess = Session::new(&store);
-                let x = sess.constant(x0.clone());
-                gcn.forward(&mut sess, &store, &lap, x)
-            });
+        runner.bench(&format!("cheb_gcn_forward/{n}"), || {
+            let mut sess = Session::new(&store);
+            let x = sess.constant(x0.clone());
+            gcn.forward(&mut sess, &store, &lap, x)
         });
     }
-    group.finish();
 }
 
-fn bench_lstm_step(c: &mut Criterion) {
+fn bench_lstm_step(runner: &mut Runner) {
     let mut store = ParamStore::new();
     let cell = LstmCell::new(&mut store, &mut rng(5), 20, 32, "lstm");
     let x0 = uniform_matrix(&mut rng(6), 16, 20, -1.0, 1.0);
-    c.bench_function("lstm_step_batch16", |bench| {
-        bench.iter(|| {
-            let mut sess = Session::new(&store);
-            let state = cell.zero_state(&mut sess, 16);
-            let x = sess.constant(x0.clone());
-            cell.step(&mut sess, &store, x, &state)
-        });
+    runner.bench("lstm_step_batch16", || {
+        let mut sess = Session::new(&store);
+        let state = cell.zero_state(&mut sess, 16);
+        let x = sess.constant(x0.clone());
+        cell.step(&mut sess, &store, x, &state)
     });
 }
 
-fn bench_dtw(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dtw");
+fn bench_dtw(runner: &mut Runner) {
     for &len in &[24usize, 288] {
         let a: Vec<f64> = (0..len).map(|i| (i as f64 * 0.1).sin()).collect();
         let b: Vec<f64> = (0..len).map(|i| (i as f64 * 0.11 + 0.4).sin()).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |bench, _| {
-            bench.iter(|| dtw(&a, &b));
-        });
+        runner.bench(&format!("dtw/{len}"), || dtw(&a, &b));
     }
-    group.finish();
 }
 
-fn bench_adjacency_build(c: &mut Criterion) {
+fn bench_adjacency_build(runner: &mut Runner) {
     let ds = generate_pems(&PemsConfig {
         num_nodes: 8,
         num_days: 3,
         ..Default::default()
     });
     let profiles = DayProfiles::from_dataset(&ds);
-    c.bench_function("temporal_adjacency_8nodes", |bench| {
-        bench.iter(|| profiles.interval_adjacency(Interval::new(84, 132), 0.1));
+    runner.bench("temporal_adjacency_8nodes", || {
+        profiles.interval_adjacency(Interval::new(84, 132), 0.1)
     });
 }
 
-fn bench_backward_sweep(c: &mut Criterion) {
+fn bench_backward_sweep(runner: &mut Runner) {
     // A deep chain stressing the reverse sweep.
-    c.bench_function("tape_backward_chain100", |bench| {
-        let w0 = uniform_matrix(&mut rng(7), 16, 16, -0.3, 0.3);
-        bench.iter(|| {
-            let mut tape = Tape::new();
-            let w = tape.parameter(w0.clone());
-            let mut x = tape.constant(Matrix::ones(4, 16));
-            for _ in 0..100 {
-                let h = tape.matmul(x, w);
-                x = tape.tanh(h);
-            }
-            let loss = tape.mean(x);
-            tape.backward(loss);
-            tape.grad(w)
-        });
+    let w0 = uniform_matrix(&mut rng(7), 16, 16, -0.3, 0.3);
+    runner.bench("tape_backward_chain100", || {
+        let mut tape = Tape::new();
+        let w = tape.parameter(w0.clone());
+        let mut x = tape.constant(Matrix::ones(4, 16));
+        for _ in 0..100 {
+            let h = tape.matmul(x, w);
+            x = tape.tanh(h);
+        }
+        let loss = tape.mean(x);
+        tape.backward(loss);
+        tape.grad(w)
     });
 }
 
-fn bench_imputers(c: &mut Criterion) {
+fn bench_imputers(runner: &mut Runner) {
     use rihgcn_baselines::{knn_impute, last_observed_fill, matrix_factorization_impute};
     use st_data::drop_observed;
     let ds = generate_pems(&PemsConfig {
@@ -112,21 +103,16 @@ fn bench_imputers(c: &mut Criterion) {
         0.4,
         &mut rng(9),
     );
-    let mut group = c.benchmark_group("imputers");
-    group.sample_size(10);
-    group.bench_function("last_observed", |b| {
-        b.iter(|| last_observed_fill(&ds.values, &mask));
+    runner.bench("imputers/last_observed", || {
+        last_observed_fill(&ds.values, &mask)
     });
-    group.bench_function("knn_k3", |b| {
-        b.iter(|| knn_impute(&ds.values, &mask, 3));
+    runner.bench("imputers/knn_k3", || knn_impute(&ds.values, &mask, 3));
+    runner.bench("imputers/mf_rank4_iters5", || {
+        matrix_factorization_impute(&ds.values, &mask, 4, 5, 1)
     });
-    group.bench_function("mf_rank4_iters5", |b| {
-        b.iter(|| matrix_factorization_impute(&ds.values, &mask, 4, 5, 1));
-    });
-    group.finish();
 }
 
-fn bench_rihgcn_step(c: &mut Criterion) {
+fn bench_rihgcn_step(runner: &mut Runner) {
     let ds = generate_pems(&PemsConfig {
         num_nodes: 8,
         num_days: 3,
@@ -141,28 +127,22 @@ fn bench_rihgcn_step(c: &mut Criterion) {
     };
     let mut model = RihgcnModel::from_dataset(&ds, cfg);
     let sample = WindowSampler::paper_default().window_at(&ds, 0);
-    c.bench_function("rihgcn_forward_backward", |bench| {
-        bench.iter(|| model.accumulate_gradients(&sample));
+    runner.bench("rihgcn_forward_backward", || {
+        model.accumulate_gradients(&sample)
     });
-    c.bench_function("rihgcn_forward_only", |bench| {
-        bench.iter(|| model.forward(&sample));
-    });
+    let model = model;
+    runner.bench("rihgcn_forward_only", || model.forward(&sample));
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(20)
-        .measurement_time(std::time::Duration::from_secs(3))
-        .warm_up_time(std::time::Duration::from_millis(500));
-    targets =
-        bench_matmul,
-        bench_gcn_forward,
-        bench_lstm_step,
-        bench_dtw,
-        bench_adjacency_build,
-        bench_backward_sweep,
-        bench_imputers,
-        bench_rihgcn_step
+fn main() {
+    let mut runner = Runner::from_env();
+    bench_matmul(&mut runner);
+    bench_gcn_forward(&mut runner);
+    bench_lstm_step(&mut runner);
+    bench_dtw(&mut runner);
+    bench_adjacency_build(&mut runner);
+    bench_backward_sweep(&mut runner);
+    bench_imputers(&mut runner);
+    bench_rihgcn_step(&mut runner);
+    eprintln!("{} benchmarks completed", runner.results().len());
 }
-criterion_main!(benches);

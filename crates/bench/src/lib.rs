@@ -36,6 +36,8 @@ use st_data::{
 };
 use st_nn::{ErrorAccum, Metrics};
 
+pub mod timing;
+
 /// Experiment scale: dataset size, model capacity, training budget.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scale {

@@ -1,0 +1,132 @@
+//! Seeded input generation for property cases.
+
+use st_tensor::{Matrix, StRng, Tensor3};
+
+/// Source of random test inputs for one property case.
+///
+/// Thin convenience wrapper over [`StRng`]: each case gets its own `Gen`
+/// seeded from the suite seed and the case index, so any failure can be
+/// replayed from the numbers in the panic message.
+#[derive(Debug, Clone)]
+pub struct Gen {
+    rng: StRng,
+}
+
+impl Gen {
+    /// Creates a generator for the given case seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Direct access to the underlying RNG.
+    pub fn rng(&mut self) -> &mut StRng {
+        &mut self.rng
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Uniform `u64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// `true` with probability `p`.
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p)
+    }
+
+    /// Vector of `len` uniform draws from `[lo, hi)`.
+    pub fn vec_f64(&mut self, len: usize, lo: f64, hi: f64) -> Vec<f64> {
+        (0..len).map(|_| self.f64_in(lo, hi)).collect()
+    }
+
+    /// Uniform index into a collection of length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn index(&mut self, len: usize) -> usize {
+        self.usize_in(0, len)
+    }
+
+    /// Uniformly chosen element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// `rows × cols` matrix with entries uniform in `[lo, hi)`.
+    pub fn matrix(&mut self, rows: usize, cols: usize, lo: f64, hi: f64) -> Matrix {
+        Matrix::from_fn(rows, cols, |_, _| self.f64_in(lo, hi))
+    }
+
+    /// `n × d × t` tensor with entries uniform in `[lo, hi)`.
+    pub fn tensor3(&mut self, n: usize, d: usize, t: usize, lo: f64, hi: f64) -> Tensor3 {
+        let mut cube = Tensor3::zeros(n, d, t);
+        for x in cube.as_mut_slice() {
+            *x = self.f64_in(lo, hi);
+        }
+        cube
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_inputs() {
+        let mut a = Gen::new(5);
+        let mut b = Gen::new(5);
+        assert_eq!(a.vec_f64(10, -1.0, 1.0), b.vec_f64(10, -1.0, 1.0));
+        assert_eq!(a.usize_in(0, 100), b.usize_in(0, 100));
+    }
+
+    #[test]
+    fn matrix_has_requested_shape_and_bounds() {
+        let m = Gen::new(1).matrix(3, 4, -2.0, 2.0);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.as_slice().iter().all(|&x| (-2.0..2.0).contains(&x)));
+    }
+
+    #[test]
+    fn tensor3_fills_every_entry() {
+        let t = Gen::new(2).tensor3(2, 3, 4, 1.0, 2.0);
+        assert_eq!(t.shape(), (2, 3, 4));
+        assert!(t.as_slice().iter().all(|&x| (1.0..2.0).contains(&x)));
+    }
+
+    #[test]
+    fn choose_returns_member() {
+        let items = [10, 20, 30];
+        let mut g = Gen::new(3);
+        for _ in 0..20 {
+            assert!(items.contains(g.choose(&items)));
+        }
+    }
+}

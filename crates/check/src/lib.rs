@@ -1,0 +1,92 @@
+//! Minimal seeded property-testing harness.
+//!
+//! The workspace builds hermetically with zero registry dependencies, so
+//! property-based tests cannot use `proptest`. This crate provides the small
+//! subset the workspace actually needs:
+//!
+//! * **seeded case generation** — every case derives its input from a
+//!   [`Gen`] seeded by `(suite seed, case index)`, so failures replay
+//!   exactly;
+//! * **configurable case count** — [`Check::cases`];
+//! * **failing-input reporting** — failures panic with the case index, the
+//!   replay seed, the original failing input and the shrunk input;
+//! * **basic shrinking** — the [`Shrink`] trait proposes structurally
+//!   smaller candidates (toward zero / shorter vectors) and the runner
+//!   greedily descends while the property keeps failing.
+//!
+//! Properties return `Result<(), String>`; the [`prop_assert!`],
+//! [`prop_assert_eq!`] and [`prop_assume!`] macros mirror the `proptest`
+//! macros of the same names so ports are mechanical.
+//!
+//! # Examples
+//!
+//! ```
+//! use st_check::{prop_assert, Check};
+//!
+//! Check::new("addition_commutes").cases(50).run(
+//!     |g| (g.f64_in(-100.0, 100.0), g.f64_in(-100.0, 100.0)),
+//!     |&(a, b)| {
+//!         prop_assert!((a + b - (b + a)).abs() < 1e-12);
+//!         Ok(())
+//!     },
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+mod gen;
+mod runner;
+mod shrink;
+
+pub use gen::Gen;
+pub use runner::Check;
+pub use shrink::Shrink;
+
+/// Fails the property with a message unless the condition holds.
+///
+/// Inside a property body (which returns `Result<(), String>`), evaluates
+/// the condition and early-returns an `Err` describing it on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($arg:tt)+) => {
+        if !$cond {
+            return Err(format!($($arg)+));
+        }
+    };
+}
+
+/// Fails the property unless both expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (lhs, rhs) = (&$left, &$right);
+        if !(lhs == rhs) {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                lhs,
+                rhs
+            ));
+        }
+    }};
+}
+
+/// Vacuously passes the case when the precondition does not hold.
+///
+/// Shrink candidates that fall outside a property's precondition are
+/// discarded through the same path, so shrinking never "minimises" into
+/// inputs the generator could not have produced.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}

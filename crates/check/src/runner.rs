@@ -1,0 +1,261 @@
+//! Property runner: case loop, failure reporting and shrink descent.
+
+use crate::{Gen, Shrink};
+use st_tensor::splitmix64;
+use std::fmt::Debug;
+
+/// Default number of cases per property.
+const DEFAULT_CASES: usize = 100;
+
+/// Default bound on total shrink attempts per failure.
+const DEFAULT_MAX_SHRINK_ITERS: usize = 1024;
+
+/// Suite seed used unless overridden; arbitrary but fixed so every CI run
+/// tests the same inputs.
+const DEFAULT_SEED: u64 = 0x5EED_CA5E;
+
+/// One property check: a name, a case budget and a seed.
+///
+/// # Examples
+///
+/// ```
+/// use st_check::{prop_assert, Check};
+///
+/// Check::new("reverse_twice_is_identity").cases(32).run(
+///     |g| {
+///         let len = g.usize_in(0, 16);
+///         g.vec_f64(len, -5.0, 5.0)
+///     },
+///     |v| {
+///         let mut w = v.clone();
+///         w.reverse();
+///         w.reverse();
+///         prop_assert!(w == *v);
+///         Ok(())
+///     },
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct Check {
+    name: String,
+    cases: usize,
+    seed: u64,
+    max_shrink_iters: usize,
+}
+
+impl Check {
+    /// Creates a check with the default case count and seed.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            cases: DEFAULT_CASES,
+            seed: DEFAULT_SEED,
+            max_shrink_iters: DEFAULT_MAX_SHRINK_ITERS,
+        }
+    }
+
+    /// Sets the number of generated cases.
+    pub fn cases(mut self, cases: usize) -> Self {
+        self.cases = cases;
+        self
+    }
+
+    /// Sets the suite seed (each case derives its own sub-seed from it).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Bounds the total number of shrink attempts after a failure.
+    pub fn max_shrink_iters(mut self, iters: usize) -> Self {
+        self.max_shrink_iters = iters;
+        self
+    }
+
+    /// Runs the property over generated inputs, shrinking failures with the
+    /// input type's [`Shrink`] implementation.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a replayable report if any case fails.
+    pub fn run<T, G, P>(self, generate: G, property: P)
+    where
+        T: Clone + Debug + Shrink,
+        G: Fn(&mut Gen) -> T,
+        P: Fn(&T) -> Result<(), String>,
+    {
+        self.run_with_shrink(generate, |t| t.shrink(), property);
+    }
+
+    /// Runs the property with an explicit shrinker, for input types whose
+    /// structural invariants the generic [`Shrink`] candidates would break.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a replayable report if any case fails.
+    pub fn run_with_shrink<T, G, S, P>(self, generate: G, shrink: S, property: P)
+    where
+        T: Clone + Debug,
+        G: Fn(&mut Gen) -> T,
+        S: Fn(&T) -> Vec<T>,
+        P: Fn(&T) -> Result<(), String>,
+    {
+        for case in 0..self.cases {
+            let case_seed = case_seed(self.seed, case);
+            let input = generate(&mut Gen::new(case_seed));
+            if let Err(error) = property(&input) {
+                let (minimal, minimal_error, steps) =
+                    self.descend(input.clone(), error.clone(), &shrink, &property);
+                panic!(
+                    "property '{name}' failed at case {case}/{cases} (case seed {seed:#x})\n\
+                     original input: {input:?}\n\
+                     original error: {error}\n\
+                     shrunk input ({steps} shrink steps): {minimal:?}\n\
+                     shrunk error: {minimal_error}",
+                    name = self.name,
+                    cases = self.cases,
+                    seed = case_seed,
+                );
+            }
+        }
+    }
+
+    /// Greedy shrink descent: repeatedly move to the first candidate that
+    /// still fails, until no candidate fails or the attempt budget runs out.
+    fn descend<T, S, P>(
+        &self,
+        input: T,
+        error: String,
+        shrink: &S,
+        property: &P,
+    ) -> (T, String, usize)
+    where
+        T: Clone + Debug,
+        S: Fn(&T) -> Vec<T>,
+        P: Fn(&T) -> Result<(), String>,
+    {
+        let mut current = input;
+        let mut current_error = error;
+        let mut attempts = 0usize;
+        let mut steps = 0usize;
+        'descend: while attempts < self.max_shrink_iters {
+            for candidate in shrink(&current) {
+                attempts += 1;
+                if let Err(e) = property(&candidate) {
+                    current = candidate;
+                    current_error = e;
+                    steps += 1;
+                    continue 'descend;
+                }
+                if attempts >= self.max_shrink_iters {
+                    break 'descend;
+                }
+            }
+            break;
+        }
+        (current, current_error, steps)
+    }
+}
+
+/// Derives the per-case seed from the suite seed and case index.
+fn case_seed(suite_seed: u64, case: usize) -> u64 {
+    let mut state = suite_seed ^ (case as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+    splitmix64(&mut state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop_assert;
+
+    #[test]
+    fn passing_property_completes() {
+        Check::new("tautology")
+            .cases(20)
+            .run(|g| g.usize_in(0, 10), |_| Ok(()));
+    }
+
+    #[test]
+    fn case_seeds_are_distinct() {
+        let seeds: Vec<u64> = (0..100).map(|c| case_seed(DEFAULT_SEED, c)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len());
+    }
+
+    #[test]
+    fn failure_reports_shrunk_input() {
+        let result = std::panic::catch_unwind(|| {
+            Check::new("all_below_fifty").cases(200).run(
+                |g| g.usize_in(0, 1000),
+                |&n| {
+                    prop_assert!(n < 50, "{n} is not below 50");
+                    Ok(())
+                },
+            );
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        // Greedy halving/decrement descent must land on the boundary case.
+        assert!(msg.contains("shrunk input"), "message was: {msg}");
+        assert!(msg.contains(": 50\n"), "not minimal: {msg}");
+    }
+
+    #[test]
+    fn failures_replay_deterministically() {
+        let run = || {
+            std::panic::catch_unwind(|| {
+                Check::new("big_vecs_fail").cases(50).run(
+                    |g| {
+                        let len = g.usize_in(0, 20);
+                        g.vec_f64(len, -1.0, 1.0)
+                    },
+                    |v| {
+                        prop_assert!(v.len() < 10);
+                        Ok(())
+                    },
+                );
+            })
+        };
+        let a = *run().unwrap_err().downcast::<String>().unwrap();
+        let b = *run().unwrap_err().downcast::<String>().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn explicit_shrinker_preserves_invariants() {
+        // Inputs must stay even; the custom shrinker only halves to even.
+        let result = std::panic::catch_unwind(|| {
+            Check::new("even_below_twenty").cases(100).run_with_shrink(
+                |g| 2 * g.usize_in(0, 500),
+                |&n| {
+                    if n >= 2 {
+                        vec![n - 2, n / 2 * 2 - 2]
+                    } else {
+                        vec![]
+                    }
+                },
+                |&n| {
+                    prop_assert!(n % 2 == 0, "shrinker broke evenness: {n}");
+                    prop_assert!(n < 20);
+                    Ok(())
+                },
+            );
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains(": 20\n"), "not minimal even: {msg}");
+    }
+
+    #[test]
+    fn shrink_budget_is_respected() {
+        // A shrinker that always proposes a failing candidate would loop
+        // forever without the budget.
+        let result = std::panic::catch_unwind(|| {
+            Check::new("budget")
+                .cases(1)
+                .max_shrink_iters(17)
+                .run_with_shrink(|_| 1usize, |&n| vec![n], |_| Err("always fails".into()));
+        });
+        assert!(result.is_err());
+    }
+}

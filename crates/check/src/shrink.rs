@@ -1,0 +1,207 @@
+//! Structural shrinking of failing inputs.
+
+use st_tensor::{Matrix, Tensor3};
+
+/// Proposes structurally smaller candidates for a failing input.
+///
+/// The runner tries candidates in order and greedily recurses into the
+/// first one that still fails the property, so earlier candidates should be
+/// the most aggressive simplifications (zero, half length) and later ones
+/// the gentler per-element tweaks. Implementations need not guarantee
+/// strict progress — the runner bounds the total number of shrink
+/// attempts.
+pub trait Shrink: Sized {
+    /// Candidate simplifications of `self`, most aggressive first.
+    /// An empty vector means the value is already minimal.
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+impl Shrink for f64 {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        let mut push = |c: f64| {
+            if c != *self && !out.contains(&c) {
+                out.push(c);
+            }
+        };
+        if self.is_finite() {
+            push(0.0);
+            push(self.trunc());
+            push(self / 2.0);
+        } else {
+            push(0.0);
+        }
+        out
+    }
+}
+
+impl Shrink for usize {
+    fn shrink(&self) -> Vec<Self> {
+        match *self {
+            0 => Vec::new(),
+            1 => vec![0],
+            n => vec![n / 2, n - 1],
+        }
+    }
+}
+
+impl Shrink for u64 {
+    fn shrink(&self) -> Vec<Self> {
+        match *self {
+            0 => Vec::new(),
+            1 => vec![0],
+            n => vec![n / 2, n - 1],
+        }
+    }
+}
+
+impl Shrink for bool {
+    fn shrink(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Cap on the number of candidates a single `shrink` call returns, so deep
+/// structures do not produce quadratic candidate lists.
+const MAX_CANDIDATES: usize = 64;
+
+impl<T: Shrink + Clone> Shrink for Vec<T> {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        // Structural shrinks first: half the vector, then drop one element.
+        if self.len() > 1 {
+            out.push(self[..self.len() / 2].to_vec());
+            out.push(self[..self.len() - 1].to_vec());
+        }
+        // Element-wise shrinks, one position at a time.
+        'outer: for (i, item) in self.iter().enumerate() {
+            for cand in item.shrink() {
+                if out.len() >= MAX_CANDIDATES {
+                    break 'outer;
+                }
+                let mut copy = self.clone();
+                copy[i] = cand;
+                out.push(copy);
+            }
+        }
+        out
+    }
+}
+
+impl Shrink for Matrix {
+    fn shrink(&self) -> Vec<Self> {
+        if self.is_empty() || self.as_slice().iter().all(|&x| x == 0.0) {
+            return Vec::new();
+        }
+        vec![
+            Matrix::zeros(self.rows(), self.cols()),
+            self.map(|x| x.trunc()),
+            self.map(|x| x / 2.0),
+        ]
+        .into_iter()
+        .filter(|c| c != self)
+        .collect()
+    }
+}
+
+impl Shrink for Tensor3 {
+    fn shrink(&self) -> Vec<Self> {
+        if self.is_empty() || self.as_slice().iter().all(|&x| x == 0.0) {
+            return Vec::new();
+        }
+        let (n, d, t) = self.shape();
+        vec![
+            Tensor3::zeros(n, d, t),
+            self.map(|x| x.trunc()),
+            self.map(|x| x / 2.0),
+        ]
+        .into_iter()
+        .filter(|c| c != self)
+        .collect()
+    }
+}
+
+macro_rules! impl_shrink_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Shrink + Clone),+> Shrink for ($($name,)+) {
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink() {
+                        if out.len() >= MAX_CANDIDATES {
+                            break;
+                        }
+                        let mut copy = self.clone();
+                        copy.$idx = cand;
+                        out.push(copy);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+impl_shrink_tuple!(A: 0);
+impl_shrink_tuple!(A: 0, B: 1);
+impl_shrink_tuple!(A: 0, B: 1, C: 2);
+impl_shrink_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_scalar_is_minimal() {
+        assert!(0.0f64.shrink().is_empty());
+        assert!(0usize.shrink().is_empty());
+        assert!(0u64.shrink().is_empty());
+        assert!(false.shrink().is_empty());
+    }
+
+    #[test]
+    fn f64_shrinks_toward_zero_and_integers() {
+        let c = 3.7f64.shrink();
+        assert!(c.contains(&0.0));
+        assert!(c.contains(&3.0));
+        assert!(c.contains(&1.85));
+    }
+
+    #[test]
+    fn usize_candidates_strictly_decrease() {
+        for n in [1usize, 2, 7, 1000] {
+            for c in n.shrink() {
+                assert!(c < n);
+            }
+        }
+    }
+
+    #[test]
+    fn vec_shrinks_length_and_elements() {
+        let v = vec![4.0f64, 2.0];
+        let cands = v.shrink();
+        assert!(cands.contains(&vec![4.0]));
+        assert!(cands.iter().any(|c| c == &vec![0.0, 2.0]));
+    }
+
+    #[test]
+    fn tuple_shrinks_each_coordinate() {
+        let cands = (2usize, 1.0f64).shrink();
+        assert!(cands.contains(&(1, 1.0)));
+        assert!(cands.contains(&(2, 0.0)));
+    }
+
+    #[test]
+    fn matrix_shrinks_to_zero_matrix() {
+        let m = Matrix::from_rows(&[&[1.5, -2.0]]);
+        let cands = m.shrink();
+        assert!(cands.contains(&Matrix::zeros(1, 2)));
+        assert!(Matrix::zeros(2, 2).shrink().is_empty());
+    }
+}

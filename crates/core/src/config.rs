@@ -1,7 +1,5 @@
 //! Model and training configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// Hyper-parameters of the RIHGCN model.
 ///
 /// Defaults follow the paper (§IV-B3) scaled to CPU-friendly sizes; the
@@ -18,7 +16,7 @@ use serde::{Deserialize, Serialize};
 ///     .with_lambda(1.0);
 /// assert_eq!(cfg.num_temporal_graphs, 8);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RihgcnConfig {
     /// GCN filter count `F` (paper: 64).
     pub gcn_dim: usize,
@@ -56,7 +54,7 @@ pub struct RihgcnConfig {
 /// Aggregation of the hidden states `Z_1..Z_T` feeding the prediction FC
 /// (the paper offers both: "we can concatenate hidden states Z_i in Z or
 /// use attention mechanism to obtain a weighted sum").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PredictionHead {
     /// Concatenate all `T` hidden states (the default).
     #[default]
@@ -176,7 +174,7 @@ impl RihgcnConfig {
 }
 
 /// Training-loop configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainConfig {
     /// Adam learning rate (paper: 0.001).
     pub learning_rate: f64,

@@ -1,7 +1,6 @@
 //! Mini-batch training loop with early stopping, plus evaluation helpers.
 
 use crate::TrainConfig;
-use rand::seq::SliceRandom;
 use st_data::{DatasetSplit, TrafficDataset, WindowSample, ZScore};
 use st_nn::{Adam, EarlyStopping, ErrorAccum, Metrics, ParamStore, StopDecision};
 use st_tensor::{rng, Matrix};
@@ -84,7 +83,7 @@ pub fn fit<M: Forecaster>(
 
     for epoch in 0..tc.max_epochs {
         adam.set_learning_rate(tc.lr_schedule.at(tc.learning_rate, epoch));
-        order.shuffle(&mut shuffle_rng);
+        shuffle_rng.shuffle(&mut order);
         let mut epoch_loss = 0.0;
         let mut batch_count = 0usize;
         model.params_mut().zero_grads();

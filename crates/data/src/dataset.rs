@@ -7,7 +7,6 @@
 //! applies additional random missingness with [`crate::drop_observed`].
 
 use crate::masking;
-use serde::{Deserialize, Serialize};
 use st_graph::RoadNetwork;
 use st_tensor::Tensor3;
 
@@ -26,7 +25,7 @@ use st_tensor::Tensor3;
 /// let split = degraded.split_chronological();
 /// assert!(split.train.num_times() > split.test.num_times());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrafficDataset {
     /// Dataset name (for reports).
     pub name: String,
@@ -127,7 +126,7 @@ impl TrafficDataset {
     /// # Panics
     ///
     /// Panics if `rate` is not in `[0, 1]`.
-    pub fn with_extra_missing(&self, rate: f64, rng: &mut rand::rngs::StdRng) -> Self {
+    pub fn with_extra_missing(&self, rate: f64, rng: &mut st_tensor::StRng) -> Self {
         let mask = masking::drop_observed(&self.mask, rate, rng);
         Self {
             mask,

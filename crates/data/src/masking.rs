@@ -5,9 +5,7 @@
 //! additionally holds out 30% of the *observed* entries as scoring targets.
 //! Both operations live here.
 
-use rand::rngs::StdRng;
-use rand::Rng;
-use st_tensor::Tensor3;
+use st_tensor::{StRng, Tensor3};
 
 /// Fraction of zero entries in a `{0,1}` mask.
 ///
@@ -27,10 +25,10 @@ pub fn missing_rate(mask: &Tensor3) -> f64 {
 /// # Panics
 ///
 /// Panics if `rate` is not in `[0, 1]`.
-pub fn drop_observed(mask: &Tensor3, rate: f64, rng: &mut StdRng) -> Tensor3 {
+pub fn drop_observed(mask: &Tensor3, rate: f64, rng: &mut StRng) -> Tensor3 {
     assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
     mask.map(|m| {
-        if m != 0.0 && rng.gen::<f64>() < rate {
+        if m != 0.0 && rng.gen_f64() < rate {
             0.0
         } else {
             m
@@ -48,7 +46,7 @@ pub fn drop_observed(mask: &Tensor3, rate: f64, rng: &mut StdRng) -> Tensor3 {
 /// # Panics
 ///
 /// Panics if `holdout_rate` is not in `[0, 1]`.
-pub fn holdout_split(mask: &Tensor3, holdout_rate: f64, rng: &mut StdRng) -> (Tensor3, Tensor3) {
+pub fn holdout_split(mask: &Tensor3, holdout_rate: f64, rng: &mut StRng) -> (Tensor3, Tensor3) {
     assert!(
         (0.0..=1.0).contains(&holdout_rate),
         "holdout_rate must be in [0, 1]"
@@ -60,7 +58,7 @@ pub fn holdout_split(mask: &Tensor3, holdout_rate: f64, rng: &mut StdRng) -> (Te
         for f in 0..d {
             for time in 0..t {
                 if mask[(node, f, time)] != 0.0 {
-                    if rng.gen::<f64>() < holdout_rate {
+                    if rng.gen_f64() < holdout_rate {
                         hold[(node, f, time)] = 1.0;
                     } else {
                         train[(node, f, time)] = 1.0;

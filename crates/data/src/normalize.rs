@@ -4,7 +4,6 @@
 //! data carries missing values, the statistics must be computed from
 //! *observed* entries only — this module does so per feature.
 
-use serde::{Deserialize, Serialize};
 use st_tensor::{Matrix, Tensor3};
 
 /// Per-feature Z-score parameters fitted on observed entries.
@@ -23,7 +22,7 @@ use st_tensor::{Matrix, Tensor3};
 /// let back = z.invert(&n);
 /// assert!(back.zip_map(&x, |a, b| (a - b).abs()).mean() < 1e-9);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ZScore {
     mean: Vec<f64>,
     std: Vec<f64>,

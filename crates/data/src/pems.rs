@@ -27,14 +27,11 @@
 //! [`crate::drop_observed`].
 
 use crate::TrafficDataset;
-use rand::rngs::StdRng;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 use st_graph::RoadNetwork;
-use st_tensor::{rng, standard_normal, Tensor3};
+use st_tensor::{rng, standard_normal, StRng, Tensor3};
 
 /// Configuration for [`generate_pems`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PemsConfig {
     /// Number of corridor sensors.
     pub num_nodes: usize,
@@ -105,13 +102,13 @@ pub fn generate_pems(cfg: &PemsConfig) -> TrafficDataset {
     // direction. Sensors alternate between the two freeway directions;
     // the morning commute hits eastbound (even) sensors, the evening
     // commute hits westbound (odd) sensors.
-    let free_flow: Vec<f64> = (0..n).map(|_| 63.0 + 5.0 * rand.gen::<f64>()).collect();
+    let free_flow: Vec<f64> = (0..n).map(|_| 63.0 + 5.0 * rand.gen_f64()).collect();
     let rush_strength: Vec<f64> = (0..n)
         .map(|i| {
             // Congestion is strongest near the "downtown" end of the corridor
             // and decays along it, with some randomness.
             let positional = 1.0 - 0.6 * (i as f64 / n.max(1) as f64);
-            positional * (0.8 + 0.4 * rand.gen::<f64>())
+            positional * (0.8 + 0.4 * rand.gen_f64())
         })
         .collect();
     // Opposite directions carry their congestion waves opposite ways.
@@ -179,7 +176,7 @@ pub fn generate_pems(cfg: &PemsConfig) -> TrafficDataset {
     TrafficDataset::new("pems-synth", values, mask, network, cfg.interval_minutes)
 }
 
-fn draw_incidents(cfg: &PemsConfig, slots: usize, rand: &mut StdRng) -> Vec<Vec<Incident>> {
+fn draw_incidents(cfg: &PemsConfig, slots: usize, rand: &mut StRng) -> Vec<Vec<Incident>> {
     (0..cfg.num_days)
         .map(|_| {
             let count = poisson_sample(cfg.incidents_per_day, rand);
@@ -187,21 +184,21 @@ fn draw_incidents(cfg: &PemsConfig, slots: usize, rand: &mut StdRng) -> Vec<Vec<
                 .map(|_| Incident {
                     node: rand.gen_range(0..cfg.num_nodes),
                     start_slot: rand.gen_range(0..slots),
-                    duration: rand.gen_range(6..18), // 30–90 min at 5-min slots
-                    severity: 15.0 + 20.0 * rand.gen::<f64>(),
+                    duration: rand.gen_range(6..18usize), // 30–90 min at 5-min slots
+                    severity: 15.0 + 20.0 * rand.gen_f64(),
                 })
                 .collect()
         })
         .collect()
 }
 
-fn poisson_sample(lambda: f64, rand: &mut StdRng) -> usize {
+fn poisson_sample(lambda: f64, rand: &mut StRng) -> usize {
     // Knuth's method; lambda is small (a few incidents per day).
     let l = (-lambda).exp();
     let mut k = 0usize;
     let mut p = 1.0;
     loop {
-        p *= rand.gen::<f64>();
+        p *= rand.gen_f64();
         if p <= l {
             return k;
         }

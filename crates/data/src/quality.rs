@@ -21,8 +21,9 @@ pub struct QualityReport {
     pub mean_gap_length: f64,
     /// Longest consecutive-missing run anywhere.
     pub max_gap_length: usize,
-    /// Mean day-lag autocorrelation of the (observed-mean-filled) signal —
-    /// high values confirm daily seasonality.
+    /// Mean day-lag autocorrelation of feature 0, computed over co-observed
+    /// pairs only — high values confirm daily seasonality of the signal
+    /// itself, independent of how gaps would be filled.
     pub daily_autocorrelation: f64,
     /// Mean absolute pairwise node correlation of feature 0.
     pub mean_node_correlation: f64,
@@ -74,14 +75,16 @@ impl QualityReport {
             }
         }
 
-        // Daily seasonality: autocorrelation at one-day lag on mean-filled
-        // series of feature 0.
+        // Daily seasonality: autocorrelation at one-day lag of feature 0,
+        // restricted to co-observed pairs so the statistic reflects the
+        // signal rather than whatever fill sits in the gaps.
         let day = ds.slots_per_day();
         let filled = crate::mean_fill(&ds.values, &ds.mask);
         let mut daily_acs = Vec::with_capacity(n);
         for node in 0..n {
-            let series = filled.series(node, 0);
-            daily_acs.push(stats::autocorrelation(&series, day));
+            let series = ds.values.series(node, 0);
+            let mask = ds.mask.series(node, 0);
+            daily_acs.push(stats::masked_autocorrelation(&series, &mask, day));
         }
 
         // Cross-node structure.

@@ -17,14 +17,11 @@
 //! from an explicit shuttle-fleet simulation over the loop route.
 
 use crate::TrafficDataset;
-use rand::rngs::StdRng;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 use st_graph::RoadNetwork;
-use st_tensor::{rng, standard_normal, Tensor3};
+use st_tensor::{rng, standard_normal, StRng, Tensor3};
 
 /// Configuration for [`generate_stampede`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StampedeConfig {
     /// Number of road segments on the shuttle loop (paper: 12).
     pub num_segments: usize,
@@ -153,7 +150,7 @@ fn simulate_fleet(
     cfg: &StampedeConfig,
     values: &Tensor3,
     slots: usize,
-    rand: &mut StdRng,
+    rand: &mut StRng,
 ) -> Tensor3 {
     let n = cfg.num_segments;
     let total = values.times();
@@ -186,8 +183,8 @@ fn simulate_fleet(
                 progress = 0.0;
                 seg = (seg + 1) % n;
                 // Occasional layover at the depot.
-                if seg == 0 && rand.gen::<f64>() < 0.6 {
-                    layover_until = t + rand.gen_range(3..12);
+                if seg == 0 && rand.gen_f64() < 0.6 {
+                    layover_until = t + rand.gen_range(3..12usize);
                 }
             }
         }

@@ -20,7 +20,7 @@
 /// assert_eq!(SeriesDistance::Dtw.compute(&a, &a), 0.0);
 /// assert_eq!(SeriesDistance::Erp { gap: 0.0 }.compute(&a, &a), 0.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SeriesDistance {
     /// Dynamic Time Warping (the paper's choice).
     Dtw,

@@ -18,12 +18,11 @@
 //! objective while keeping the solver fast.
 
 use crate::distance::dtw;
-use serde::{Deserialize, Serialize};
 use st_tensor::Matrix;
 use std::collections::HashMap;
 
 /// A half-open time-of-day interval `[start, end)` in slot units.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Interval {
     /// First slot covered by the interval.
     pub start: usize,
@@ -76,7 +75,7 @@ fn circular_gap(a: usize, b: usize, day_len: usize) -> usize {
 }
 
 /// Configuration for [`partition_day`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IntervalConfig {
     /// Number of intervals `M`.
     pub num_intervals: usize,
@@ -122,7 +121,7 @@ impl Default for IntervalConfig {
 }
 
 /// Result of [`partition_day`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Partition {
     /// The chosen intervals, covering `[0, slots_per_day)` in order.
     pub intervals: Vec<Interval>,
@@ -370,7 +369,7 @@ fn compress_profile(profile: &Matrix, step: usize) -> Matrix {
 /// start from 00:00" and leaves it as future work — this implements it.
 /// Interval coordinates are *rotated*: slot `s` of the original day maps to
 /// `(s + day_len − offset) % day_len` in the partition's coordinates.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CircularPartition {
     /// Rotation offset in slots: the partition's slot 0 corresponds to the
     /// original day's slot `offset`.

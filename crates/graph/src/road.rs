@@ -6,11 +6,10 @@
 //! information and produces the pairwise distance matrix consumed by
 //! [`crate::gaussian_adjacency`].
 
-use serde::{Deserialize, Serialize};
 use st_tensor::Matrix;
 
 /// Static description of one road segment / sensor location.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoadSegment {
     /// Segment identifier (index into the network).
     pub id: usize,
@@ -38,7 +37,7 @@ pub struct RoadSegment {
 /// let d = net.distance_matrix();
 /// assert!(d[(0, 4)] > d[(0, 1)]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct RoadNetwork {
     segments: Vec<RoadSegment>,
 }

@@ -8,9 +8,8 @@
 //! ablations).
 
 use crate::{ParamId, ParamStore, Session};
-use rand::rngs::StdRng;
 use st_autodiff::Var;
-use st_tensor::{xavier_matrix, Matrix};
+use st_tensor::{xavier_matrix, Matrix, StRng};
 
 /// Activation applied by [`ChebGcn::forward`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -62,7 +61,7 @@ impl ChebGcn {
     /// Panics if `k == 0`.
     pub fn new(
         store: &mut ParamStore,
-        rng: &mut StdRng,
+        rng: &mut StRng,
         in_dim: usize,
         out_dim: usize,
         k: usize,

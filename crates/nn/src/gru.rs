@@ -6,9 +6,8 @@
 //! recurrent backbone.
 
 use crate::{ParamId, ParamStore, Session};
-use rand::rngs::StdRng;
 use st_autodiff::Var;
-use st_tensor::{xavier_matrix, Matrix};
+use st_tensor::{xavier_matrix, Matrix, StRng};
 
 /// A batched GRU cell with shared parameters.
 ///
@@ -41,7 +40,7 @@ impl GruCell {
     /// Creates a cell with Xavier-initialised weights and zero biases.
     pub fn new(
         store: &mut ParamStore,
-        rng: &mut StdRng,
+        rng: &mut StRng,
         in_dim: usize,
         hidden_dim: usize,
         name: &str,

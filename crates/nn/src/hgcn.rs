@@ -9,10 +9,9 @@
 //! branch's output to form the block's embedding.
 
 use crate::{Activation, ChebGcn, ParamId, ParamStore, Session};
-use rand::rngs::StdRng;
 use st_autodiff::Var;
 use st_graph::{interval_weights, scaled_laplacian_from_adjacency, Interval};
-use st_tensor::Matrix;
+use st_tensor::{Matrix, StRng};
 
 /// The heterogeneous graph-convolution block.
 ///
@@ -44,7 +43,7 @@ impl HgcnBlock {
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         store: &mut ParamStore,
-        rng: &mut StdRng,
+        rng: &mut StRng,
         in_dim: usize,
         gcn_dim: usize,
         k: usize,

@@ -1,9 +1,8 @@
 //! Fully-connected (affine) layer.
 
 use crate::{ParamId, ParamStore, Session};
-use rand::rngs::StdRng;
 use st_autodiff::Var;
-use st_tensor::{xavier_matrix, Matrix};
+use st_tensor::{xavier_matrix, Matrix, StRng};
 
 /// An affine map `y = x·W + b` applied row-wise to a batch.
 ///
@@ -32,7 +31,7 @@ impl Linear {
     /// Creates a layer with Xavier-initialised weights and zero bias.
     pub fn new(
         store: &mut ParamStore,
-        rng: &mut StdRng,
+        rng: &mut StRng,
         in_dim: usize,
         out_dim: usize,
         name: &str,

@@ -12,9 +12,8 @@
 //! and `h_t = o ⊙ tanh(c_t)`.
 
 use crate::{ParamId, ParamStore, Session};
-use rand::rngs::StdRng;
 use st_autodiff::Var;
-use st_tensor::{xavier_matrix, Matrix};
+use st_tensor::{xavier_matrix, Matrix, StRng};
 
 /// A batched LSTM cell with shared parameters.
 ///
@@ -55,7 +54,7 @@ impl LstmCell {
     /// starts at 1.0 (standard practice to ease early training).
     pub fn new(
         store: &mut ParamStore,
-        rng: &mut StdRng,
+        rng: &mut StRng,
         in_dim: usize,
         hidden_dim: usize,
         name: &str,

@@ -6,7 +6,6 @@
 //! when the pass finishes. This keeps parameters alive across passes (the
 //! tape is rebuilt every step, as in any dynamic-graph framework).
 
-use serde::{Deserialize, Serialize};
 use st_autodiff::{Tape, Var};
 use st_tensor::Matrix;
 
@@ -34,7 +33,7 @@ impl ParamId {
 /// assert_eq!(store.value(w).shape(), (2, 3));
 /// assert_eq!(store.num_scalars(), 6);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ParamStore {
     names: Vec<String>,
     values: Vec<Matrix>,

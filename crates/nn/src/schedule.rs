@@ -5,8 +5,6 @@
 //! `rihgcn-core`). All schedules are pure functions of the epoch index, so
 //! training stays deterministic and resumable.
 
-use serde::{Deserialize, Serialize};
-
 /// A deterministic learning-rate schedule over epochs.
 ///
 /// # Examples
@@ -19,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(step.at(1e-3, 10), 5e-4);
 /// assert_eq!(step.at(1e-3, 20), 2.5e-4);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum LrSchedule {
     /// The base learning rate every epoch (the paper's setting).
     #[default]

@@ -1,92 +1,140 @@
 //! Property-based tests over optimiser and layer invariants.
 
-use proptest::prelude::*;
+use st_check::{prop_assert, prop_assert_eq, prop_assume, Check};
 use st_nn::{Activation, Adam, ChebGcn, LstmCell, ParamStore, Session};
 use st_tensor::{rng, Matrix};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn adam_steps_oppose_gradient_sign(g in -100.0f64..100.0) {
-        prop_assume!(g.abs() > 1e-6);
-        let mut store = ParamStore::new();
-        let p = store.add("p", Matrix::from_rows(&[&[1.0]]));
-        let mut adam = Adam::new(&store, 0.01);
-        store.accumulate_grad(p, &Matrix::from_rows(&[&[g]]));
-        adam.step(&mut store);
-        let moved = store.value(p)[(0, 0)] - 1.0;
-        prop_assert!(moved * g < 0.0, "step {moved} must oppose gradient {g}");
-        // First Adam step magnitude is bounded by the learning rate.
-        prop_assert!(moved.abs() <= 0.01 + 1e-9);
-    }
-
-    #[test]
-    fn adam_remains_finite_under_extreme_gradients(scale in 1.0f64..1e12) {
-        let mut store = ParamStore::new();
-        let p = store.add("p", Matrix::from_rows(&[&[0.5]]));
-        let mut adam = Adam::new(&store, 0.01);
-        for i in 0..5 {
-            store.zero_grads();
-            let g = if i % 2 == 0 { scale } else { -scale };
+#[test]
+fn adam_steps_oppose_gradient_sign() {
+    Check::new("adam_steps_oppose_gradient_sign").cases(48).run(
+        |g| g.f64_in(-100.0, 100.0),
+        |&g| {
+            prop_assume!(g.abs() > 1e-6);
+            let mut store = ParamStore::new();
+            let p = store.add("p", Matrix::from_rows(&[&[1.0]]));
+            let mut adam = Adam::new(&store, 0.01);
             store.accumulate_grad(p, &Matrix::from_rows(&[&[g]]));
             adam.step(&mut store);
-            prop_assert!(store.value(p)[(0, 0)].is_finite());
-        }
-    }
+            let moved = store.value(p)[(0, 0)] - 1.0;
+            prop_assert!(moved * g < 0.0, "step {moved} must oppose gradient {g}");
+            // First Adam step magnitude is bounded by the learning rate.
+            prop_assert!(moved.abs() <= 0.01 + 1e-9);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn clip_never_increases_norm(values in proptest::collection::vec(-50.0f64..50.0, 4), cap in 0.1f64..20.0) {
-        let mut store = ParamStore::new();
-        let p = store.add("p", Matrix::zeros(2, 2));
-        store.accumulate_grad(p, &Matrix::from_vec(2, 2, values));
-        let before = store.grad_norm();
-        store.clip_grad_norm(cap);
-        let after = store.grad_norm();
-        prop_assert!(after <= before + 1e-12);
-        prop_assert!(after <= cap + 1e-9);
-    }
+#[test]
+fn adam_remains_finite_under_extreme_gradients() {
+    Check::new("adam_remains_finite_under_extreme_gradients")
+        .cases(48)
+        .run(
+            |g| g.f64_in(1.0, 1e12),
+            |&scale| {
+                prop_assume!(scale >= 1.0);
+                let mut store = ParamStore::new();
+                let p = store.add("p", Matrix::from_rows(&[&[0.5]]));
+                let mut adam = Adam::new(&store, 0.01);
+                for i in 0..5 {
+                    store.zero_grads();
+                    let g = if i % 2 == 0 { scale } else { -scale };
+                    store.accumulate_grad(p, &Matrix::from_rows(&[&[g]]));
+                    adam.step(&mut store);
+                    prop_assert!(store.value(p)[(0, 0)].is_finite());
+                }
+                Ok(())
+            },
+        );
+}
 
-    #[test]
-    fn lstm_hidden_state_bounded(data in proptest::collection::vec(-50.0f64..50.0, 6)) {
-        let mut store = ParamStore::new();
-        let cell = LstmCell::new(&mut store, &mut rng(1), 3, 4, "lstm");
-        let mut sess = Session::new(&store);
-        let state = cell.zero_state(&mut sess, 2);
-        let x = sess.constant(Matrix::from_vec(2, 3, data));
-        let next = cell.step(&mut sess, &store, x, &state);
-        for &h in sess.tape.value(next.h).as_slice() {
-            prop_assert!(h.abs() <= 1.0, "|h| = {h} exceeds tanh bound");
-        }
-    }
+#[test]
+fn clip_never_increases_norm() {
+    Check::new("clip_never_increases_norm").cases(48).run(
+        |g| (g.vec_f64(4, -50.0, 50.0), g.f64_in(0.1, 20.0)),
+        |(values, cap)| {
+            prop_assume!(values.len() == 4 && *cap > 0.0);
+            let mut store = ParamStore::new();
+            let p = store.add("p", Matrix::zeros(2, 2));
+            store.accumulate_grad(p, &Matrix::from_vec(2, 2, values.clone()));
+            let before = store.grad_norm();
+            store.clip_grad_norm(*cap);
+            let after = store.grad_norm();
+            prop_assert!(after <= before + 1e-12);
+            prop_assert!(after <= cap + 1e-9);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn gcn_zero_input_gives_bias_only_output(seed in 0u64..200) {
-        let mut store = ParamStore::new();
-        let gcn = ChebGcn::new(&mut store, &mut rng(seed), 2, 3, 3, Activation::Identity, "g");
-        let lap = Matrix::identity(4);
-        let mut sess = Session::new(&store);
-        let x = sess.constant(Matrix::zeros(4, 2));
-        let y = gcn.forward(&mut sess, &store, &lap, x);
-        // Bias is initialised to zero, so the output must be exactly zero.
-        prop_assert_eq!(sess.tape.value(y).max_abs(), 0.0);
-    }
+#[test]
+fn lstm_hidden_state_bounded() {
+    Check::new("lstm_hidden_state_bounded").cases(48).run(
+        |g| g.vec_f64(6, -50.0, 50.0),
+        |data| {
+            prop_assume!(data.len() == 6);
+            let mut store = ParamStore::new();
+            let cell = LstmCell::new(&mut store, &mut rng(1), 3, 4, "lstm");
+            let mut sess = Session::new(&store);
+            let state = cell.zero_state(&mut sess, 2);
+            let x = sess.constant(Matrix::from_vec(2, 3, data.clone()));
+            let next = cell.step(&mut sess, &store, x, &state);
+            for &h in sess.tape.value(next.h).as_slice() {
+                prop_assert!(h.abs() <= 1.0, "|h| = {h} exceeds tanh bound");
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn session_grads_scale_linearly(factor in 1.0f64..10.0) {
-        // d(mean(c·p))/dp = c/len — doubling the scale doubles the gradient.
-        let mut store = ParamStore::new();
-        let p = store.add("p", Matrix::ones(2, 2));
-        let grad_at = |c: f64, store: &ParamStore| -> f64 {
-            let mut sess = Session::new(store);
-            let v = sess.var(store, p);
-            let y = sess.tape.scale(v, c);
-            let loss = sess.tape.mean(y);
-            sess.backward(loss);
-            sess.tape.grad(v)[(0, 0)]
-        };
-        let g1 = grad_at(1.0, &store);
-        let gf = grad_at(factor, &store);
-        prop_assert!((gf - factor * g1).abs() < 1e-9);
-    }
+#[test]
+fn gcn_zero_input_gives_bias_only_output() {
+    Check::new("gcn_zero_input_gives_bias_only_output")
+        .cases(48)
+        .run(
+            |g| g.u64_in(0, 200),
+            |&seed| {
+                let mut store = ParamStore::new();
+                let gcn = ChebGcn::new(
+                    &mut store,
+                    &mut rng(seed),
+                    2,
+                    3,
+                    3,
+                    Activation::Identity,
+                    "g",
+                );
+                let lap = Matrix::identity(4);
+                let mut sess = Session::new(&store);
+                let x = sess.constant(Matrix::zeros(4, 2));
+                let y = gcn.forward(&mut sess, &store, &lap, x);
+                // Bias is initialised to zero, so the output must be exactly zero.
+                prop_assert_eq!(sess.tape.value(y).max_abs(), 0.0);
+                Ok(())
+            },
+        );
+}
+
+#[test]
+fn session_grads_scale_linearly() {
+    Check::new("session_grads_scale_linearly").cases(48).run(
+        |g| g.f64_in(1.0, 10.0),
+        |&factor| {
+            prop_assume!(factor >= 1.0);
+            // d(mean(c·p))/dp = c/len — doubling the scale doubles the gradient.
+            let mut store = ParamStore::new();
+            let p = store.add("p", Matrix::ones(2, 2));
+            let grad_at = |c: f64, store: &ParamStore| -> f64 {
+                let mut sess = Session::new(store);
+                let v = sess.var(store, p);
+                let y = sess.tape.scale(v, c);
+                let loss = sess.tape.mean(y);
+                sess.backward(loss);
+                sess.tape.grad(v)[(0, 0)]
+            };
+            let g1 = grad_at(1.0, &store);
+            let gf = grad_at(factor, &store);
+            prop_assert!((gf - factor * g1).abs() < 1e-9);
+            Ok(())
+        },
+    );
 }

@@ -29,10 +29,12 @@
 pub mod linalg;
 mod matrix;
 mod random;
+mod rng;
 pub mod stats;
 mod tensor3;
 
 pub use linalg::SolveError;
 pub use matrix::Matrix;
 pub use random::{normal_matrix, rng, standard_normal, uniform_matrix, xavier_matrix};
+pub use rng::{splitmix64, SampleRange, StRng};
 pub use tensor3::Tensor3;

@@ -5,7 +5,6 @@
 //! matrices. The implementation favours clarity and predictable performance
 //! (tight loops over contiguous storage) over micro-optimisation.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
 
@@ -20,7 +19,7 @@ use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
 /// let b = Matrix::identity(2);
 /// assert_eq!(a.matmul(&b), a);
 /// ```
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -757,9 +756,7 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip_preserves_matrix() {
-        // Round-trip through serde's data model using a JSON-free serializer:
-        // compare against a rebuilt matrix instead.
+    fn clone_preserves_matrix() {
         let m = Matrix::from_rows(&[&[1.0, 2.5], &[-3.0, 0.0]]);
         let cloned = m.clone();
         assert_eq!(m, cloned);

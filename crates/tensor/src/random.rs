@@ -1,12 +1,10 @@
 //! Seeded random matrix initialisation.
 //!
 //! Every stochastic component in the workspace (parameter init, synthetic
-//! data, masking) flows through a seeded [`rand::rngs::StdRng`] so that all
-//! experiments are exactly reproducible.
+//! data, masking) flows through a seeded in-tree [`StRng`] so that all
+//! experiments are exactly reproducible without any external RNG crate.
 
-use crate::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::{Matrix, StRng};
 
 /// Creates a deterministic RNG from a seed.
 ///
@@ -17,8 +15,8 @@ use rand::{Rng, SeedableRng};
 /// let m = st_tensor::uniform_matrix(&mut rng, 2, 2, -1.0, 1.0);
 /// assert!(m.as_slice().iter().all(|x| (-1.0..1.0).contains(x)));
 /// ```
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> StRng {
+    StRng::seed_from_u64(seed)
 }
 
 /// Matrix with entries drawn uniformly from `[low, high)`.
@@ -26,25 +24,25 @@ pub fn rng(seed: u64) -> StdRng {
 /// # Panics
 ///
 /// Panics if `low >= high`.
-pub fn uniform_matrix(rng: &mut StdRng, rows: usize, cols: usize, low: f64, high: f64) -> Matrix {
+pub fn uniform_matrix(rng: &mut StRng, rows: usize, cols: usize, low: f64, high: f64) -> Matrix {
     assert!(low < high, "uniform range must satisfy low < high");
     Matrix::from_fn(rows, cols, |_, _| rng.gen_range(low..high))
 }
 
 /// Matrix with entries drawn from a normal distribution via Box–Muller.
-pub fn normal_matrix(rng: &mut StdRng, rows: usize, cols: usize, mean: f64, std: f64) -> Matrix {
+pub fn normal_matrix(rng: &mut StRng, rows: usize, cols: usize, mean: f64, std: f64) -> Matrix {
     Matrix::from_fn(rows, cols, |_, _| mean + std * standard_normal(rng))
 }
 
 /// Xavier/Glorot uniform initialisation for a `fan_in × fan_out` weight
 /// matrix: `U(−√(6/(fan_in+fan_out)), +√(6/(fan_in+fan_out)))`.
-pub fn xavier_matrix(rng: &mut StdRng, fan_in: usize, fan_out: usize) -> Matrix {
+pub fn xavier_matrix(rng: &mut StRng, fan_in: usize, fan_out: usize) -> Matrix {
     let bound = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt();
     uniform_matrix(rng, fan_in, fan_out, -bound, bound)
 }
 
 /// Draws one standard-normal sample using the Box–Muller transform.
-pub fn standard_normal(rng: &mut StdRng) -> f64 {
+pub fn standard_normal(rng: &mut StRng) -> f64 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()

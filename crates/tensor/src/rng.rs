@@ -1,0 +1,277 @@
+//! Self-contained seeded pseudo-random number generator.
+//!
+//! The workspace builds hermetically with zero registry dependencies, so the
+//! deterministic random stream every experiment relies on is generated
+//! in-tree: a [xoshiro256++][xo] core seeded through [SplitMix64][sm], the
+//! combination recommended by the xoshiro authors. The generator is *not*
+//! cryptographic — it exists to make parameter initialisation, synthetic
+//! data, masking and shuffling exactly reproducible from a `u64` seed.
+//!
+//! [xo]: https://prng.di.unimi.it/xoshiro256plusplus.c
+//! [sm]: https://prng.di.unimi.it/splitmix64.c
+
+use std::ops::Range;
+
+/// Deterministic pseudo-random number generator (xoshiro256++).
+///
+/// Construct with [`StRng::seed_from_u64`] or the [`crate::rng`] shorthand.
+/// Identical seeds yield identical streams on every platform: the
+/// implementation uses only wrapping integer arithmetic and IEEE-754
+/// double conversion, both of which are fully specified.
+///
+/// # Examples
+///
+/// ```
+/// use st_tensor::StRng;
+///
+/// let mut a = StRng::seed_from_u64(42);
+/// let mut b = StRng::seed_from_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// assert!((0.0..1.0).contains(&a.gen_f64()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StRng {
+    s: [u64; 4],
+}
+
+/// One step of the SplitMix64 sequence, used to expand a `u64` seed into
+/// the 256-bit xoshiro state (and to derive independent sub-seeds).
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl StRng {
+    /// Creates a generator whose 256-bit state is expanded from `seed` with
+    /// SplitMix64, so that nearby seeds still produce unrelated streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        Self { s }
+    }
+
+    /// Next raw 64-bit output of the xoshiro256++ sequence.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from a half-open range; accepts `f64`, `usize` and
+    /// `u64` ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Sample {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.gen_f64() < p
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(0..i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Unbiased uniform draw from `[0, span)` by rejection sampling.
+    fn uniform_below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        // 2^64 mod span: values above the largest multiple of `span` are
+        // rejected so the modulo below introduces no bias.
+        let rem = (u64::MAX % span).wrapping_add(1) % span;
+        loop {
+            let v = self.next_u64();
+            if rem == 0 || v <= u64::MAX - rem {
+                return v % span;
+            }
+        }
+    }
+}
+
+/// Half-open ranges [`StRng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Sample;
+
+    /// Draws one uniform sample from the range.
+    fn sample(self, rng: &mut StRng) -> Self::Sample;
+}
+
+impl SampleRange for Range<f64> {
+    type Sample = f64;
+
+    fn sample(self, rng: &mut StRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 sample range");
+        self.start + (self.end - self.start) * rng.gen_f64()
+    }
+}
+
+impl SampleRange for Range<usize> {
+    type Sample = usize;
+
+    fn sample(self, rng: &mut StRng) -> usize {
+        assert!(self.start < self.end, "empty usize sample range");
+        self.start + rng.uniform_below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange for Range<u64> {
+    type Sample = u64;
+
+    fn sample(self, rng: &mut StRng) -> u64 {
+        assert!(self.start < self.end, "empty u64 sample range");
+        self.start + rng.uniform_below(self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_xoshiro_reference_vector() {
+        // State {1, 2, 3, 4}: first outputs of the reference C
+        // xoshiro256++ implementation.
+        let mut r = StRng { s: [1, 2, 3, 4] };
+        assert_eq!(r.next_u64(), 41943041);
+        assert_eq!(r.next_u64(), 58720359);
+        assert_eq!(r.next_u64(), 3588806011781223);
+        assert_eq!(r.next_u64(), 3591011842654386);
+    }
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // First outputs of the reference C splitmix64 for seed 0.
+        let mut s = 0u64;
+        assert_eq!(splitmix64(&mut s), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(&mut s), 0x6E78_9E6A_A1B9_65F4);
+    }
+
+    #[test]
+    fn identical_seeds_identical_streams() {
+        let mut a = StRng::seed_from_u64(123);
+        let mut b = StRng::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn nearby_seeds_decorrelate() {
+        let mut a = StRng::seed_from_u64(1);
+        let mut b = StRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut r = StRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_usize_covers_all_values() {
+        let mut r = StRng::seed_from_u64(9);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[r.gen_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_range_respects_offset_bounds() {
+        let mut r = StRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let v = r.gen_range(3..12usize);
+            assert!((3..12).contains(&v));
+            let f = r.gen_range(-2.0..-1.0);
+            assert!((-2.0..-1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty usize sample range")]
+    fn empty_range_panics() {
+        let _ = StRng::seed_from_u64(0).gen_range(5..5usize);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StRng::seed_from_u64(13);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate was {rate}");
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = StRng::seed_from_u64(17);
+        let mut v: Vec<usize> = (0..20).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "20 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn shuffle_handles_trivial_slices() {
+        let mut r = StRng::seed_from_u64(19);
+        let mut empty: [u8; 0] = [];
+        r.shuffle(&mut empty);
+        let mut one = [42];
+        r.shuffle(&mut one);
+        assert_eq!(one, [42]);
+    }
+
+    #[test]
+    fn uniform_below_is_roughly_uniform() {
+        let mut r = StRng::seed_from_u64(23);
+        let mut counts = [0usize; 7];
+        for _ in 0..7000 {
+            counts[r.uniform_below(7) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "bucket count {c}");
+        }
+    }
+}

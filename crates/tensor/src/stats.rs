@@ -90,6 +90,36 @@ pub fn autocorrelation(xs: &[f64], lag: usize) -> f64 {
     pearson(&xs[..xs.len() - lag], &xs[lag..])
 }
 
+/// Autocorrelation at the given lag restricted to co-observed pairs: the
+/// Pearson correlation of `(xs[t], xs[t + lag])` over every `t` where
+/// `mask` is nonzero at both positions; `0.0` when undefined.
+///
+/// Unlike filling the gaps and calling [`autocorrelation`], this measures
+/// the seasonality of the *signal* rather than of the fill, so it stays
+/// meaningful on heavily missing (e.g. roving-sensor) series.
+///
+/// # Panics
+///
+/// Panics if `xs` and `mask` have different lengths.
+pub fn masked_autocorrelation(xs: &[f64], mask: &[f64], lag: usize) -> f64 {
+    assert_eq!(xs.len(), mask.len(), "mask must match the series length");
+    if lag == 0 {
+        return 1.0;
+    }
+    if xs.len() <= lag + 1 {
+        return 0.0;
+    }
+    let mut head = Vec::new();
+    let mut tail = Vec::new();
+    for t in 0..xs.len() - lag {
+        if mask[t] != 0.0 && mask[t + lag] != 0.0 {
+            head.push(xs[t]);
+            tail.push(xs[t + lag]);
+        }
+    }
+    pearson(&head, &tail)
+}
+
 /// Pearson correlation matrix of a set of equal-length series.
 ///
 /// # Panics
@@ -166,6 +196,30 @@ mod tests {
         assert_eq!(autocorrelation(&xs, 0), 1.0);
         assert!(autocorrelation(&xs, 20) > 0.95, "period-20 signal");
         assert!(autocorrelation(&xs, 10) < -0.95, "half-period anti-phase");
+    }
+
+    #[test]
+    fn masked_autocorrelation_ignores_hidden_entries() {
+        let xs: Vec<f64> = (0..200)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 20.0).sin())
+            .collect();
+        // Corrupt every third entry and hide it; the statistic must still
+        // see a clean period-20 signal.
+        let mut noisy = xs.clone();
+        let mut mask = vec![1.0; xs.len()];
+        for i in (0..xs.len()).step_by(3) {
+            noisy[i] = 1e6;
+            mask[i] = 0.0;
+        }
+        assert_eq!(masked_autocorrelation(&noisy, &mask, 0), 1.0);
+        assert!(masked_autocorrelation(&noisy, &mask, 20) > 0.95);
+        // Fully observed it matches the plain statistic.
+        let full = vec![1.0; xs.len()];
+        let a = masked_autocorrelation(&xs, &full, 20);
+        let b = autocorrelation(&xs, 20);
+        assert!((a - b).abs() < 1e-12);
+        // All-hidden is undefined.
+        assert_eq!(masked_autocorrelation(&xs, &vec![0.0; xs.len()], 20), 0.0);
     }
 
     #[test]

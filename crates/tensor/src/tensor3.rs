@@ -7,7 +7,6 @@
 //! per-node `T×D` series.
 
 use crate::Matrix;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
@@ -22,7 +21,7 @@ use std::ops::{Index, IndexMut};
 /// cube[(0, 0, 2)] = 5.0;
 /// assert_eq!(cube.time_slice(2)[(0, 0)], 5.0);
 /// ```
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq)]
 pub struct Tensor3 {
     nodes: usize,
     features: usize,

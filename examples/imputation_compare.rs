@@ -55,10 +55,19 @@ fn main() {
             "last observed",
             last_observed_fill(&test.values, &test.mask),
         ),
-        ("KNN (k=3)", zs.invert(&knn_impute(&norm_values, &test.mask, 3))),
+        (
+            "KNN (k=3)",
+            zs.invert(&knn_impute(&norm_values, &test.mask, 3)),
+        ),
         (
             "matrix factorisation",
-            zs.invert(&matrix_factorization_impute(&norm_values, &test.mask, 4, 15, 1)),
+            zs.invert(&matrix_factorization_impute(
+                &norm_values,
+                &test.mask,
+                4,
+                15,
+                1,
+            )),
         ),
         (
             "CP decomposition",

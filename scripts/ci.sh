@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Hermetic CI: the workspace must build, test and stay formatted with no
+# network access and no registry dependencies. Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --release --offline --workspace
+
+echo "== test (offline) =="
+cargo test -q --offline --workspace
+
+echo "== formatting =="
+cargo fmt --check
+
+echo "CI checks passed."

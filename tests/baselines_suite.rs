@@ -5,7 +5,7 @@ use rihgcn::baselines::{
     mean_fill_samples, AstgcnConfig, AstgcnLite, BaselineConfig, BaselineKind, DcrnnConfig,
     DcrnnLite, GraphWaveNetConfig, GraphWaveNetLite, HistoricalAverage, StBaseline, VarModel,
 };
-use rihgcn::core::{evaluate_prediction, fit, prepare_split, Forecaster, TrainConfig};
+use rihgcn::core::{evaluate_prediction, fit, prepare_split, TrainConfig};
 use rihgcn::data::{generate_pems, DatasetSplit, PemsConfig, WindowSampler, ZScore};
 use rihgcn::tensor::rng;
 

@@ -1,162 +1,230 @@
 //! Property-based tests over cross-crate invariants, using the public
 //! facade API end to end.
 
-use proptest::prelude::*;
 use rihgcn::baselines::{last_observed_fill, mean_fill_sample};
 use rihgcn::data::{drop_observed, holdout_split, mean_fill, missing_rate, ZScore};
 use rihgcn::graph::{dtw, gaussian_adjacency, normalized_laplacian, Interval};
 use rihgcn::nn::{mae, rmse};
 use rihgcn::tensor::{linalg, rng, Matrix, Tensor3};
+use st_check::{prop_assert, prop_assert_eq, prop_assume, Check, Gen};
 
-fn small_tensor() -> impl Strategy<Value = Tensor3> {
-    (1usize..4, 1usize..3, 2usize..12).prop_flat_map(|(n, d, t)| {
-        proptest::collection::vec(-100.0f64..100.0, n * d * t).prop_map(move |data| {
-            let mut cube = Tensor3::zeros(n, d, t);
-            cube.as_mut_slice().copy_from_slice(&data);
-            cube
-        })
-    })
+fn small_tensor(g: &mut Gen) -> Tensor3 {
+    let (n, d, t) = (g.usize_in(1, 4), g.usize_in(1, 3), g.usize_in(2, 12));
+    g.tensor3(n, d, t, -100.0, 100.0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn zscore_round_trips(cube in small_tensor()) {
-        let mask = Tensor3::ones(cube.nodes(), cube.features(), cube.times());
-        let z = ZScore::fit(&cube, &mask);
-        let back = z.invert(&z.apply(&cube));
-        let diff = back.zip_map(&cube, |a, b| (a - b).abs());
-        prop_assert!(diff.mean() < 1e-9);
-    }
-
-    #[test]
-    fn drop_observed_only_removes(cube in small_tensor(), rate in 0.0f64..1.0, seed in 0u64..1000) {
-        let mask = Tensor3::ones(cube.nodes(), cube.features(), cube.times());
-        let dropped = drop_observed(&mask, rate, &mut rng(seed));
-        // Missingness never decreases, and values are exactly {0, 1}.
-        prop_assert!(missing_rate(&dropped) >= missing_rate(&mask));
-        prop_assert!(dropped.as_slice().iter().all(|&m| m == 0.0 || m == 1.0));
-    }
-
-    #[test]
-    fn holdout_partitions(seed in 0u64..500, rate in 0.0f64..1.0) {
-        let mask = drop_observed(&Tensor3::ones(3, 2, 20), 0.3, &mut rng(seed));
-        let (train, hold) = holdout_split(&mask, rate, &mut rng(seed + 1));
-        let union = train.zip_map(&hold, |a, b| a + b);
-        prop_assert_eq!(union, mask);
-        let overlap = train.zip_map(&hold, |a, b| a * b);
-        prop_assert_eq!(overlap.as_slice().iter().sum::<f64>(), 0.0);
-    }
-
-    #[test]
-    fn mean_fill_preserves_observed(cube in small_tensor(), seed in 0u64..500) {
-        let mask = drop_observed(
-            &Tensor3::ones(cube.nodes(), cube.features(), cube.times()),
-            0.5,
-            &mut rng(seed),
-        );
-        let filled = mean_fill(&cube, &mask);
-        for i in 0..cube.len() {
-            if mask.as_slice()[i] != 0.0 {
-                prop_assert_eq!(filled.as_slice()[i], cube.as_slice()[i]);
-            }
-            prop_assert!(filled.as_slice()[i].is_finite());
-        }
-    }
-
-    #[test]
-    fn last_fill_output_is_always_finite(cube in small_tensor(), seed in 0u64..500) {
-        let mask = drop_observed(
-            &Tensor3::ones(cube.nodes(), cube.features(), cube.times()),
-            0.7,
-            &mut rng(seed),
-        );
-        let filled = last_observed_fill(&cube, &mask);
-        prop_assert!(filled.is_finite());
-    }
-
-    #[test]
-    fn dtw_is_symmetric_nonnegative(
-        a in proptest::collection::vec(-10.0f64..10.0, 1..20),
-        b in proptest::collection::vec(-10.0f64..10.0, 1..20),
-    ) {
-        let d1 = dtw(&a, &b);
-        let d2 = dtw(&b, &a);
-        prop_assert!(d1 >= 0.0);
-        prop_assert!((d1 - d2).abs() < 1e-9);
-        prop_assert!((dtw(&a, &a)).abs() < 1e-12);
-    }
-
-    #[test]
-    fn adjacency_symmetric_bounded(seed in 0u64..500, n in 2usize..8) {
-        let coords = rihgcn::tensor::uniform_matrix(&mut rng(seed), n, 2, 0.0, 10.0);
-        let dist = Matrix::from_fn(n, n, |i, j| {
-            ((coords[(i, 0)] - coords[(j, 0)]).powi(2)
-                + (coords[(i, 1)] - coords[(j, 1)]).powi(2))
-            .sqrt()
+#[test]
+fn zscore_round_trips() {
+    Check::new("zscore_round_trips")
+        .cases(64)
+        .run(small_tensor, |cube| {
+            prop_assume!(!cube.is_empty());
+            let mask = Tensor3::ones(cube.nodes(), cube.features(), cube.times());
+            let z = ZScore::fit(cube, &mask);
+            let back = z.invert(&z.apply(cube));
+            let diff = back.zip_map(cube, |a, b| (a - b).abs());
+            prop_assert!(diff.mean() < 1e-9);
+            Ok(())
         });
-        let adj = gaussian_adjacency(&dist, None, 0.1);
-        for i in 0..n {
-            prop_assert_eq!(adj[(i, i)], 0.0);
-            for j in 0..n {
-                prop_assert!((adj[(i, j)] - adj[(j, i)]).abs() < 1e-12);
-                prop_assert!((0.0..=1.0).contains(&adj[(i, j)]));
+}
+
+#[test]
+fn drop_observed_only_removes() {
+    Check::new("drop_observed_only_removes").cases(64).run(
+        |g| (small_tensor(g), g.f64_in(0.0, 1.0), g.u64_in(0, 1000)),
+        |(cube, rate, seed)| {
+            prop_assume!((0.0..=1.0).contains(rate));
+            let mask = Tensor3::ones(cube.nodes(), cube.features(), cube.times());
+            let dropped = drop_observed(&mask, *rate, &mut rng(*seed));
+            // Missingness never decreases, and values are exactly {0, 1}.
+            prop_assert!(missing_rate(&dropped) >= missing_rate(&mask));
+            prop_assert!(dropped.as_slice().iter().all(|&m| m == 0.0 || m == 1.0));
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn holdout_partitions() {
+    Check::new("holdout_partitions").cases(64).run(
+        |g| (g.u64_in(0, 500), g.f64_in(0.0, 1.0)),
+        |(seed, rate)| {
+            prop_assume!((0.0..=1.0).contains(rate));
+            let mask = drop_observed(&Tensor3::ones(3, 2, 20), 0.3, &mut rng(*seed));
+            let (train, hold) = holdout_split(&mask, *rate, &mut rng(seed + 1));
+            let union = train.zip_map(&hold, |a, b| a + b);
+            prop_assert_eq!(union, mask);
+            let overlap = train.zip_map(&hold, |a, b| a * b);
+            prop_assert_eq!(overlap.as_slice().iter().sum::<f64>(), 0.0);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn mean_fill_preserves_observed() {
+    Check::new("mean_fill_preserves_observed").cases(64).run(
+        |g| (small_tensor(g), g.u64_in(0, 500)),
+        |(cube, seed)| {
+            prop_assume!(!cube.is_empty());
+            let mask = drop_observed(
+                &Tensor3::ones(cube.nodes(), cube.features(), cube.times()),
+                0.5,
+                &mut rng(*seed),
+            );
+            let filled = mean_fill(cube, &mask);
+            for i in 0..cube.len() {
+                if mask.as_slice()[i] != 0.0 {
+                    prop_assert_eq!(filled.as_slice()[i], cube.as_slice()[i]);
+                }
+                prop_assert!(filled.as_slice()[i].is_finite());
             }
-        }
-        // Normalized Laplacian has spectrum in [0, 2].
-        let l = normalized_laplacian(&adj);
-        let lambda = linalg::power_iteration_max_eig(&l, 300, 1e-9);
-        prop_assert!(lambda <= 2.0 + 1e-6);
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn metrics_relationships(
-        p in proptest::collection::vec(-50.0f64..50.0, 4..32),
-    ) {
-        let n = p.len();
-        let pred = Matrix::from_vec(1, n, p.clone());
-        let target = Matrix::zeros(1, n);
-        let m = mae(&pred, &target, None);
-        let r = rmse(&pred, &target, None);
-        prop_assert!(r >= m - 1e-12, "RMSE {r} < MAE {m}");
-        let max = pred.max_abs();
-        prop_assert!(m <= max + 1e-12);
-    }
+#[test]
+fn last_fill_output_is_always_finite() {
+    Check::new("last_fill_output_is_always_finite")
+        .cases(64)
+        .run(
+            |g| (small_tensor(g), g.u64_in(0, 500)),
+            |(cube, seed)| {
+                prop_assume!(!cube.is_empty());
+                let mask = drop_observed(
+                    &Tensor3::ones(cube.nodes(), cube.features(), cube.times()),
+                    0.7,
+                    &mut rng(*seed),
+                );
+                let filled = last_observed_fill(cube, &mask);
+                prop_assert!(filled.is_finite());
+                Ok(())
+            },
+        );
+}
 
-    #[test]
-    fn interval_weights_normalised(slot in 0usize..288, tau in 0.1f64..20.0) {
-        let intervals = vec![
-            Interval::new(0, 96),
-            Interval::new(96, 192),
-            Interval::new(192, 288),
-        ];
-        let w = rihgcn::graph::interval_weights(slot, &intervals, 288, tau);
-        let sum: f64 = w.iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-9);
-        prop_assert!(w.iter().all(|&x| x > 0.0));
-        // The containing interval gets the single largest weight.
-        let containing = intervals.iter().position(|iv| iv.contains(slot)).unwrap();
-        let best = w
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
-        prop_assert_eq!(containing, best);
-    }
+#[test]
+fn dtw_is_symmetric_nonnegative() {
+    Check::new("dtw_is_symmetric_nonnegative").cases(64).run(
+        |g| {
+            let (la, lb) = (g.usize_in(1, 20), g.usize_in(1, 20));
+            (g.vec_f64(la, -10.0, 10.0), g.vec_f64(lb, -10.0, 10.0))
+        },
+        |(a, b)| {
+            prop_assume!(!a.is_empty() && !b.is_empty());
+            let d1 = dtw(a, b);
+            let d2 = dtw(b, a);
+            prop_assert!(d1 >= 0.0);
+            prop_assert!((d1 - d2).abs() < 1e-9);
+            prop_assert!((dtw(a, a)).abs() < 1e-12);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn mean_fill_sample_keeps_shapes(seed in 0u64..200) {
-        use rihgcn::data::{generate_pems, PemsConfig, WindowSampler};
-        let ds = generate_pems(&PemsConfig { num_nodes: 3, num_days: 1, seed, ..Default::default() });
-        let ds = ds.with_extra_missing(0.5, &mut rng(seed));
-        let sample = WindowSampler::new(4, 2, 1).window_at(&ds, (seed % 50) as usize);
-        let filled = mean_fill_sample(&sample);
-        prop_assert_eq!(filled.inputs.len(), sample.inputs.len());
-        for (a, b) in filled.inputs.iter().zip(&sample.inputs) {
-            prop_assert_eq!(a.shape(), b.shape());
-            prop_assert!(a.is_finite());
-        }
-    }
+#[test]
+fn adjacency_symmetric_bounded() {
+    Check::new("adjacency_symmetric_bounded").cases(64).run(
+        |g| (g.u64_in(0, 500), g.usize_in(2, 8)),
+        |(seed, n)| {
+            prop_assume!(*n >= 2);
+            let n = *n;
+            let coords = rihgcn::tensor::uniform_matrix(&mut rng(*seed), n, 2, 0.0, 10.0);
+            let dist = Matrix::from_fn(n, n, |i, j| {
+                ((coords[(i, 0)] - coords[(j, 0)]).powi(2)
+                    + (coords[(i, 1)] - coords[(j, 1)]).powi(2))
+                .sqrt()
+            });
+            let adj = gaussian_adjacency(&dist, None, 0.1);
+            for i in 0..n {
+                prop_assert_eq!(adj[(i, i)], 0.0);
+                for j in 0..n {
+                    prop_assert!((adj[(i, j)] - adj[(j, i)]).abs() < 1e-12);
+                    prop_assert!((0.0..=1.0).contains(&adj[(i, j)]));
+                }
+            }
+            // Normalized Laplacian has spectrum in [0, 2].
+            let l = normalized_laplacian(&adj);
+            let lambda = linalg::power_iteration_max_eig(&l, 300, 1e-9);
+            prop_assert!(lambda <= 2.0 + 1e-6);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn metrics_relationships() {
+    Check::new("metrics_relationships").cases(64).run(
+        |g| {
+            let len = g.usize_in(4, 32);
+            g.vec_f64(len, -50.0, 50.0)
+        },
+        |p| {
+            prop_assume!(!p.is_empty());
+            let n = p.len();
+            let pred = Matrix::from_vec(1, n, p.clone());
+            let target = Matrix::zeros(1, n);
+            let m = mae(&pred, &target, None);
+            let r = rmse(&pred, &target, None);
+            prop_assert!(r >= m - 1e-12, "RMSE {r} < MAE {m}");
+            let max = pred.max_abs();
+            prop_assert!(m <= max + 1e-12);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn interval_weights_normalised() {
+    Check::new("interval_weights_normalised").cases(64).run(
+        |g| (g.usize_in(0, 288), g.f64_in(0.1, 20.0)),
+        |(slot, tau)| {
+            prop_assume!(*slot < 288 && *tau > 0.0);
+            let intervals = vec![
+                Interval::new(0, 96),
+                Interval::new(96, 192),
+                Interval::new(192, 288),
+            ];
+            let w = rihgcn::graph::interval_weights(*slot, &intervals, 288, *tau);
+            let sum: f64 = w.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(w.iter().all(|&x| x > 0.0));
+            // The containing interval gets the single largest weight.
+            let containing = intervals.iter().position(|iv| iv.contains(*slot)).unwrap();
+            let best = w
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            prop_assert_eq!(containing, best);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn mean_fill_sample_keeps_shapes() {
+    Check::new("mean_fill_sample_keeps_shapes").cases(64).run(
+        |g| g.u64_in(0, 200),
+        |&seed| {
+            use rihgcn::data::{generate_pems, PemsConfig, WindowSampler};
+            let ds = generate_pems(&PemsConfig {
+                num_nodes: 3,
+                num_days: 1,
+                seed,
+                ..Default::default()
+            });
+            let ds = ds.with_extra_missing(0.5, &mut rng(seed));
+            let sample = WindowSampler::new(4, 2, 1).window_at(&ds, (seed % 50) as usize);
+            let filled = mean_fill_sample(&sample);
+            prop_assert_eq!(filled.inputs.len(), sample.inputs.len());
+            for (a, b) in filled.inputs.iter().zip(&sample.inputs) {
+                prop_assert_eq!(a.shape(), b.shape());
+                prop_assert!(a.is_finite());
+            }
+            Ok(())
+        },
+    );
 }
