@@ -134,6 +134,44 @@ fn bench_rihgcn_step(runner: &mut Runner) {
     runner.bench("rihgcn_forward_only", || model.forward(&sample));
 }
 
+fn bench_parallel_speedup(runner: &mut Runner) {
+    // Serial-vs-parallel comparisons over the two workloads the tentpole
+    // parallelised: large dense matmul and the O(N²) DTW pairwise distance
+    // matrix. Thread counts are pinned per measurement; results are
+    // bit-identical either way (the st-par determinism contract), so only
+    // wall-clock should move. The explicit speedup lines feed BENCH logs.
+    let n = 256;
+    let a = uniform_matrix(&mut rng(10), n, n, -1.0, 1.0);
+    let b = uniform_matrix(&mut rng(11), n, n, -1.0, 1.0);
+    st_par::set_num_threads(1);
+    let mm_serial = runner.bench(&format!("parallel/matmul{n}/1thread"), || a.matmul(&b));
+    st_par::set_num_threads(4);
+    let mm_par = runner.bench(&format!("parallel/matmul{n}/4threads"), || a.matmul(&b));
+
+    let series: Vec<Vec<Vec<f64>>> = (0..24)
+        .map(|node| {
+            vec![(0..288)
+                .map(|t| ((t as f64) * 0.05 + node as f64 * 0.31).sin() * (1.0 + node as f64 * 0.1))
+                .collect()]
+        })
+        .collect();
+    st_par::set_num_threads(1);
+    let dtw_serial = runner.bench("parallel/dtw_pairwise24/1thread", || {
+        st_graph::pairwise_distances(&series, st_graph::SeriesDistance::Dtw)
+    });
+    st_par::set_num_threads(4);
+    let dtw_par = runner.bench("parallel/dtw_pairwise24/4threads", || {
+        st_graph::pairwise_distances(&series, st_graph::SeriesDistance::Dtw)
+    });
+    st_par::set_num_threads(0);
+
+    eprintln!(
+        "speedup at 4 threads: matmul{n} {:.2}x, dtw_pairwise24 {:.2}x",
+        mm_serial.median.as_secs_f64() / mm_par.median.as_secs_f64(),
+        dtw_serial.median.as_secs_f64() / dtw_par.median.as_secs_f64()
+    );
+}
+
 fn main() {
     let mut runner = Runner::from_env();
     bench_matmul(&mut runner);
@@ -144,5 +182,6 @@ fn main() {
     bench_backward_sweep(&mut runner);
     bench_imputers(&mut runner);
     bench_rihgcn_step(&mut runner);
+    bench_parallel_speedup(&mut runner);
     eprintln!("{} benchmarks completed", runner.results().len());
 }

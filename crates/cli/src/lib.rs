@@ -108,6 +108,10 @@ USAGE:
   rihgcn evaluate --data data.csv [--epochs E] [--graphs M]
   rihgcn help
 
+Every command also accepts --threads N to set the worker count of the
+parallel kernels (default: ST_NUM_THREADS, else all available cores).
+Results are bit-identical for any thread count.
+
 Datasets use the long CSV format: node,feature,time,value,observed.
 Generated CSVs embed a synthetic road network; externally produced CSVs
 are assigned a corridor network over their node count.";
@@ -125,6 +129,11 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         return Err("no command given".into());
     };
     let opts = Options::parse(&args[1..])?;
+    // Global performance knob; never changes numerical results.
+    let threads = opts.get_parsed("threads", 0usize)?;
+    if threads > 0 {
+        st_par::set_num_threads(threads);
+    }
     match command.as_str() {
         "generate" => cmd_generate(&opts, out),
         "train" => cmd_train(&opts, out),
@@ -230,6 +239,7 @@ fn cmd_train(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
     let mut model = RihgcnModel::from_dataset(&norm.train, cfg);
     let tc = TrainConfig {
         max_epochs: opts.get_parsed("epochs", 10usize)?,
+        threads: opts.get_parsed("threads", 0usize)?,
         ..Default::default()
     };
     let report = fit(&mut model, &train, &val, &tc);
@@ -342,6 +352,7 @@ fn cmd_evaluate(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
     let mut model = RihgcnModel::from_dataset(&norm.train, cfg);
     let tc = TrainConfig {
         max_epochs: opts.get_parsed("epochs", 10usize)?,
+        threads: opts.get_parsed("threads", 0usize)?,
         ..Default::default()
     };
     fit(&mut model, &train, &val, &tc);
@@ -484,6 +495,16 @@ mod tests {
         assert!(text.contains("missing rate"), "{text}");
         assert!(text.contains("daily autocorrelation"), "{text}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn threads_flag_documented_and_validated() {
+        let mut buf = Vec::new();
+        run(&args(&["help"]), &mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("--threads"));
+        let mut buf = Vec::new();
+        let err = run(&args(&["help", "--threads", "abc"]), &mut buf).unwrap_err();
+        assert!(err.to_string().contains("--threads"));
     }
 
     #[test]

@@ -192,6 +192,10 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Print per-epoch progress to stderr.
     pub verbose: bool,
+    /// Worker threads for the parallel kernels: `0` inherits the ambient
+    /// setting (`ST_NUM_THREADS` or available parallelism). Training
+    /// results are bit-identical for any value (see the `st-par` crate).
+    pub threads: usize,
 }
 
 impl Default for TrainConfig {
@@ -205,11 +209,18 @@ impl Default for TrainConfig {
             lr_schedule: st_nn::LrSchedule::default(),
             seed: 23,
             verbose: false,
+            threads: 0,
         }
     }
 }
 
 impl TrainConfig {
+    /// Sets the worker-thread count (`0` = inherit the ambient setting).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
@@ -268,6 +279,13 @@ mod tests {
         let mut cfg = RihgcnConfig::default();
         cfg.tau = 0.0;
         cfg.validate();
+    }
+
+    #[test]
+    fn threads_defaults_to_inherit() {
+        assert_eq!(TrainConfig::default().threads, 0);
+        assert_eq!(TrainConfig::default().with_threads(4).threads, 4);
+        TrainConfig::default().with_threads(4).validate();
     }
 
     #[test]

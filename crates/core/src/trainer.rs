@@ -71,6 +71,11 @@ pub fn fit<M: Forecaster>(
 ) -> TrainReport {
     tc.validate();
     assert!(!train.is_empty(), "no training samples");
+    if tc.threads > 0 {
+        // Purely a performance knob: results are bit-identical for any
+        // thread count (tests/thread_determinism.rs holds us to that).
+        st_par::set_num_threads(tc.threads);
+    }
 
     let mut adam = Adam::new(model.params(), tc.learning_rate);
     let mut stopper = EarlyStopping::new(tc.patience);

@@ -135,7 +135,6 @@ impl DayProfiles {
             "interval {:?} exceeds the daily cycle",
             interval
         );
-        let n = self.profiles.len();
         let series: Vec<Vec<Vec<f64>>> = self
             .profiles
             .iter()
@@ -145,24 +144,9 @@ impl DayProfiles {
                     .collect()
             })
             .collect();
-        let mut dist = Matrix::zeros(n, n);
-        for i in 0..n {
-            for j in i + 1..n {
-                let mut total = 0.0;
-                let mut count = 0usize;
-                for f in 0..series[i].len().min(series[j].len()) {
-                    let d = measure.compute(&series[i][f], &series[j][f]);
-                    if d.is_finite() {
-                        total += d;
-                        count += 1;
-                    }
-                }
-                let d = if count > 0 { total / count as f64 } else { 0.0 };
-                dist[(i, j)] = d;
-                dist[(j, i)] = d;
-            }
-        }
-        dist
+        // The O(N²) pair sweep parallelises across st-par workers (with
+        // bit-identical results at any thread count) inside st-graph.
+        st_graph::pairwise_distances(&series, measure)
     }
 
     /// Temporal-graph adjacency for one interval (paper Eq. 8 applied to

@@ -1,0 +1,242 @@
+//! Property-based tests (via `st-check`) for the masking, normalisation
+//! and windowing primitives: mask rates land within statistical tolerance,
+//! Z-score round-trips to identity on observed entries, and sliding
+//! windows never read across a chronological split boundary.
+
+use st_check::{prop_assert, prop_assume, Check, Gen};
+use st_data::{drop_observed, holdout_split, missing_rate, TrafficDataset, WindowSampler, ZScore};
+use st_graph::RoadNetwork;
+use st_tensor::Tensor3;
+
+#[test]
+fn drop_observed_rate_within_tolerance() {
+    Check::new("drop_observed_rate_within_tolerance")
+        .cases(48)
+        .run(
+            |g: &mut Gen| {
+                let n = g.usize_in(4, 10);
+                let d = g.usize_in(1, 3);
+                let t = g.usize_in(200, 600);
+                let rate = g.f64_in(0.05, 0.85);
+                let seed = g.u64_in(0, u64::MAX - 1);
+                ((n, d, t), (rate, seed))
+            },
+            |&((n, d, t), (rate, seed))| {
+                let mask = Tensor3::ones(n, d, t);
+                let dropped = drop_observed(&mask, rate, &mut st_tensor::rng(seed));
+                let got = missing_rate(&dropped);
+                // Binomial: the observed rate concentrates around `rate`
+                // with std sqrt(p(1-p)/len); 5 sigma keeps flakes out.
+                let len = (n * d * t) as f64;
+                let tol = 5.0 * (rate * (1.0 - rate) / len).sqrt();
+                prop_assert!(
+                    (got - rate).abs() <= tol,
+                    "rate {got} strayed from target {rate} (tolerance {tol})"
+                );
+                Ok(())
+            },
+        );
+}
+
+#[test]
+fn drop_observed_never_resurrects_and_only_thins() {
+    Check::new("drop_observed_never_resurrects_and_only_thins")
+        .cases(48)
+        .run(
+            |g: &mut Gen| {
+                let n = g.usize_in(2, 6);
+                let t = g.usize_in(20, 120);
+                let prior = g.f64_in(0.0, 0.6);
+                let rate = g.f64_in(0.0, 1.0);
+                let seed = g.u64_in(0, u64::MAX - 1);
+                ((n, t), (prior, rate, seed))
+            },
+            |&((n, t), (prior, rate, seed))| {
+                let mut rng = st_tensor::rng(seed);
+                let mask = Tensor3::from_fn(
+                    n,
+                    2,
+                    t,
+                    |_, _, _| if rng.gen_bool(prior) { 0.0 } else { 1.0 },
+                );
+                let dropped = drop_observed(&mask, rate, &mut rng);
+                for (before, after) in mask.as_slice().iter().zip(dropped.as_slice()) {
+                    prop_assert!(
+                        *after <= *before,
+                        "dropping resurrected a missing entry ({before} -> {after})"
+                    );
+                }
+                Ok(())
+            },
+        );
+}
+
+#[test]
+fn holdout_split_partitions_the_observed_entries() {
+    Check::new("holdout_split_partitions_the_observed_entries")
+        .cases(48)
+        .run(
+            |g: &mut Gen| {
+                let n = g.usize_in(2, 6);
+                let t = g.usize_in(20, 120);
+                let prior = g.f64_in(0.0, 0.5);
+                let holdout = g.f64_in(0.0, 1.0);
+                let seed = g.u64_in(0, u64::MAX - 1);
+                ((n, t), (prior, holdout, seed))
+            },
+            |&((n, t), (prior, holdout, seed))| {
+                let mut rng = st_tensor::rng(seed);
+                let mask = Tensor3::from_fn(
+                    n,
+                    1,
+                    t,
+                    |_, _, _| if rng.gen_bool(prior) { 0.0 } else { 1.0 },
+                );
+                let (train, hold) = holdout_split(&mask, holdout, &mut rng);
+                let overlap = train.zip_map(&hold, |a, b| a * b);
+                prop_assert!(
+                    overlap.as_slice().iter().all(|&v| v == 0.0),
+                    "train and holdout masks overlap"
+                );
+                let union = train.zip_map(&hold, |a, b| a + b);
+                prop_assert!(union == mask, "union of the two masks must equal the input");
+                Ok(())
+            },
+        );
+}
+
+#[test]
+fn zscore_round_trips_on_observed_entries() {
+    Check::new("zscore_round_trips_on_observed_entries")
+        .cases(64)
+        .run(
+            |g: &mut Gen| {
+                let n = g.usize_in(1, 5);
+                let d = g.usize_in(1, 4);
+                let t = g.usize_in(2, 40);
+                let scale = g.f64_in(0.1, 500.0);
+                let values = g.tensor3(n, d, t, -scale, scale);
+                let seed = g.u64_in(0, u64::MAX - 1);
+                let keep = g.f64_in(0.2, 1.0);
+                (values, seed, keep)
+            },
+            |(values, seed, keep)| {
+                let (n, d, t) = values.shape();
+                let mut rng = st_tensor::rng(*seed);
+                let mask = Tensor3::from_fn(
+                    n,
+                    d,
+                    t,
+                    |_, _, _| if rng.gen_bool(*keep) { 1.0 } else { 0.0 },
+                );
+                let z = ZScore::fit(values, &mask);
+                let back = z.invert(&z.apply(values));
+                for ((v, b), m) in values
+                    .as_slice()
+                    .iter()
+                    .zip(back.as_slice())
+                    .zip(mask.as_slice())
+                {
+                    if *m != 0.0 {
+                        let tol = 1e-9 * v.abs().max(1.0);
+                        prop_assert!((v - b).abs() <= tol, "observed entry {v} came back as {b}");
+                    }
+                }
+                Ok(())
+            },
+        );
+}
+
+#[test]
+fn zscore_statistics_come_from_observed_entries_only() {
+    Check::new("zscore_statistics_come_from_observed_entries_only")
+        .cases(48)
+        .run(
+            |g: &mut Gen| {
+                let n = g.usize_in(2, 5);
+                let t = g.usize_in(4, 40);
+                let values = g.tensor3(n, 1, t, -50.0, 50.0);
+                let poison = g.f64_in(1e6, 1e9);
+                let seed = g.u64_in(0, u64::MAX - 1);
+                (values, poison, seed)
+            },
+            |(values, poison, seed)| {
+                // Hide some entries, replace them with garbage: the fitted
+                // statistics must not move at all.
+                let (n, d, t) = values.shape();
+                let mut rng = st_tensor::rng(*seed);
+                let mask =
+                    Tensor3::from_fn(n, d, t, |_, _, _| if rng.gen_bool(0.4) { 0.0 } else { 1.0 });
+                prop_assume!(mask.as_slice().iter().any(|&m| m != 0.0));
+                let clean = ZScore::fit(values, &mask);
+                let poisoned_values =
+                    values.zip_map(&mask, |v, m| if m != 0.0 { v } else { *poison });
+                let poisoned = ZScore::fit(&poisoned_values, &mask);
+                prop_assert!(
+                    clean == poisoned,
+                    "hidden entries leaked into the fitted statistics"
+                );
+                Ok(())
+            },
+        );
+}
+
+#[test]
+fn windows_never_read_across_split_boundaries() {
+    Check::new("windows_never_read_across_split_boundaries")
+        .cases(48)
+        .run(
+            |g: &mut Gen| {
+                let total = g.usize_in(30, 120);
+                let history = g.usize_in(1, 6);
+                let horizon = g.usize_in(1, 6);
+                let stride = g.usize_in(1, 5);
+                let train_frac = g.f64_in(0.3, 0.6);
+                let val_frac = g.f64_in(0.1, 0.3);
+                ((total, history, horizon, stride), (train_frac, val_frac))
+            },
+            |&((total, history, horizon, stride), (train_frac, val_frac))| {
+                // Values encode their absolute timestamp, so any read that
+                // crossed a split boundary would surface as an out-of-range
+                // encoded time.
+                let values =
+                    Tensor3::from_fn(2, 1, total, |node, _, tt| (node * 10_000 + tt) as f64);
+                let ds = TrafficDataset::new(
+                    "prop",
+                    values,
+                    Tensor3::ones(2, 1, total),
+                    RoadNetwork::corridor(2, 1.0),
+                    5,
+                );
+                let split = ds.split_with_ratios(train_frac, val_frac);
+                let sampler = WindowSampler::new(history, horizon, stride);
+
+                let mut offset = 0usize;
+                for part in [&split.train, &split.val, &split.test] {
+                    let len = part.num_times();
+                    for w in sampler.sample(part) {
+                        prop_assert!(
+                            w.start + history + horizon <= len,
+                            "window [{}, {}) overruns its split of length {len}",
+                            w.start,
+                            w.start + history + horizon
+                        );
+                        // Every value the window carries must have been
+                        // taken from inside this split's absolute range.
+                        for (i, m) in w.truths.iter().chain(w.targets.iter()).enumerate() {
+                            let encoded = m[(0, 0)] as usize;
+                            prop_assert!(
+                                encoded == offset + w.start + i,
+                                "window step {i} read absolute time {encoded}, \
+                                 expected {} (split offset {offset})",
+                                offset + w.start + i
+                            );
+                        }
+                    }
+                    offset += len;
+                }
+                prop_assert!(offset == total, "splits must tile the timeline");
+                Ok(())
+            },
+        );
+}

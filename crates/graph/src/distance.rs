@@ -131,6 +131,72 @@ pub fn dtw_multivariate(a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
     }
 }
 
+/// Symmetric pairwise distance matrix between nodes' multivariate series.
+///
+/// `series[n]` holds node `n`'s per-feature scalar series; the distance
+/// between two nodes is the mean finite `measure` distance over their
+/// common features (0 when no feature is comparable). The diagonal is zero.
+///
+/// The O(N²) pair loop is the hottest step of temporal-graph construction,
+/// so pairs are evaluated across `st-par` workers once the estimated work
+/// clears [`st_tensor::parallel_threshold`]. Each pair's distance is
+/// computed wholly by one worker and written to a dedicated slot, so the
+/// result is bit-identical for any thread count.
+pub fn pairwise_distances(series: &[Vec<Vec<f64>>], measure: SeriesDistance) -> st_tensor::Matrix {
+    let n = series.len();
+    let mut dist = st_tensor::Matrix::zeros(n, n);
+    if n < 2 {
+        return dist;
+    }
+    let pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| (i + 1..n).map(move |j| (i, j)))
+        .collect();
+    let pair_distance = |&(i, j): &(usize, usize)| -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for f in 0..series[i].len().min(series[j].len()) {
+            let d = measure.compute(&series[i][f], &series[j][f]);
+            if d.is_finite() {
+                total += d;
+                count += 1;
+            }
+        }
+        if count > 0 {
+            total / count as f64
+        } else {
+            0.0
+        }
+    };
+
+    // Work estimate: each DTW/ERP/LCSS pair costs O(len²) per feature.
+    let len = series
+        .iter()
+        .flat_map(|node| node.iter().map(Vec::len))
+        .max()
+        .unwrap_or(0);
+    let features = series.iter().map(Vec::len).max().unwrap_or(0);
+    let work = pairs
+        .len()
+        .saturating_mul(len * len)
+        .saturating_mul(features);
+
+    let mut values = vec![0.0; pairs.len()];
+    if st_par::num_threads() <= 1 || work < st_tensor::parallel_threshold() {
+        for (v, pair) in values.iter_mut().zip(&pairs) {
+            *v = pair_distance(pair);
+        }
+    } else {
+        st_par::par_chunks_mut(&mut values, 1, |idx, slot| {
+            slot[0] = pair_distance(&pairs[idx]);
+        });
+    }
+    for (&(i, j), &d) in pairs.iter().zip(&values) {
+        dist[(i, j)] = d;
+        dist[(j, i)] = d;
+    }
+    dist
+}
+
 /// Edit distance with Real Penalty (ERP) with gap value `g`.
 ///
 /// A metric (satisfies the triangle inequality) unlike raw DTW. Empty series
@@ -302,6 +368,74 @@ mod tests {
             lcss(&a, &b, 0.6)
         );
         assert_eq!(SeriesDistance::default(), SeriesDistance::Dtw);
+    }
+
+    #[test]
+    fn pairwise_matches_the_scalar_functions() {
+        // Three nodes, two features each.
+        let mk = |phase: f64| -> Vec<Vec<f64>> {
+            (0..2)
+                .map(|f| {
+                    (0..30)
+                        .map(|t| ((t as f64) * 0.3 + phase + f as f64).sin())
+                        .collect()
+                })
+                .collect()
+        };
+        let series = vec![mk(0.0), mk(0.4), mk(2.0)];
+        let dist = pairwise_distances(&series, SeriesDistance::Dtw);
+        assert_eq!(dist.shape(), (3, 3));
+        for i in 0..3 {
+            assert_eq!(dist[(i, i)], 0.0);
+        }
+        let expected01 =
+            (dtw(&series[0][0], &series[1][0]) + dtw(&series[0][1], &series[1][1])) / 2.0;
+        assert_eq!(dist[(0, 1)], expected01);
+        assert_eq!(dist[(0, 1)], dist[(1, 0)]);
+        // Closer phases are closer in DTW.
+        assert!(dist[(0, 1)] < dist[(0, 2)]);
+    }
+
+    #[test]
+    fn pairwise_handles_degenerate_inputs() {
+        assert_eq!(pairwise_distances(&[], SeriesDistance::Dtw).shape(), (0, 0));
+        let one = vec![vec![vec![1.0, 2.0]]];
+        assert_eq!(
+            pairwise_distances(&one, SeriesDistance::Dtw).shape(),
+            (1, 1)
+        );
+        // Nodes with no comparable features get distance 0.
+        let mixed = vec![vec![vec![1.0, 2.0]], vec![]];
+        let d = pairwise_distances(&mixed, SeriesDistance::Dtw);
+        assert_eq!(d[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn pairwise_is_bitwise_thread_invariant() {
+        let series: Vec<Vec<Vec<f64>>> = (0..9)
+            .map(|n| {
+                (0..2)
+                    .map(|f| {
+                        (0..40)
+                            .map(|t| {
+                                ((t + n) as f64 * 0.17 + f as f64 * 0.9).sin() * (n + 1) as f64
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let saved = st_tensor::parallel_threshold();
+        st_tensor::set_parallel_threshold(usize::MAX);
+        let serial = pairwise_distances(&series, SeriesDistance::Dtw);
+        st_tensor::set_parallel_threshold(1);
+        st_par::set_num_threads(4);
+        let parallel = pairwise_distances(&series, SeriesDistance::Dtw);
+        st_par::set_num_threads(0);
+        st_tensor::set_parallel_threshold(saved);
+        for (a, b) in serial.as_slice().iter().zip(parallel.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -23,6 +23,70 @@ pub enum Activation {
     Identity,
 }
 
+/// Precomputed Chebyshev polynomial basis `[T_0(L̃), …, T_{K−1}(L̃)]`.
+///
+/// [`ChebGcn::forward`] rebuilds the recurrence `T_k x` on the tape for
+/// every sample; for a fixed graph the polynomials `T_k(L̃)` are constants,
+/// so the HGCN block precomputes them once per graph at construction (the
+/// per-temporal-graph fan-out parallelises across `st-par` workers) and
+/// [`ChebGcn::forward_with_basis`] then needs one constant matmul per
+/// order. Since the basis matrices carry no gradient, the tape also skips
+/// their backward work.
+///
+/// # Examples
+///
+/// ```
+/// use st_nn::ChebBasis;
+/// use st_tensor::Matrix;
+///
+/// let basis = ChebBasis::new(&Matrix::identity(3), 3);
+/// assert_eq!(basis.order(), 3);
+/// assert_eq!(basis.matrices()[0], Matrix::identity(3));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChebBasis {
+    matrices: Vec<Matrix>,
+}
+
+impl ChebBasis {
+    /// Evaluates `T_0 … T_{k−1}` of the scaled Laplacian `L̃`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `scaled` is not square.
+    pub fn new(scaled: &Matrix, k: usize) -> Self {
+        assert!(k >= 1, "chebyshev order must be at least 1");
+        let n = scaled.rows();
+        assert_eq!(n, scaled.cols(), "scaled laplacian must be square");
+        let mut matrices = Vec::with_capacity(k);
+        matrices.push(Matrix::identity(n));
+        if k >= 2 {
+            matrices.push(scaled.clone());
+        }
+        for i in 2..k {
+            // T_k = 2·L̃·T_{k−1} − T_{k−2}.
+            let two_lt = scaled.matmul(&matrices[i - 1]).scale(2.0);
+            matrices.push(&two_lt - &matrices[i - 2]);
+        }
+        Self { matrices }
+    }
+
+    /// Number of polynomials `K`.
+    pub fn order(&self) -> usize {
+        self.matrices.len()
+    }
+
+    /// Node count of the underlying graph.
+    pub fn num_nodes(&self) -> usize {
+        self.matrices[0].rows()
+    }
+
+    /// The polynomial matrices `[T_0(L̃), …, T_{K−1}(L̃)]`.
+    pub fn matrices(&self) -> &[Matrix] {
+        &self.matrices
+    }
+}
+
 /// A `K`-order Chebyshev graph convolution.
 ///
 /// # Examples
@@ -153,6 +217,68 @@ impl ChebGcn {
             Activation::Identity => pre,
         }
     }
+
+    /// Like [`ChebGcn::forward`] but with the polynomials `T_k(L̃)`
+    /// precomputed in a [`ChebBasis`]: each term is a single constant
+    /// matmul `T_k(L̃) · x` instead of a tape-level recurrence (`T_0 = I`
+    /// skips the matmul entirely).
+    ///
+    /// Numerically this re-associates the recurrence — results agree with
+    /// [`ChebGcn::forward`] to round-off (exactly for `K ≤ 2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the basis order is below `K` or shapes are inconsistent.
+    pub fn forward_with_basis(
+        &self,
+        sess: &mut Session,
+        store: &ParamStore,
+        basis: &ChebBasis,
+        x: Var,
+    ) -> Var {
+        assert!(
+            basis.order() >= self.k,
+            "basis order {} below layer order {}",
+            basis.order(),
+            self.k
+        );
+        let n = basis.num_nodes();
+        assert_eq!(
+            sess.tape.value(x).rows(),
+            n,
+            "feature rows must match node count"
+        );
+        assert_eq!(
+            sess.tape.value(x).cols(),
+            self.in_dim,
+            "gcn expects width {}",
+            self.in_dim
+        );
+
+        let mut acc: Option<Var> = None;
+        for (order, &wid) in self.weights.iter().enumerate() {
+            let term = if order == 0 {
+                x
+            } else {
+                let t = sess.constant(basis.matrices()[order].clone());
+                sess.tape.matmul(t, x)
+            };
+            let w = sess.var(store, wid);
+            let contribution = sess.tape.matmul(term, w);
+            acc = Some(match acc {
+                Some(a) => sess.tape.add(a, contribution),
+                None => contribution,
+            });
+        }
+        let b = sess.var(store, self.bias);
+        let pre = acc.expect("k >= 1 guarantees at least one term");
+        let pre = sess.tape.add_bias(pre, b);
+        match self.activation {
+            Activation::Relu => sess.tape.relu(pre),
+            Activation::Tanh => sess.tape.tanh(pre),
+            Activation::Identity => pre,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -245,6 +371,49 @@ mod tests {
             run(&s2).0
         });
         assert!(res.passes(1e-5), "order-2 weight grad failed: {res:?}");
+    }
+
+    #[test]
+    fn basis_matches_recurrence() {
+        // T_k(L̃)·x from the precomputed basis must agree with the
+        // tape-level recurrence (exactly for K ≤ 2, to round-off above).
+        let l = laplacian(5);
+        let x0 = Matrix::from_fn(5, 2, |r, c| (r as f64 - c as f64 * 0.3).cos());
+        for k in 1..=4 {
+            let mut store = ParamStore::new();
+            let gcn = ChebGcn::new(&mut store, &mut rng(7), 2, 3, k, Activation::Tanh, "g");
+            let basis = ChebBasis::new(&l, k);
+            assert_eq!(basis.order(), k);
+
+            let mut sess = Session::new(&store);
+            let x = sess.constant(x0.clone());
+            let y = gcn.forward(&mut sess, &store, &l, x);
+            let recurrence = sess.tape.value(y).clone();
+
+            let mut sess2 = Session::new(&store);
+            let x = sess2.constant(x0.clone());
+            let y2 = gcn.forward_with_basis(&mut sess2, &store, &basis, x);
+            let direct = sess2.tape.value(y2).clone();
+
+            let diff = recurrence.max_abs_diff(&direct);
+            assert!(diff < 1e-10, "K={k} diverged by {diff}");
+        }
+    }
+
+    #[test]
+    fn basis_forward_routes_gradients() {
+        let mut store = ParamStore::new();
+        let gcn = ChebGcn::new(&mut store, &mut rng(8), 2, 3, 3, Activation::Tanh, "g");
+        let basis = ChebBasis::new(&laplacian(4), 3);
+        let mut sess = Session::new(&store);
+        let x = sess.constant(Matrix::from_fn(4, 2, |r, c| 0.3 * (r + c) as f64));
+        let y = gcn.forward_with_basis(&mut sess, &store, &basis, x);
+        let loss = sess.tape.mean(y);
+        sess.backward(loss);
+        sess.write_grads(&mut store);
+        for (i, &w) in gcn.weights.iter().enumerate() {
+            assert!(store.grad(w).max_abs() > 0.0, "weight {i} got no gradient");
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! branch's interval; the result is concatenated with the geographic
 //! branch's output to form the block's embedding.
 
-use crate::{Activation, ChebGcn, ParamId, ParamStore, Session};
+use crate::{Activation, ChebBasis, ChebGcn, ParamId, ParamStore, Session};
 use st_autodiff::Var;
 use st_graph::{interval_weights, scaled_laplacian_from_adjacency, Interval};
 use st_tensor::{Matrix, StRng};
@@ -17,13 +17,20 @@ use st_tensor::{Matrix, StRng};
 ///
 /// Output width is `2 × gcn_dim` when temporal graphs are present
 /// (geographic ‖ temporal) and `gcn_dim` otherwise.
+///
+/// At construction the block turns every adjacency (geographic plus the M
+/// temporal graphs) into a scaled Laplacian and a precomputed
+/// [`ChebBasis`]; that per-graph fan-out runs across `st-par` workers, with
+/// each graph processed wholly by one worker so the result is bit-identical
+/// at any thread count. [`HgcnBlock::forward`] then spends one constant
+/// matmul per Chebyshev order per graph.
 #[derive(Debug, Clone)]
 pub struct HgcnBlock {
     geo: ChebGcn,
     gate: Option<ParamId>,
     temporal: Vec<ChebGcn>,
-    geo_laplacian: Matrix,
-    temporal_laplacians: Vec<Matrix>,
+    geo_basis: ChebBasis,
+    temporal_bases: Vec<ChebBasis>,
     intervals: Vec<Interval>,
     slots_per_day: usize,
     tau: f64,
@@ -73,7 +80,6 @@ impl HgcnBlock {
             Activation::Relu,
             &format!("{name}.geo"),
         );
-        let geo_laplacian = scaled_laplacian_from_adjacency(geo_adjacency);
 
         // Learnable gate on the temporal branch, initialised near zero so
         // the block starts out as a plain geographic GCN and smoothly
@@ -84,10 +90,12 @@ impl HgcnBlock {
         let gate = (!temporal_graphs.is_empty())
             .then(|| store.add(format!("{name}.gate"), Matrix::from_rows(&[&[0.1]])));
 
+        // Parameter initialisation must stay strictly sequential (the RNG
+        // stream defines the reproducibility contract), so only the layer
+        // construction happens in this loop.
         let mut temporal = Vec::with_capacity(temporal_graphs.len());
-        let mut temporal_laplacians = Vec::with_capacity(temporal_graphs.len());
         let mut intervals = Vec::with_capacity(temporal_graphs.len());
-        for (i, (interval, adj)) in temporal_graphs.into_iter().enumerate() {
+        for (i, (interval, _)) in temporal_graphs.iter().enumerate() {
             temporal.push(ChebGcn::new(
                 store,
                 rng,
@@ -97,16 +105,30 @@ impl HgcnBlock {
                 Activation::Relu,
                 &format!("{name}.t{i}"),
             ));
-            temporal_laplacians.push(scaled_laplacian_from_adjacency(&adj));
-            intervals.push(interval);
+            intervals.push(*interval);
         }
+
+        // Per-graph fan-out: the geographic graph and the M temporal graphs
+        // each need a scaled Laplacian and a Chebyshev basis. Each graph is
+        // processed wholly by one st-par worker (slot-disjoint writes), so
+        // the bases are bit-identical at any thread count.
+        let adjacencies: Vec<&Matrix> = std::iter::once(geo_adjacency)
+            .chain(temporal_graphs.iter().map(|(_, adj)| adj))
+            .collect();
+        let mut bases: Vec<Option<ChebBasis>> = vec![None; adjacencies.len()];
+        st_par::par_chunks_mut(&mut bases, 1, |idx, slot| {
+            let laplacian = scaled_laplacian_from_adjacency(adjacencies[idx]);
+            slot[0] = Some(ChebBasis::new(&laplacian, k));
+        });
+        let mut bases = bases.into_iter().map(|b| b.expect("basis computed"));
+        let geo_basis = bases.next().expect("geographic basis");
 
         Self {
             geo,
             gate,
             temporal,
-            geo_laplacian,
-            temporal_laplacians,
+            geo_basis,
+            temporal_bases: bases.collect(),
             intervals,
             slots_per_day,
             tau,
@@ -153,19 +175,14 @@ impl HgcnBlock {
             self.num_nodes,
             "input must have one row per node"
         );
-        let geo_out = self.geo.forward(sess, store, &self.geo_laplacian, x);
+        let geo_out = self.geo.forward_with_basis(sess, store, &self.geo_basis, x);
         if self.temporal.is_empty() {
             return geo_out;
         }
         let weights = self.weights_for_slot(slot);
         let mut acc: Option<Var> = None;
-        for ((gcn, laplacian), &w) in self
-            .temporal
-            .iter()
-            .zip(&self.temporal_laplacians)
-            .zip(&weights)
-        {
-            let out = gcn.forward(sess, store, laplacian, x);
+        for ((gcn, basis), &w) in self.temporal.iter().zip(&self.temporal_bases).zip(&weights) {
+            let out = gcn.forward_with_basis(sess, store, basis, x);
             let weighted = sess.tape.scale(out, w);
             acc = Some(match acc {
                 Some(a) => sess.tape.add(a, weighted),

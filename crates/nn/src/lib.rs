@@ -46,7 +46,7 @@ mod schedule;
 mod stopping;
 
 pub use adam::Adam;
-pub use gcn::{Activation, ChebGcn};
+pub use gcn::{Activation, ChebBasis, ChebGcn};
 pub use gru::GruCell;
 pub use hgcn::HgcnBlock;
 pub use linear::Linear;

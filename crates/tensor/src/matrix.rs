@@ -207,7 +207,37 @@ impl Matrix {
         }
     }
 
+    /// Splits `out` into row blocks and runs `per_block(first_row, block)`
+    /// for each — serially below the work threshold, across `st-par`
+    /// workers above it. Every output row is produced wholly by one call of
+    /// `per_block`, so results are bit-identical for any thread count as
+    /// long as `per_block` itself is deterministic per row.
+    fn rowwise_product(
+        out: &mut Matrix,
+        flops: usize,
+        per_block: impl Fn(usize, &mut [f64]) + Sync,
+    ) {
+        let out_cols = out.cols;
+        if out.rows == 0 || out_cols == 0 {
+            return;
+        }
+        let workers = st_par::num_threads();
+        if workers <= 1 || flops < crate::parallel_threshold() {
+            per_block(0, &mut out.data);
+            return;
+        }
+        // Aim for a few blocks per worker so a slow block can't straggle.
+        let block_rows = out.rows.div_ceil(workers * 4).max(1);
+        st_par::par_chunks_mut(&mut out.data, block_rows * out_cols, |idx, block| {
+            per_block(idx * block_rows, block);
+        });
+    }
+
     /// Matrix product `self · rhs`.
+    ///
+    /// Row-blocked and parallelised across `st-par` workers above the
+    /// [`crate::parallel_threshold`] work estimate; results are
+    /// bit-identical for any thread count.
     ///
     /// # Panics
     ///
@@ -219,25 +249,33 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
+        let flops = self.rows * self.cols * rhs.cols;
         // i-k-j loop order: the inner loop walks both `rhs` and `out`
         // contiguously, which is substantially faster than the naive i-j-k.
-        for i in 0..self.rows {
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
+        Self::rowwise_product(&mut out, flops, |row0, block| {
+            for (local, out_row) in block.chunks_mut(rhs.cols).enumerate() {
+                let i = row0 + local;
+                for k in 0..self.cols {
+                    let a = self.data[i * self.cols + k];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                    for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
     /// Matrix product `selfᵀ · rhs` without materialising the transpose.
+    ///
+    /// Row-blocked over the *output* rows (columns of `self`), each
+    /// accumulated over `k` in ascending order — the same per-element order
+    /// as the serial path, so results are bit-identical for any thread
+    /// count.
     ///
     /// # Panics
     ///
@@ -249,23 +287,29 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for k in 0..self.rows {
-            let lhs_row = &self.data[k * self.cols..(k + 1) * self.cols];
-            let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-            for (i, &a) in lhs_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
+        let flops = self.rows * self.cols * rhs.cols;
+        Self::rowwise_product(&mut out, flops, |row0, block| {
+            for (local, out_row) in block.chunks_mut(rhs.cols).enumerate() {
+                let i = row0 + local; // column of self, row of the output
+                for k in 0..self.rows {
+                    let a = self.data[k * self.cols + i];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                    for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
     /// Matrix product `self · rhsᵀ` without materialising the transpose.
+    ///
+    /// Row-blocked and parallelised like [`Matrix::matmul`]; bit-identical
+    /// for any thread count.
     ///
     /// # Panics
     ///
@@ -277,17 +321,21 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let lhs_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            for j in 0..rhs.rows {
-                let rhs_row = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
-                let mut acc = 0.0;
-                for (&a, &b) in lhs_row.iter().zip(rhs_row) {
-                    acc += a * b;
+        let flops = self.rows * self.cols * rhs.rows;
+        Self::rowwise_product(&mut out, flops, |row0, block| {
+            for (local, out_row) in block.chunks_mut(rhs.rows).enumerate() {
+                let i = row0 + local;
+                let lhs_row = &self.data[i * self.cols..(i + 1) * self.cols];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let rhs_row = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
+                    let mut acc = 0.0;
+                    for (&a, &b) in lhs_row.iter().zip(rhs_row) {
+                        acc += a * b;
+                    }
+                    *o = acc;
                 }
-                out.data[i * rhs.rows + j] = acc;
             }
-        }
+        });
         out
     }
 
@@ -760,5 +808,49 @@ mod tests {
         let m = Matrix::from_rows(&[&[1.0, 2.5], &[-3.0, 0.0]]);
         let cloned = m.clone();
         assert_eq!(m, cloned);
+    }
+
+    #[test]
+    fn matmul_family_is_bitwise_thread_invariant() {
+        // Force the parallel path at a checkable size and compare against
+        // the serial path bit for bit, across the whole matmul family.
+        // Entries span many magnitudes so order-sensitive summation would
+        // show up immediately.
+        let gen = |seed: u64, r: usize, c: usize| {
+            let mut rng = crate::rng(seed);
+            Matrix::from_fn(r, c, |i, j| {
+                let x = rng.gen_f64() - 0.5;
+                // A sprinkle of exact zeros exercises the skip branches.
+                if (i + j) % 7 == 0 {
+                    0.0
+                } else {
+                    x * 10f64.powi((rng.next_u64() % 9) as i32 - 4)
+                }
+            })
+        };
+        let a = gen(1, 33, 17);
+        let b = gen(2, 17, 29);
+        let c = gen(3, 33, 29); // same rows as a (for tn), same cols as b? no: nt pairs below
+        let d = gen(4, 21, 17); // same cols as a, for nt
+
+        let saved = crate::parallel_threshold();
+        crate::set_parallel_threshold(usize::MAX);
+        let serial = (a.matmul(&b), a.matmul_tn(&c), a.matmul_nt(&d));
+        crate::set_parallel_threshold(1);
+        st_par::set_num_threads(4);
+        let parallel = (a.matmul(&b), a.matmul_tn(&c), a.matmul_nt(&d));
+        st_par::set_num_threads(0);
+        crate::set_parallel_threshold(saved);
+
+        for (name, s, p) in [
+            ("matmul", &serial.0, &parallel.0),
+            ("matmul_tn", &serial.1, &parallel.1),
+            ("matmul_nt", &serial.2, &parallel.2),
+        ] {
+            assert_eq!(s.shape(), p.shape(), "{name} shape");
+            for (x, y) in s.as_slice().iter().zip(p.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{name} diverged: {x} vs {y}");
+            }
+        }
     }
 }

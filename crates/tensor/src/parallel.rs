@@ -1,0 +1,49 @@
+//! Runtime knobs for the parallel kernels.
+//!
+//! Kernels in this crate (and the pairwise-distance builder in `st-graph`)
+//! only fan out across `st-par` workers when the estimated work of a call
+//! exceeds a global threshold, so small matrices keep their zero-overhead
+//! serial path. The threshold is runtime-settable because tests and
+//! benchmarks need to force the parallel path at sizes where exhaustive
+//! finite-difference checking is still affordable.
+//!
+//! Changing the threshold never changes results: every parallel kernel in
+//! the workspace evaluates floating-point operations in the same order as
+//! its serial path (see the `st-par` crate docs for the contract).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default work threshold (~flops per call) above which kernels go
+/// parallel: roughly a 128³ matmul, i.e. around a millisecond of serial
+/// work — comfortably above the cost of spawning scoped workers.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 1 << 21;
+
+static PARALLEL_THRESHOLD: AtomicUsize = AtomicUsize::new(DEFAULT_PARALLEL_THRESHOLD);
+
+/// The current work threshold (in estimated flops) for parallel dispatch.
+pub fn parallel_threshold() -> usize {
+    PARALLEL_THRESHOLD.load(Ordering::Relaxed)
+}
+
+/// Sets the work threshold for parallel dispatch.
+///
+/// `1` forces every kernel onto the parallel path (used by the gradient
+/// checks and the cross-thread determinism suite); `usize::MAX` pins
+/// everything serial. Results are bit-identical either way.
+pub fn set_parallel_threshold(flops: usize) {
+    PARALLEL_THRESHOLD.store(flops, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_round_trips() {
+        let before = parallel_threshold();
+        set_parallel_threshold(123);
+        assert_eq!(parallel_threshold(), 123);
+        set_parallel_threshold(before);
+        assert_eq!(parallel_threshold(), before);
+    }
+}

@@ -10,6 +10,21 @@ cargo build --release --offline --workspace
 echo "== test (offline) =="
 cargo test -q --offline --workspace
 
+# The parallel kernels promise bit-identical results for any worker count;
+# exercise the ST_NUM_THREADS environment path at both extremes.
+echo "== test (1 worker thread) =="
+ST_NUM_THREADS=1 cargo test -q --offline --workspace
+
+echo "== test (4 worker threads) =="
+ST_NUM_THREADS=4 cargo test -q --offline --workspace
+
+echo "== bench smoke (serial vs parallel) =="
+# One tiny sample per benchmark: checks the harness runs, records the
+# serial-vs-parallel comparison, and asserts nothing about speedup (that
+# depends on the host's core count).
+RIHGCN_BENCH_SAMPLES=1 RIHGCN_BENCH_SAMPLE_MS=20 \
+    cargo bench -q --offline -p rihgcn-bench --bench micro >/dev/null
+
 echo "== formatting =="
 cargo fmt --check
 

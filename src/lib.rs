@@ -12,6 +12,7 @@
 //! * [`data`] — synthetic PeMS/Stampede datasets, masking, windowing;
 //! * [`graph`] — adjacency, Laplacians, DTW, interval partitioning;
 //! * [`nn`] — layers and optimiser;
+//! * [`par`] — deterministic std-only data parallelism;
 //! * [`autodiff`] / [`tensor`] — the numerical substrate.
 //!
 //! # Examples
@@ -37,4 +38,5 @@ pub use st_autodiff as autodiff;
 pub use st_data as data;
 pub use st_graph as graph;
 pub use st_nn as nn;
+pub use st_par as par;
 pub use st_tensor as tensor;

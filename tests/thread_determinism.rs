@@ -1,0 +1,106 @@
+//! Cross-thread determinism: the PR-1 guarantee (`tests/determinism.rs`)
+//! extended across worker counts. Training the full model with 1 worker and
+//! with 4 workers from the same seed must agree bit for bit — per-epoch
+//! losses and every final parameter.
+//!
+//! The parallel threshold is forced to 1 so every kernel actually takes its
+//! parallel path at this tiny model size; with the default threshold the
+//! 4-worker run would silently stay serial and the test would be vacuous.
+//! `scripts/ci.sh` additionally runs the whole suite under
+//! `ST_NUM_THREADS=1` and `ST_NUM_THREADS=4` to exercise the environment
+//! path; in-process we pin the count programmatically because the
+//! environment is read once and cached.
+
+use rihgcn::core::{fit, prepare_split, RihgcnConfig, RihgcnModel, TrainConfig};
+use rihgcn::data::{generate_pems, PemsConfig, WindowSampler};
+use rihgcn::tensor::{rng, Matrix};
+
+fn train_with_threads(threads: usize) -> (Vec<f64>, Vec<f64>, Vec<(String, Matrix)>) {
+    rihgcn::par::set_num_threads(threads);
+    let ds = generate_pems(&PemsConfig {
+        num_nodes: 4,
+        num_days: 2,
+        ..Default::default()
+    });
+    let ds = ds.with_extra_missing(0.3, &mut rng(9));
+    let (norm, _) = prepare_split(&ds.split_chronological());
+    let sampler = WindowSampler::new(6, 3, 24);
+    let train = sampler.sample(&norm.train);
+    let val = sampler.sample(&norm.val);
+
+    let mut model = RihgcnModel::from_dataset(
+        &norm.train,
+        RihgcnConfig {
+            gcn_dim: 4,
+            lstm_dim: 6,
+            cheb_k: 2,
+            num_temporal_graphs: 2,
+            history: 6,
+            horizon: 3,
+            ..Default::default()
+        },
+    );
+    let tc = TrainConfig {
+        max_epochs: 3,
+        batch_size: 4,
+        ..Default::default()
+    };
+    let report = fit(&mut model, &train, &val, &tc);
+
+    let store = model.params();
+    let params = store
+        .ids()
+        .map(|id| (store.name(id).to_string(), store.value(id).clone()))
+        .collect();
+    (report.train_losses, report.val_losses, params)
+}
+
+// A single #[test] owns the whole comparison: the thread count and the
+// parallel threshold are process globals, and test binaries run their
+// tests on concurrent threads.
+#[test]
+fn training_is_bitwise_identical_across_thread_counts() {
+    let saved = rihgcn::tensor::parallel_threshold();
+    rihgcn::tensor::set_parallel_threshold(1);
+
+    let (train_1, val_1, params_1) = train_with_threads(1);
+    let (train_4, val_4, params_4) = train_with_threads(4);
+
+    rihgcn::tensor::set_parallel_threshold(saved);
+    rihgcn::par::set_num_threads(0);
+
+    assert_eq!(
+        train_1.len(),
+        train_4.len(),
+        "epoch counts diverged: {} vs {}",
+        train_1.len(),
+        train_4.len()
+    );
+    for (epoch, (a, b)) in train_1.iter().zip(&train_4).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "train loss diverged at epoch {epoch}: {a} vs {b}"
+        );
+    }
+    for (epoch, (a, b)) in val_1.iter().zip(&val_4).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "val loss diverged at epoch {epoch}: {a} vs {b}"
+        );
+    }
+
+    assert_eq!(params_1.len(), params_4.len(), "parameter counts diverged");
+    for ((name_1, m_1), (name_4, m_4)) in params_1.iter().zip(&params_4) {
+        assert_eq!(name_1, name_4, "parameter order diverged");
+        assert_eq!(m_1.shape(), m_4.shape(), "shape diverged for {name_1}");
+        for (x, y) in m_1.as_slice().iter().zip(m_4.as_slice()) {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "parameter {name_1} diverged between 1 and 4 threads: {x} vs {y}"
+            );
+        }
+    }
+}
