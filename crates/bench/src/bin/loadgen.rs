@@ -1,0 +1,256 @@
+//! Load generator for the st-serve forecast service.
+//!
+//! Two modes:
+//!
+//! * `--smoke` — one client walks every route (healthz → observe×history →
+//!   forecast → imputed → metrics) and fails loudly on any unexpected
+//!   status or payload. Used by `scripts/ci.sh`.
+//! * load mode (default) — fills the window, then `--threads K` clients
+//!   each issue `--requests N` `GET /forecast` calls over keep-alive
+//!   connections and the tool reports throughput and p50/p99 latency.
+//!
+//! `--shutdown` additionally posts `/admin/shutdown` at the end, so a
+//! scripted server run terminates cleanly. Exits non-zero on any failure.
+
+use st_serve::{wire, HttpClient};
+use st_tensor::Matrix;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+struct Args {
+    addr: String,
+    threads: usize,
+    requests: usize,
+    smoke: bool,
+    shutdown: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:8100".into(),
+        threads: 4,
+        requests: 200,
+        smoke: false,
+        shutdown: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--requests" => {
+                args.requests = value("--requests")?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?;
+            }
+            "--smoke" => args.smoke = true,
+            "--shutdown" => args.shutdown = true,
+            "--help" | "-h" => {
+                println!(
+                    "loadgen --addr HOST:PORT [--threads K] [--requests N] [--smoke] [--shutdown]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Model facts parsed from the `/healthz` token stream
+/// (`ok nodes 4 features 2 history 12 … ready false …`).
+struct Health {
+    nodes: usize,
+    features: usize,
+    history: usize,
+    slots_per_day: usize,
+    ready: bool,
+}
+
+fn parse_health(text: &str) -> Result<Health, String> {
+    let tokens: Vec<&str> = text.split_whitespace().collect();
+    if tokens.first() != Some(&"ok") {
+        return Err(format!("healthz did not start with ok: {text:?}"));
+    }
+    let mut fields: HashMap<&str, &str> = HashMap::new();
+    for pair in tokens[1..].chunks(2) {
+        if let [k, v] = pair {
+            fields.insert(k, v);
+        }
+    }
+    let num = |k: &str| -> Result<usize, String> {
+        fields
+            .get(k)
+            .ok_or_else(|| format!("healthz missing {k}: {text:?}"))?
+            .parse()
+            .map_err(|e| format!("healthz {k}: {e}"))
+    };
+    Ok(Health {
+        nodes: num("nodes")?,
+        features: num("features")?,
+        history: num("history")?,
+        slots_per_day: num("slots_per_day")?,
+        ready: fields.get("ready") == Some(&"true"),
+    })
+}
+
+/// Deterministic synthetic observation for step `t`: every entry observed,
+/// values varying smoothly so forecasts are well-conditioned.
+fn observation(t: usize, h: &Health) -> String {
+    let values = Matrix::from_fn(h.nodes, h.features, |r, c| {
+        40.0 + 10.0 * (((t + 1) * (r + 2) + c) as f64 * 0.37).sin()
+    });
+    let mask = Matrix::from_fn(h.nodes, h.features, |_, _| 1.0);
+    wire::format_observation(t % h.slots_per_day, &values, &mask)
+}
+
+fn fill_window(client: &mut HttpClient, h: &Health) -> Result<(), String> {
+    for t in 0..h.history {
+        client.post_ok("/observe", &observation(t, h))?;
+    }
+    Ok(())
+}
+
+fn smoke(addr: &str) -> Result<(), String> {
+    let mut client =
+        HttpClient::connect(addr, TIMEOUT).map_err(|e| format!("connect {addr}: {e}"))?;
+    let health = parse_health(&client.get_ok("/healthz")?)?;
+    println!(
+        "healthz: {} nodes × {} features, history {}",
+        health.nodes, health.features, health.history
+    );
+
+    if !health.ready {
+        // An empty window must answer 409, not hang or 500.
+        let resp = client.request("GET", "/forecast", "")?;
+        if resp.status != 409 {
+            return Err(format!("expected 409 before fill, got {}", resp.status));
+        }
+        fill_window(&mut client, &health)?;
+        println!("observed {} steps", health.history);
+    }
+
+    let (version, steps) = wire::parse_steps(&client.get_ok("/forecast")?)?;
+    if steps.is_empty() || steps[0].shape() != (health.nodes, health.features) {
+        return Err(format!(
+            "forecast has unexpected shape at version {version}"
+        ));
+    }
+    for (i, step) in steps.iter().enumerate() {
+        if !step.is_finite() {
+            return Err(format!("forecast step {i} has non-finite values"));
+        }
+    }
+    println!(
+        "forecast: {} steps at window version {version}",
+        steps.len()
+    );
+
+    let (_, imputed) = wire::parse_steps(&client.get_ok("/imputed")?)?;
+    if imputed.len() != health.history {
+        return Err(format!(
+            "imputed window has {} steps, expected {}",
+            imputed.len(),
+            health.history
+        ));
+    }
+
+    let metrics = client.get_ok("/metrics")?;
+    for needle in [
+        "st_serve_requests_total{route=\"forecast\"}",
+        "st_serve_latency_bucket{le=\"+inf\"}",
+    ] {
+        if !metrics.contains(needle) {
+            return Err(format!("metrics missing {needle}"));
+        }
+    }
+    println!("smoke ok");
+    Ok(())
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx]
+}
+
+fn load(addr: &str, threads: usize, requests: usize) -> Result<(), String> {
+    let mut client =
+        HttpClient::connect(addr, TIMEOUT).map_err(|e| format!("connect {addr}: {e}"))?;
+    let health = parse_health(&client.get_ok("/healthz")?)?;
+    if !health.ready {
+        fill_window(&mut client, &health)?;
+    }
+
+    let started = Instant::now();
+    let mut workers = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        let addr = addr.to_string();
+        workers.push(std::thread::spawn(move || -> Result<Vec<u64>, String> {
+            let mut client =
+                HttpClient::connect(&addr, TIMEOUT).map_err(|e| format!("connect: {e}"))?;
+            let mut latencies = Vec::with_capacity(requests);
+            for _ in 0..requests {
+                let t0 = Instant::now();
+                client.get_ok("/forecast")?;
+                latencies.push(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+            }
+            Ok(latencies)
+        }));
+    }
+    let mut latencies = Vec::with_capacity(threads * requests);
+    for w in workers {
+        latencies.extend(w.join().map_err(|_| "client thread panicked")??);
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let total = latencies.len();
+    println!(
+        "{total} requests over {threads} threads in {elapsed:.3}s: {:.0} req/s, \
+         p50 {}us, p99 {}us",
+        total as f64 / elapsed,
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99),
+    );
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(2);
+        }
+    };
+    let result = if args.smoke {
+        smoke(&args.addr)
+    } else {
+        load(&args.addr, args.threads.max(1), args.requests.max(1))
+    };
+    if args.shutdown {
+        let stop = HttpClient::connect(&args.addr, TIMEOUT)
+            .map_err(|e| format!("connect for shutdown: {e}"))
+            .and_then(|mut c| c.post_ok("/admin/shutdown", ""));
+        if let Err(e) = stop {
+            eprintln!("loadgen: shutdown failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Err(e) = result {
+        eprintln!("loadgen: {e}");
+        std::process::exit(1);
+    }
+}

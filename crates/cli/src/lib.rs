@@ -9,7 +9,9 @@
 //!   final history window, printing one CSV row per (node, feature, step);
 //! * `impute` — reconstruct all hidden entries of a CSV dataset with a
 //!   classical imputer and write the completed CSV;
-//! * `evaluate` — train and score RIHGCN plus reference baselines.
+//! * `evaluate` — train and score RIHGCN plus reference baselines;
+//! * `serve` — run the st-serve HTTP forecast service from a
+//!   self-contained checkpoint (`train --checkpoint`).
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs) to stay within the
 //! workspace's dependency policy.
@@ -18,8 +20,8 @@
 
 use rihgcn_baselines::{knn_impute, last_observed_fill, matrix_factorization_impute};
 use rihgcn_core::{
-    evaluate_imputation, evaluate_prediction, fit, load_params, prepare_split, save_params,
-    RihgcnConfig, RihgcnModel, TrainConfig,
+    evaluate_imputation, evaluate_prediction, fit, load_checkpoint, load_params, prepare_split,
+    save_checkpoint, save_params, OnlineForecaster, RihgcnConfig, RihgcnModel, TrainConfig,
 };
 use st_data::{
     generate_pems, generate_stampede, read_csv, write_csv, PemsConfig, QualityReport,
@@ -99,14 +101,27 @@ USAGE:
   rihgcn generate --dataset pems|stampede --out data.csv
                   [--nodes N] [--days D] [--missing-rate R] [--seed S]
   rihgcn train    --data data.csv --out model.params
-                  [--epochs E] [--graphs M] [--lambda L] [--gcn-dim F]
-                  [--lstm-dim Q] [--horizon H]
+                  [--checkpoint model.ckpt] [--epochs E] [--graphs M]
+                  [--lambda L] [--gcn-dim F] [--lstm-dim Q]
+                  [--history T] [--horizon H]
   rihgcn forecast --data data.csv --model model.params
-                  [--graphs M] [--gcn-dim F] [--lstm-dim Q] [--horizon H]
+                  [--graphs M] [--gcn-dim F] [--lstm-dim Q]
+                  [--history T] [--horizon H]
   rihgcn impute   --data data.csv --method last|knn|mf --out filled.csv
   rihgcn inspect  --data data.csv
   rihgcn evaluate --data data.csv [--epochs E] [--graphs M]
+  rihgcn serve    --checkpoint model.ckpt [--addr HOST:PORT]
+                  [--addr-file F] [--workers K] [--max-conns C]
+                  [--watch-stdin true]
   rihgcn help
+
+`train --checkpoint` writes a self-contained checkpoint (parameters,
+config, normalisation stats and graphs) that `serve` loads without the
+training CSV. `serve` prints `listening on HOST:PORT` (and writes the
+bound address to --addr-file, useful with port 0), then serves
+POST /observe, GET /forecast, GET /imputed, GET /healthz, GET /metrics
+and POST /admin/shutdown until shut down; with `--watch-stdin true` it
+also shuts down on stdin EOF.
 
 Every command also accepts --threads N to set the worker count of the
 parallel kernels (default: ST_NUM_THREADS, else all available cores).
@@ -141,6 +156,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "impute" => cmd_impute(&opts, out),
         "inspect" => cmd_inspect(&opts, out),
         "evaluate" => cmd_evaluate(&opts, out),
+        "serve" => cmd_serve(&opts, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
             Ok(())
@@ -214,20 +230,22 @@ fn read_probe_nodes(path: &str) -> Result<usize, CliError> {
 
 fn model_config(opts: &Options, ds: &TrafficDataset) -> Result<RihgcnConfig, CliError> {
     let _ = ds;
+    let defaults = RihgcnConfig::default();
     Ok(RihgcnConfig {
         gcn_dim: opts.get_parsed("gcn-dim", 8usize)?,
         lstm_dim: opts.get_parsed("lstm-dim", 16usize)?,
         num_temporal_graphs: opts.get_parsed("graphs", 4usize)?,
         lambda: opts.get_parsed("lambda", 1.0f64)?,
+        history: opts.get_parsed("history", defaults.history)?,
         horizon: opts.get_parsed("horizon", 12usize)?,
-        ..Default::default()
+        ..defaults
     })
 }
 
 fn cmd_train(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
     let model_path = opts.get("out").ok_or("train requires --out <file>")?;
     let ds = load_dataset(opts)?;
-    let (norm, _z) = prepare_split(&ds.split_chronological());
+    let (norm, z) = prepare_split(&ds.split_chronological());
     let cfg = model_config(opts, &ds)?;
     let sampler = WindowSampler::new(cfg.history, cfg.horizon, 3);
     let train = sampler.sample(&norm.train);
@@ -251,6 +269,51 @@ fn cmd_train(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
         report.best_val_loss,
         model.num_parameters(),
         model_path
+    )?;
+    if let Some(ckpt_path) = opts.get("checkpoint") {
+        save_checkpoint(&model, &z, BufWriter::new(File::create(ckpt_path)?))?;
+        writeln!(out, "saved self-contained checkpoint to {ckpt_path}")?;
+    }
+    Ok(())
+}
+
+fn cmd_serve(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    let ckpt_path = opts
+        .get("checkpoint")
+        .ok_or("serve requires --checkpoint <file> (see `train --checkpoint`)")?;
+    let (model, z) = load_checkpoint(BufReader::new(File::open(ckpt_path)?))?;
+    let online = OnlineForecaster::new(model, z);
+
+    let cfg = st_serve::ServeConfig {
+        addr: opts.get("addr").unwrap_or("127.0.0.1:8100").to_string(),
+        workers: opts.get_parsed("workers", 0usize)?,
+        max_connections: opts.get_parsed("max-conns", 64usize)?,
+        ..Default::default()
+    };
+    let server =
+        st_serve::Server::start(online, cfg).map_err(|e| format!("failed to start server: {e}"))?;
+    let addr = server.local_addr();
+    writeln!(out, "listening on {addr}")?;
+    out.flush()?;
+    if let Some(addr_file) = opts.get("addr-file") {
+        // Written last so pollers only ever see the complete address.
+        std::fs::write(addr_file, format!("{addr}\n"))?;
+    }
+    if opts.get_parsed("watch-stdin", false)? {
+        let handle = server.shutdown_handle();
+        std::thread::spawn(move || {
+            // Drain stdin; EOF means the parent is gone — shut down.
+            let mut sink = Vec::new();
+            let _ = std::io::Read::read_to_end(&mut std::io::stdin().lock(), &mut sink);
+            handle.shutdown();
+        });
+    }
+    let online = server.join();
+    writeln!(
+        out,
+        "server stopped after {} observations (window version {})",
+        online.len(),
+        online.window_version()
     )?;
     Ok(())
 }
@@ -505,6 +568,109 @@ mod tests {
         let mut buf = Vec::new();
         let err = run(&args(&["help", "--threads", "abc"]), &mut buf).unwrap_err();
         assert!(err.to_string().contains("--threads"));
+    }
+
+    #[test]
+    fn train_checkpoint_then_serve_end_to_end() {
+        let dir = std::env::temp_dir().join("rihgcn-cli-serve");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.csv");
+        let params = dir.join("model.params");
+        let ckpt = dir.join("model.ckpt");
+        let addr_file = dir.join("addr.txt");
+
+        let mut buf = Vec::new();
+        run(
+            &args(&[
+                "generate",
+                "--dataset",
+                "pems",
+                "--out",
+                data.to_str().unwrap(),
+                "--nodes",
+                "4",
+                "--days",
+                "1",
+                "--missing-rate",
+                "0.2",
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        run(
+            &args(&[
+                "train",
+                "--data",
+                data.to_str().unwrap(),
+                "--out",
+                params.to_str().unwrap(),
+                "--checkpoint",
+                ckpt.to_str().unwrap(),
+                "--epochs",
+                "1",
+                "--gcn-dim",
+                "4",
+                "--lstm-dim",
+                "6",
+                "--graphs",
+                "2",
+                "--history",
+                "4",
+                "--horizon",
+                "2",
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        assert!(ckpt.exists());
+        assert!(String::from_utf8(buf).unwrap().contains("checkpoint"));
+
+        // Serve from the checkpoint on an ephemeral port in a thread.
+        let serve_args = args(&[
+            "serve",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--addr-file",
+            addr_file.to_str().unwrap(),
+            "--workers",
+            "2",
+        ]);
+        let server = std::thread::spawn(move || {
+            let mut buf = Vec::new();
+            run(&serve_args, &mut buf).unwrap();
+            String::from_utf8(buf).unwrap()
+        });
+
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&addr_file) {
+                let text = text.trim().to_string();
+                if !text.is_empty() {
+                    break text;
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "server never bound");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+
+        let mut client =
+            st_serve::HttpClient::connect(&addr, std::time::Duration::from_secs(10)).unwrap();
+        let health = client.get_ok("/healthz").unwrap();
+        assert!(health.contains("nodes 4"), "health: {health}");
+        client.post_ok("/admin/shutdown", "").unwrap();
+        let log = server.join().unwrap();
+        assert!(log.contains("listening on"), "log: {log}");
+        assert!(log.contains("server stopped"), "log: {log}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_requires_a_checkpoint() {
+        let mut buf = Vec::new();
+        let err = run(&args(&["serve"]), &mut buf).unwrap_err();
+        assert!(err.to_string().contains("--checkpoint"));
     }
 
     #[test]

@@ -46,8 +46,8 @@ mod trainer;
 
 pub use config::{PredictionHead, RihgcnConfig, TrainConfig};
 pub use model::{RihgcnModel, SampleOutput};
-pub use online::OnlineForecaster;
-pub use persist::{load_params, save_params, PersistError};
+pub use online::{OnlineForecaster, PushError};
+pub use persist::{load_checkpoint, load_params, save_checkpoint, save_params, PersistError};
 pub use trainer::{
     evaluate_imputation, evaluate_prediction, fit, prepare_split, Forecaster, Imputer, TrainReport,
 };

@@ -82,6 +82,11 @@ pub struct RihgcnModel {
     num_nodes: usize,
     num_features: usize,
     intervals: Vec<Interval>,
+    // Graph metadata retained so the model can be persisted self-contained
+    // (checkpoint v2) and rebuilt without the original dataset.
+    geo_adj: Matrix,
+    temporal_graphs: Vec<(Interval, Matrix)>,
+    slots_per_day: usize,
 }
 
 impl RihgcnModel {
@@ -100,13 +105,10 @@ impl RihgcnModel {
     pub fn from_dataset(train: &TrafficDataset, cfg: RihgcnConfig) -> Self {
         cfg.validate();
         assert!(train.num_times() > 0, "training dataset is empty");
-        let n = train.num_nodes();
-        let d = train.num_features();
 
         let geo_adj = gaussian_adjacency(&train.network.road_distance_matrix(), None, cfg.epsilon);
 
         let mut temporal_graphs = Vec::new();
-        let mut intervals = Vec::new();
         if cfg.num_temporal_graphs > 0 {
             let profiles = DayProfiles::from_dataset(train);
             let slots = train.slots_per_day();
@@ -115,9 +117,57 @@ impl RihgcnModel {
             for interval in &partition.intervals {
                 let adj = profiles.interval_adjacency_with(*interval, cfg.epsilon, cfg.distance);
                 temporal_graphs.push((*interval, adj));
-                intervals.push(*interval);
             }
         }
+
+        Self::from_parts(
+            cfg,
+            train.num_features(),
+            geo_adj,
+            temporal_graphs,
+            train.slots_per_day(),
+        )
+    }
+
+    /// Builds the model directly from pre-computed graphs — the constructor
+    /// behind [`RihgcnModel::from_dataset`] and the checkpoint-v2 loader.
+    ///
+    /// `geo_adjacency` is the `N × N` geographic graph; `temporal_graphs`
+    /// pairs each time-of-day [`Interval`] with its `N × N` adjacency (one
+    /// entry per temporal graph, in interval order). Parameters are
+    /// initialised from `cfg.seed` exactly as `from_dataset` would, so a
+    /// model rebuilt from persisted graphs is bit-identical to the original
+    /// once its parameters are loaded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid, the adjacency shapes are
+    /// inconsistent, or `temporal_graphs.len()` disagrees with
+    /// `cfg.num_temporal_graphs`.
+    pub fn from_parts(
+        cfg: RihgcnConfig,
+        num_features: usize,
+        geo_adjacency: Matrix,
+        temporal_graphs: Vec<(Interval, Matrix)>,
+        slots_per_day: usize,
+    ) -> Self {
+        cfg.validate();
+        assert!(num_features > 0, "num_features must be positive");
+        assert!(slots_per_day > 0, "slots_per_day must be positive");
+        let n = geo_adjacency.rows();
+        assert_eq!(
+            geo_adjacency.cols(),
+            n,
+            "geographic adjacency must be square"
+        );
+        assert_eq!(
+            temporal_graphs.len(),
+            cfg.num_temporal_graphs,
+            "temporal graph count must match cfg.num_temporal_graphs"
+        );
+        let d = num_features;
+        let geo_adj = geo_adjacency;
+        let intervals: Vec<Interval> = temporal_graphs.iter().map(|(i, _)| *i).collect();
 
         let mut init_rng = rng(cfg.seed);
         let mut store = ParamStore::new();
@@ -128,8 +178,8 @@ impl RihgcnModel {
             cfg.gcn_dim,
             cfg.cheb_k,
             &geo_adj,
-            temporal_graphs,
-            train.slots_per_day(),
+            temporal_graphs.clone(),
+            slots_per_day,
             cfg.tau,
             "hgcn",
         );
@@ -169,6 +219,9 @@ impl RihgcnModel {
             num_nodes: n,
             num_features: d,
             intervals,
+            geo_adj,
+            temporal_graphs,
+            slots_per_day,
         }
     }
 
@@ -195,6 +248,21 @@ impl RihgcnModel {
     /// The time-of-day intervals backing the temporal graphs.
     pub fn intervals(&self) -> &[Interval] {
         &self.intervals
+    }
+
+    /// Time-of-day slots per day the model was built for.
+    pub fn slots_per_day(&self) -> usize {
+        self.slots_per_day
+    }
+
+    /// The geographic adjacency the model was built from.
+    pub fn geo_adjacency(&self) -> &Matrix {
+        &self.geo_adj
+    }
+
+    /// The temporal graphs (interval, adjacency) the model was built from.
+    pub fn temporal_graphs(&self) -> &[(Interval, Matrix)] {
+        &self.temporal_graphs
     }
 
     /// Read-only access to the parameter store (for persistence).

@@ -12,6 +12,81 @@ use crate::{RihgcnModel, SampleOutput};
 use st_data::{WindowSample, ZScore};
 use st_tensor::Matrix;
 use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`OnlineForecaster::try_push`] when an observation is
+/// rejected before it can poison the rolling window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PushError {
+    /// The values matrix is not `nodes × features`.
+    ValuesShape {
+        /// Shape the model expects.
+        expected: (usize, usize),
+        /// Shape that was pushed.
+        got: (usize, usize),
+    },
+    /// The mask matrix does not match the values matrix.
+    MaskShape {
+        /// Shape the model expects.
+        expected: (usize, usize),
+        /// Shape that was pushed.
+        got: (usize, usize),
+    },
+    /// A mask entry is neither 0 nor 1.
+    MaskNotBinary {
+        /// Offending row (node).
+        row: usize,
+        /// Offending column (feature).
+        col: usize,
+    },
+    /// An observed entry (mask = 1) is NaN or infinite.
+    NonFiniteValue {
+        /// Offending row (node).
+        row: usize,
+        /// Offending column (feature).
+        col: usize,
+    },
+    /// The time-of-day slot is out of range for the model's day length.
+    SlotOutOfRange {
+        /// Slot that was pushed.
+        slot: usize,
+        /// Number of slots in a day.
+        slots_per_day: usize,
+    },
+}
+
+impl fmt::Display for PushError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            PushError::ValuesShape { expected, got } => write!(
+                f,
+                "observation shape must be nodes × features = {}x{}, got {}x{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+            PushError::MaskShape { expected, got } => write!(
+                f,
+                "mask shape must match values = {}x{}, got {}x{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+            PushError::MaskNotBinary { row, col } => {
+                write!(f, "mask entry ({row}, {col}) must be 0 or 1")
+            }
+            PushError::NonFiniteValue { row, col } => {
+                write!(f, "observed value at ({row}, {col}) is not finite")
+            }
+            PushError::SlotOutOfRange {
+                slot,
+                slots_per_day,
+            } => write!(
+                f,
+                "slot {slot} out of range: the model's day has {slots_per_day} slots"
+            ),
+        }
+    }
+}
+
+impl Error for PushError {}
 
 /// A rolling-window online wrapper around a trained model.
 ///
@@ -36,6 +111,7 @@ pub struct OnlineForecaster {
     window: VecDeque<(Matrix, Matrix, usize)>, // (raw values, mask, slot)
     history: usize,
     horizon: usize,
+    version: u64,
 }
 
 impl OnlineForecaster {
@@ -49,6 +125,7 @@ impl OnlineForecaster {
             window: VecDeque::with_capacity(history),
             history,
             horizon,
+            version: 0,
         }
     }
 
@@ -72,6 +149,29 @@ impl OnlineForecaster {
         &self.model
     }
 
+    /// The normalisation transform the forecaster converts units with.
+    pub fn zscore(&self) -> &ZScore {
+        &self.z
+    }
+
+    /// History window length `T` the model consumes.
+    pub fn history(&self) -> usize {
+        self.history
+    }
+
+    /// Forecast horizon `T'` the model produces.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Monotonic window version: bumped by every successful
+    /// [`OnlineForecaster::push`]/[`try_push`](OnlineForecaster::try_push)
+    /// and by [`OnlineForecaster::reset`]. Two calls with the same version
+    /// observe the same window, so forecasts can be cached per version.
+    pub fn window_version(&self) -> u64 {
+        self.version
+    }
+
     /// Pushes one timestamp of measurements in **original units**.
     ///
     /// `values` holds the observed readings (entries with `mask == 0` are
@@ -80,23 +180,75 @@ impl OnlineForecaster {
     ///
     /// # Panics
     ///
-    /// Panics if shapes do not match the model.
+    /// Panics with the [`PushError`] message if the observation is invalid;
+    /// see [`OnlineForecaster::try_push`] for the non-panicking variant.
     pub fn push(&mut self, values: Matrix, mask: Matrix, slot: usize) {
-        assert_eq!(
-            values.shape(),
-            (self.model.num_nodes(), self.model.num_features()),
-            "observation shape must be nodes × features"
-        );
-        assert_eq!(values.shape(), mask.shape(), "values/mask shape mismatch");
+        if let Err(e) = self.try_push(values, mask, slot) {
+            panic!("{e}");
+        }
+    }
+
+    /// Validates and pushes one timestamp of measurements in **original
+    /// units**, rejecting malformed observations instead of failing deep
+    /// inside the model's `forward`.
+    ///
+    /// Checks, in order: values shape against the model's `(N, F)`, mask
+    /// shape against values, mask entries binary, observed values finite,
+    /// and `slot < slots_per_day`. Entries with `mask == 0` are stored as
+    /// zero so junk (even NaN) at hidden positions cannot leak into later
+    /// arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PushError`] encountered; the window is left
+    /// untouched on error.
+    pub fn try_push(&mut self, values: Matrix, mask: Matrix, slot: usize) -> Result<(), PushError> {
+        let expected = (self.model.num_nodes(), self.model.num_features());
+        if values.shape() != expected {
+            return Err(PushError::ValuesShape {
+                expected,
+                got: values.shape(),
+            });
+        }
+        if mask.shape() != values.shape() {
+            return Err(PushError::MaskShape {
+                expected,
+                got: mask.shape(),
+            });
+        }
+        for row in 0..expected.0 {
+            for col in 0..expected.1 {
+                let m = mask[(row, col)];
+                if m != 0.0 && m != 1.0 {
+                    return Err(PushError::MaskNotBinary { row, col });
+                }
+                if m == 1.0 && !values[(row, col)].is_finite() {
+                    return Err(PushError::NonFiniteValue { row, col });
+                }
+            }
+        }
+        let slots_per_day = self.model.slots_per_day();
+        if slot >= slots_per_day {
+            return Err(PushError::SlotOutOfRange {
+                slot,
+                slots_per_day,
+            });
+        }
+        // Canonicalise: hidden entries are stored as 0 regardless of what
+        // the caller put there.
+        let clean = values.zip_map(&mask, |v, m| if m == 0.0 { 0.0 } else { v });
         if self.window.len() == self.history {
             self.window.pop_front();
         }
-        self.window.push_back((values, mask, slot));
+        self.window.push_back((clean, mask, slot));
+        self.version += 1;
+        Ok(())
     }
 
     /// Clears the buffered window.
     pub fn reset(&mut self) {
         self.window.clear();
+        self.version += 1;
     }
 
     fn build_sample(&self) -> WindowSample {
@@ -258,6 +410,86 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn try_push_rejects_bad_observations() {
+        let (mut online, ds) = setup();
+        let good_v = ds.values.time_slice(0);
+        let good_m = ds.mask.time_slice(0);
+
+        let err = online
+            .try_push(Matrix::zeros(3, 4), Matrix::zeros(3, 4), 0)
+            .unwrap_err();
+        assert!(matches!(err, PushError::ValuesShape { .. }), "{err}");
+        assert!(err.to_string().contains("4x4"), "{err}");
+
+        let err = online
+            .try_push(good_v.clone(), Matrix::zeros(4, 3), 0)
+            .unwrap_err();
+        assert!(matches!(err, PushError::MaskShape { .. }), "{err}");
+
+        let mut bad_mask = good_m.clone();
+        bad_mask[(1, 2)] = 0.5;
+        let err = online.try_push(good_v.clone(), bad_mask, 0).unwrap_err();
+        assert_eq!(err, PushError::MaskNotBinary { row: 1, col: 2 });
+
+        let mut bad_vals = good_v.clone();
+        bad_vals[(2, 1)] = f64::NAN;
+        let mut mask = Matrix::zeros(4, 4);
+        mask[(2, 1)] = 1.0;
+        let err = online.try_push(bad_vals, mask, 0).unwrap_err();
+        assert_eq!(err, PushError::NonFiniteValue { row: 2, col: 1 });
+
+        let err = online
+            .try_push(good_v.clone(), good_m.clone(), 100_000)
+            .unwrap_err();
+        assert!(matches!(err, PushError::SlotOutOfRange { .. }), "{err}");
+
+        // Nothing was buffered by any of the rejected pushes.
+        assert!(online.is_empty());
+        assert_eq!(online.window_version(), 0);
+        online.try_push(good_v, good_m, 0).unwrap();
+        assert_eq!(online.len(), 1);
+        assert_eq!(online.window_version(), 1);
+    }
+
+    #[test]
+    fn nan_at_hidden_entries_is_harmless() {
+        let (mut online, ds) = setup();
+        for t in 0..4 {
+            let mut vals = ds.values.time_slice(t);
+            let mask = ds.mask.time_slice(t);
+            for r in 0..4 {
+                for c in 0..4 {
+                    if mask[(r, c)] == 0.0 {
+                        vals[(r, c)] = f64::NAN;
+                    }
+                }
+            }
+            online.try_push(vals, mask, t).unwrap();
+        }
+        let preds = online.forecast().unwrap();
+        assert!(preds.iter().all(Matrix::is_finite));
+    }
+
+    #[test]
+    fn window_version_tracks_pushes_and_reset() {
+        let (mut online, ds) = setup();
+        assert_eq!(online.window_version(), 0);
+        for t in 0..4 {
+            online.push(ds.values.time_slice(t), ds.mask.time_slice(t), t);
+        }
+        assert_eq!(online.window_version(), 4);
+        online.reset();
+        assert_eq!(online.window_version(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "nodes × features")]
+    fn push_panics_with_clear_message() {
+        let (mut online, _ds) = setup();
+        online.push(Matrix::zeros(2, 2), Matrix::zeros(2, 2), 0);
     }
 
     #[test]

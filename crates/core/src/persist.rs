@@ -1,15 +1,44 @@
-//! Plain-text persistence for trained parameters.
+//! Plain-text persistence for trained models.
 //!
-//! A deliberately simple, dependency-free format (one header line per
-//! parameter followed by its row-major values) so trained models can be
-//! saved and shipped without a binary serialisation crate:
+//! Two deliberately simple, dependency-free formats:
+//!
+//! **v1 — parameters only.** One header line per parameter followed by its
+//! row-major values; loading requires a model rebuilt from the original
+//! dataset (the graphs are not stored):
 //!
 //! ```text
 //! rihgcn-params v1
 //! param <name> <rows> <cols>
 //! <v> <v> ...
 //! ```
+//!
+//! **v2 — self-contained checkpoint.** Bundles everything needed to rebuild
+//! and run the model standalone — the [`RihgcnConfig`], the fitted
+//! [`ZScore`] statistics, the geographic and temporal graphs with their
+//! intervals, and (as an embedded v1 section) the parameters:
+//!
+//! ```text
+//! rihgcn-checkpoint v2
+//! config <key> <value>      (one line per config field)
+//! meta nodes <N> features <D> slots_per_day <S>
+//! zscore_mean <D values>
+//! zscore_std <D values>
+//! geo <N> <N>
+//! <N*N values>
+//! temporal <M>
+//! interval <start> <end> <N> <N>    (M times)
+//! <N*N values>
+//! rihgcn-params v1
+//! ...
+//! ```
+//!
+//! Floats are written with Rust's shortest-round-trip (`{:?}`) formatting,
+//! so both formats reload **bit-identically**. v1 files remain loadable via
+//! [`load_params`].
 
+use crate::{PredictionHead, RihgcnConfig, RihgcnModel};
+use st_data::ZScore;
+use st_graph::{Interval, SeriesDistance};
 use st_nn::ParamStore;
 use st_tensor::Matrix;
 use std::error::Error;
@@ -25,6 +54,10 @@ pub enum PersistError {
     Format(String),
     /// The file's parameters do not match the model (name/shape/order).
     Mismatch(String),
+    /// A value is NaN or infinite (rejected on both save and load — a NaN
+    /// written to disk would otherwise round-trip silently into a poisoned
+    /// model).
+    NonFinite(String),
 }
 
 impl fmt::Display for PersistError {
@@ -33,6 +66,7 @@ impl fmt::Display for PersistError {
             PersistError::Io(e) => write!(f, "i/o error: {e}"),
             PersistError::Format(msg) => write!(f, "malformed parameter file: {msg}"),
             PersistError::Mismatch(msg) => write!(f, "parameter mismatch: {msg}"),
+            PersistError::NonFinite(msg) => write!(f, "non-finite value: {msg}"),
         }
     }
 }
@@ -53,16 +87,24 @@ impl From<std::io::Error> for PersistError {
 }
 
 const HEADER: &str = "rihgcn-params v1";
+const CKPT_HEADER: &str = "rihgcn-checkpoint v2";
 
 /// Writes every parameter of the store.
 ///
 /// # Errors
 ///
-/// Returns any underlying I/O error.
+/// Returns [`PersistError::NonFinite`] if any parameter holds a NaN or
+/// infinity, and any underlying I/O error.
 pub fn save_params<W: Write>(store: &ParamStore, mut w: W) -> Result<(), PersistError> {
     writeln!(w, "{HEADER}")?;
     for id in store.ids() {
         let m = store.value(id);
+        if !m.is_finite() {
+            return Err(PersistError::NonFinite(format!(
+                "parameter {} contains a NaN or infinite value; refusing to save",
+                store.name(id)
+            )));
+        }
         writeln!(w, "param {} {} {}", store.name(id), m.rows(), m.cols())?;
         let mut line = String::new();
         for (i, v) in m.as_slice().iter().enumerate() {
@@ -139,9 +181,388 @@ pub fn load_params<R: BufRead>(store: &mut ParamStore, r: R) -> Result<(), Persi
                 values.len()
             )));
         }
+        if !values.iter().all(|v| v.is_finite()) {
+            return Err(PersistError::NonFinite(format!(
+                "parameter {name} contains a NaN or infinite value; refusing to load"
+            )));
+        }
         store.set_value(id, Matrix::from_vec(rows, cols, values));
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint v2: self-contained model + normaliser persistence.
+// ---------------------------------------------------------------------------
+
+fn fmt_floats(values: &[f64]) -> String {
+    let mut line = String::new();
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            line.push(' ');
+        }
+        line.push_str(&format!("{v:?}")); // shortest round-trip formatting
+    }
+    line
+}
+
+fn parse_floats(line: &str, expected: usize, what: &str) -> Result<Vec<f64>, PersistError> {
+    let values: Result<Vec<f64>, _> = line.split_whitespace().map(str::parse::<f64>).collect();
+    let values = values.map_err(|e| PersistError::Format(format!("{what}: {e}")))?;
+    if values.len() != expected {
+        return Err(PersistError::Format(format!(
+            "{what}: expected {expected} values, found {}",
+            values.len()
+        )));
+    }
+    if !values.iter().all(|v| v.is_finite()) {
+        return Err(PersistError::NonFinite(format!(
+            "{what} contains a NaN or infinite value"
+        )));
+    }
+    Ok(values)
+}
+
+fn distance_token(d: SeriesDistance) -> String {
+    match d {
+        SeriesDistance::Dtw => "dtw".to_string(),
+        SeriesDistance::Erp { gap } => format!("erp {gap:?}"),
+        SeriesDistance::Lcss { epsilon } => format!("lcss {epsilon:?}"),
+    }
+}
+
+fn parse_distance(parts: &[&str]) -> Result<SeriesDistance, PersistError> {
+    match parts {
+        ["dtw"] => Ok(SeriesDistance::Dtw),
+        ["erp", gap] => Ok(SeriesDistance::Erp {
+            gap: gap
+                .parse()
+                .map_err(|e| PersistError::Format(format!("erp gap: {e}")))?,
+        }),
+        ["lcss", eps] => Ok(SeriesDistance::Lcss {
+            epsilon: eps
+                .parse()
+                .map_err(|e| PersistError::Format(format!("lcss epsilon: {e}")))?,
+        }),
+        other => Err(PersistError::Format(format!(
+            "unknown distance {other:?} (dtw | erp <gap> | lcss <epsilon>)"
+        ))),
+    }
+}
+
+fn write_config<W: Write>(cfg: &RihgcnConfig, w: &mut W) -> Result<(), PersistError> {
+    writeln!(w, "config gcn_dim {}", cfg.gcn_dim)?;
+    writeln!(w, "config lstm_dim {}", cfg.lstm_dim)?;
+    writeln!(w, "config cheb_k {}", cfg.cheb_k)?;
+    writeln!(w, "config num_temporal_graphs {}", cfg.num_temporal_graphs)?;
+    writeln!(w, "config history {}", cfg.history)?;
+    writeln!(w, "config horizon {}", cfg.horizon)?;
+    writeln!(w, "config lambda {:?}", cfg.lambda)?;
+    writeln!(w, "config tau {:?}", cfg.tau)?;
+    writeln!(w, "config epsilon {:?}", cfg.epsilon)?;
+    writeln!(w, "config distance {}", distance_token(cfg.distance))?;
+    writeln!(w, "config bidirectional {}", cfg.bidirectional)?;
+    writeln!(w, "config consistency_weight {:?}", cfg.consistency_weight)?;
+    let head = match cfg.head {
+        PredictionHead::Concat => "concat",
+        PredictionHead::Attention => "attention",
+    };
+    writeln!(w, "config head {head}")?;
+    writeln!(w, "config seed {}", cfg.seed)?;
+    Ok(())
+}
+
+fn apply_config_line(cfg: &mut RihgcnConfig, parts: &[&str]) -> Result<(), PersistError> {
+    fn num<T: std::str::FromStr>(key: &str, v: &str) -> Result<T, PersistError>
+    where
+        T::Err: fmt::Display,
+    {
+        v.parse()
+            .map_err(|e| PersistError::Format(format!("config {key}: {e}")))
+    }
+    let [key, rest @ ..] = parts else {
+        return Err(PersistError::Format("empty config line".into()));
+    };
+    let one = || -> Result<&str, PersistError> {
+        match rest {
+            [v] => Ok(v),
+            _ => Err(PersistError::Format(format!(
+                "config {key}: expected one value, got {rest:?}"
+            ))),
+        }
+    };
+    match *key {
+        "gcn_dim" => cfg.gcn_dim = num(key, one()?)?,
+        "lstm_dim" => cfg.lstm_dim = num(key, one()?)?,
+        "cheb_k" => cfg.cheb_k = num(key, one()?)?,
+        "num_temporal_graphs" => cfg.num_temporal_graphs = num(key, one()?)?,
+        "history" => cfg.history = num(key, one()?)?,
+        "horizon" => cfg.horizon = num(key, one()?)?,
+        "lambda" => cfg.lambda = num(key, one()?)?,
+        "tau" => cfg.tau = num(key, one()?)?,
+        "epsilon" => cfg.epsilon = num(key, one()?)?,
+        "distance" => cfg.distance = parse_distance(rest)?,
+        "bidirectional" => cfg.bidirectional = num(key, one()?)?,
+        "consistency_weight" => cfg.consistency_weight = num(key, one()?)?,
+        "head" => {
+            cfg.head = match one()? {
+                "concat" => PredictionHead::Concat,
+                "attention" => PredictionHead::Attention,
+                other => {
+                    return Err(PersistError::Format(format!(
+                        "unknown prediction head {other:?}"
+                    )))
+                }
+            }
+        }
+        "seed" => cfg.seed = num(key, one()?)?,
+        other => {
+            return Err(PersistError::Format(format!(
+                "unknown config key {other:?}"
+            )))
+        }
+    }
+    Ok(())
+}
+
+/// Writes a **self-contained v2 checkpoint**: config, normaliser, graphs
+/// and parameters. The result reloads standalone via [`load_checkpoint`] —
+/// no dataset required — and reproduces the model's forecasts
+/// bit-identically.
+///
+/// # Errors
+///
+/// Returns [`PersistError::NonFinite`] if any parameter, statistic or
+/// adjacency value is NaN/infinite, and any underlying I/O error.
+pub fn save_checkpoint<W: Write>(
+    model: &RihgcnModel,
+    z: &ZScore,
+    mut w: W,
+) -> Result<(), PersistError> {
+    let n = model.num_nodes();
+    writeln!(w, "{CKPT_HEADER}")?;
+    write_config(model.config(), &mut w)?;
+    writeln!(
+        w,
+        "meta nodes {n} features {} slots_per_day {}",
+        model.num_features(),
+        model.slots_per_day()
+    )?;
+    if !z.mean().iter().chain(z.std()).all(|v| v.is_finite()) {
+        return Err(PersistError::NonFinite(
+            "normaliser statistics contain a NaN or infinite value".into(),
+        ));
+    }
+    writeln!(w, "zscore_mean {}", fmt_floats(z.mean()))?;
+    writeln!(w, "zscore_std {}", fmt_floats(z.std()))?;
+    let geo = model.geo_adjacency();
+    if !geo.is_finite() {
+        return Err(PersistError::NonFinite(
+            "geographic adjacency contains a NaN or infinite value".into(),
+        ));
+    }
+    writeln!(w, "geo {} {}", geo.rows(), geo.cols())?;
+    writeln!(w, "{}", fmt_floats(geo.as_slice()))?;
+    writeln!(w, "temporal {}", model.temporal_graphs().len())?;
+    for (interval, adj) in model.temporal_graphs() {
+        if !adj.is_finite() {
+            return Err(PersistError::NonFinite(format!(
+                "temporal adjacency [{}, {}) contains a NaN or infinite value",
+                interval.start, interval.end
+            )));
+        }
+        writeln!(
+            w,
+            "interval {} {} {} {}",
+            interval.start,
+            interval.end,
+            adj.rows(),
+            adj.cols()
+        )?;
+        writeln!(w, "{}", fmt_floats(adj.as_slice()))?;
+    }
+    save_params(model.params(), &mut w)
+}
+
+/// Reads a matrix section: a `rows cols` pair parsed by the caller plus one
+/// data line.
+fn read_matrix<'a>(
+    lines: &mut impl Iterator<Item = &'a str>,
+    rows: usize,
+    cols: usize,
+    what: &str,
+) -> Result<Matrix, PersistError> {
+    let data = lines
+        .next()
+        .ok_or_else(|| PersistError::Format(format!("{what}: missing data line")))?;
+    Ok(Matrix::from_vec(
+        rows,
+        cols,
+        parse_floats(data, rows * cols, what)?,
+    ))
+}
+
+/// Loads a **self-contained v2 checkpoint** written by [`save_checkpoint`],
+/// rebuilding the model from the stored graphs (no dataset needed) and
+/// returning it together with the normalisation transform.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Format`] for malformed or truncated input (a v1
+/// params file is reported with a pointer to [`load_params`]),
+/// [`PersistError::NonFinite`] for NaN/infinite stored values, and
+/// [`PersistError::Mismatch`] when the embedded parameter section does not
+/// line up with the rebuilt model.
+pub fn load_checkpoint<R: BufRead>(mut r: R) -> Result<(RihgcnModel, ZScore), PersistError> {
+    let mut text = String::new();
+    r.read_to_string(&mut text)?;
+    let mut lines = text.lines();
+    match lines.next().map(str::trim) {
+        Some(h) if h == CKPT_HEADER => {}
+        Some(h) if h == HEADER => {
+            return Err(PersistError::Format(
+                "this is a v1 params-only file; load it with load_params into a model \
+                 built from the training dataset"
+                    .into(),
+            ))
+        }
+        Some(h) => return Err(PersistError::Format(format!("bad header: {h:?}"))),
+        None => return Err(PersistError::Format("empty file".into())),
+    }
+
+    let mut cfg = RihgcnConfig::default();
+    let mut seen_config = false;
+    let (nodes, features, slots_per_day) = loop {
+        let line = lines
+            .next()
+            .ok_or_else(|| PersistError::Format("unexpected end of file".into()))?;
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.as_slice() {
+            ["config", rest @ ..] => {
+                seen_config = true;
+                apply_config_line(&mut cfg, rest)?;
+            }
+            ["meta", "nodes", n, "features", d, "slots_per_day", s] => {
+                let parse = |v: &str, what: &str| -> Result<usize, PersistError> {
+                    v.parse()
+                        .map_err(|e| PersistError::Format(format!("meta {what}: {e}")))
+                };
+                break (
+                    parse(n, "nodes")?,
+                    parse(d, "features")?,
+                    parse(s, "slots_per_day")?,
+                );
+            }
+            other => {
+                return Err(PersistError::Format(format!(
+                    "expected config/meta line, found {other:?}"
+                )))
+            }
+        }
+    };
+    if !seen_config {
+        return Err(PersistError::Format(
+            "checkpoint has no config lines".into(),
+        ));
+    }
+
+    let mean_line = lines
+        .next()
+        .ok_or_else(|| PersistError::Format("missing zscore_mean line".into()))?;
+    let mean = parse_floats(
+        mean_line
+            .strip_prefix("zscore_mean ")
+            .ok_or_else(|| PersistError::Format("expected zscore_mean".into()))?,
+        features,
+        "zscore_mean",
+    )?;
+    let std_line = lines
+        .next()
+        .ok_or_else(|| PersistError::Format("missing zscore_std line".into()))?;
+    let std = parse_floats(
+        std_line
+            .strip_prefix("zscore_std ")
+            .ok_or_else(|| PersistError::Format("expected zscore_std".into()))?,
+        features,
+        "zscore_std",
+    )?;
+    if !std.iter().all(|&s| s > 0.0) {
+        return Err(PersistError::Format(
+            "zscore_std values must be positive".into(),
+        ));
+    }
+    let z = ZScore::from_parts(mean, std);
+
+    let geo_line = lines
+        .next()
+        .ok_or_else(|| PersistError::Format("missing geo line".into()))?;
+    let geo = match geo_line.split_whitespace().collect::<Vec<_>>().as_slice() {
+        ["geo", r, c] if *r == nodes.to_string() && *c == nodes.to_string() => {
+            read_matrix(&mut lines, nodes, nodes, "geo adjacency")?
+        }
+        other => {
+            return Err(PersistError::Format(format!(
+                "expected `geo {nodes} {nodes}`, found {other:?}"
+            )))
+        }
+    };
+
+    let temporal_line = lines
+        .next()
+        .ok_or_else(|| PersistError::Format("missing temporal line".into()))?;
+    let m: usize = temporal_line
+        .strip_prefix("temporal ")
+        .ok_or_else(|| PersistError::Format("expected temporal count".into()))?
+        .trim()
+        .parse()
+        .map_err(|e| PersistError::Format(format!("temporal count: {e}")))?;
+    let mut temporal_graphs = Vec::with_capacity(m);
+    for i in 0..m {
+        let header = lines
+            .next()
+            .ok_or_else(|| PersistError::Format(format!("missing interval header {i}")))?;
+        let parts: Vec<&str> = header.split_whitespace().collect();
+        let ["interval", start, end, r, c] = parts.as_slice() else {
+            return Err(PersistError::Format(format!(
+                "bad interval header: {header:?}"
+            )));
+        };
+        let parse = |v: &str, what: &str| -> Result<usize, PersistError> {
+            v.parse()
+                .map_err(|e| PersistError::Format(format!("interval {what}: {e}")))
+        };
+        let (start, end) = (parse(start, "start")?, parse(end, "end")?);
+        if start >= end {
+            return Err(PersistError::Format(format!(
+                "interval [{start}, {end}) is empty"
+            )));
+        }
+        if (parse(r, "rows")?, parse(c, "cols")?) != (nodes, nodes) {
+            return Err(PersistError::Format(format!(
+                "temporal adjacency {i} must be {nodes}x{nodes}"
+            )));
+        }
+        let adj = read_matrix(&mut lines, nodes, nodes, &format!("temporal adjacency {i}"))?;
+        temporal_graphs.push((Interval::new(start, end), adj));
+    }
+    if m != cfg.num_temporal_graphs {
+        return Err(PersistError::Mismatch(format!(
+            "checkpoint has {m} temporal graphs but config says {}",
+            cfg.num_temporal_graphs
+        )));
+    }
+
+    // The remainder of the file is an embedded v1 parameter section.
+    let params_text: String = lines.collect::<Vec<_>>().join("\n");
+    let mut model = RihgcnModel::from_parts(cfg, features, geo, temporal_graphs, slots_per_day);
+    if model.num_nodes() != nodes {
+        return Err(PersistError::Mismatch(format!(
+            "meta says {nodes} nodes but graphs have {}",
+            model.num_nodes()
+        )));
+    }
+    load_params(model.params_mut(), params_text.as_bytes())?;
+    Ok((model, z))
 }
 
 #[cfg(test)]
@@ -212,5 +633,163 @@ mod tests {
         let mut fresh = sample_store();
         let err = load_params(&mut fresh, truncated.as_bytes()).unwrap_err();
         assert!(matches!(err, PersistError::Format(_)));
+    }
+
+    #[test]
+    fn save_rejects_non_finite_parameters() {
+        let mut store = sample_store();
+        let ids: Vec<_> = store.ids().collect();
+        let mut poisoned = store.value(ids[0]).clone();
+        poisoned[(0, 1)] = f64::NAN;
+        store.set_value(ids[0], poisoned);
+        let err = save_params(&store, &mut Vec::new()).unwrap_err();
+        assert!(matches!(err, PersistError::NonFinite(_)), "{err}");
+        assert!(err.to_string().contains("a.w"), "{err}");
+    }
+
+    #[test]
+    fn load_rejects_non_finite_parameters() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        save_params(&store, &mut buf).unwrap();
+        // A NaN smuggled into the file must not round-trip into the model.
+        let text = String::from_utf8(buf).unwrap().replacen(
+            &format!("{:?}", store.value(store.ids().next().unwrap())[(0, 0)]),
+            "NaN",
+            1,
+        );
+        let mut fresh = sample_store();
+        let err = load_params(&mut fresh, text.as_bytes()).unwrap_err();
+        assert!(matches!(err, PersistError::NonFinite(_)), "{err}");
+    }
+
+    mod checkpoint {
+        use super::*;
+        use crate::{prepare_split, OnlineForecaster, RihgcnConfig, RihgcnModel};
+        use st_data::{generate_pems, PemsConfig, ZScore};
+
+        fn trained_pair() -> (RihgcnModel, ZScore, st_data::TrafficDataset) {
+            let ds = generate_pems(&PemsConfig {
+                num_nodes: 4,
+                num_days: 2,
+                ..Default::default()
+            });
+            let ds = ds.with_extra_missing(0.3, &mut rng(9));
+            let (norm, z) = prepare_split(&ds.split_chronological());
+            let cfg = RihgcnConfig {
+                gcn_dim: 3,
+                lstm_dim: 4,
+                cheb_k: 2,
+                num_temporal_graphs: 2,
+                history: 4,
+                horizon: 2,
+                ..Default::default()
+            };
+            let model = RihgcnModel::from_dataset(&norm.train, cfg);
+            (model, z, ds)
+        }
+
+        fn checkpoint_text() -> (RihgcnModel, ZScore, st_data::TrafficDataset, String) {
+            let (model, z, ds) = trained_pair();
+            let mut buf = Vec::new();
+            save_checkpoint(&model, &z, &mut buf).unwrap();
+            let text = String::from_utf8(buf).unwrap();
+            (model, z, ds, text)
+        }
+
+        #[test]
+        fn v2_round_trip_is_bit_exact() {
+            let (model, z, ds, text) = checkpoint_text();
+            let (restored, z2) = load_checkpoint(text.as_bytes()).unwrap();
+            assert_eq!(z, z2, "normaliser must round-trip exactly");
+            assert_eq!(restored.config(), model.config());
+            assert_eq!(restored.num_nodes(), model.num_nodes());
+            assert_eq!(restored.slots_per_day(), model.slots_per_day());
+            assert_eq!(restored.intervals(), model.intervals());
+            assert_eq!(restored.geo_adjacency(), model.geo_adjacency());
+
+            // Identical forecasts on an identical observation stream.
+            let mut a = OnlineForecaster::new(model, z);
+            let mut b = OnlineForecaster::new(restored, z2);
+            for t in 0..4 {
+                a.push(ds.values.time_slice(t), ds.mask.time_slice(t), t);
+                b.push(ds.values.time_slice(t), ds.mask.time_slice(t), t);
+            }
+            assert_eq!(
+                a.forecast().unwrap(),
+                b.forecast().unwrap(),
+                "restored checkpoint must forecast bit-identically"
+            );
+            assert_eq!(a.imputed_window().unwrap(), b.imputed_window().unwrap());
+        }
+
+        #[test]
+        fn v2_reload_of_reload_is_stable() {
+            let (_, _, _, text) = checkpoint_text();
+            let (m1, z1) = load_checkpoint(text.as_bytes()).unwrap();
+            let mut again = Vec::new();
+            save_checkpoint(&m1, &z1, &mut again).unwrap();
+            assert_eq!(
+                text,
+                String::from_utf8(again).unwrap(),
+                "save∘load must be the identity on the file"
+            );
+        }
+
+        #[test]
+        fn v1_params_still_load_into_dataset_built_model() {
+            let (model, _z, ds) = trained_pair();
+            let mut buf = Vec::new();
+            save_params(model.params(), &mut buf).unwrap();
+            let (norm, _) = prepare_split(&ds.split_chronological());
+            let mut fresh = RihgcnModel::from_dataset(&norm.train, model.config().clone());
+            load_params(fresh.params_mut(), buf.as_slice()).unwrap();
+            for (a, b) in model.params().ids().zip(fresh.params().ids()) {
+                assert_eq!(model.params().value(a), fresh.params().value(b));
+            }
+        }
+
+        #[test]
+        fn v1_file_gives_helpful_checkpoint_error() {
+            let (model, _z, _ds) = trained_pair();
+            let mut buf = Vec::new();
+            save_params(model.params(), &mut buf).unwrap();
+            let err = load_checkpoint(buf.as_slice()).unwrap_err();
+            assert!(matches!(err, PersistError::Format(_)));
+            assert!(err.to_string().contains("load_params"), "{err}");
+        }
+
+        #[test]
+        fn truncation_at_every_section_is_a_clean_error() {
+            let (_, _, _, text) = checkpoint_text();
+            let total = text.lines().count();
+            // Cutting the file anywhere must produce an error, never a panic
+            // or a silently wrong model.
+            for keep in 0..total {
+                let truncated: String = text.lines().take(keep).collect::<Vec<_>>().join("\n");
+                let err = load_checkpoint(truncated.as_bytes()).unwrap_err();
+                assert!(
+                    matches!(err, PersistError::Format(_) | PersistError::Mismatch(_)),
+                    "truncation at line {keep}: unexpected {err}"
+                );
+            }
+        }
+
+        #[test]
+        fn corrupt_values_are_rejected() {
+            let (_, _, _, text) = checkpoint_text();
+            let bad_header = text.replacen("rihgcn-checkpoint v2", "rihgcn-checkpoint v9", 1);
+            assert!(matches!(
+                load_checkpoint(bad_header.as_bytes()).unwrap_err(),
+                PersistError::Format(_)
+            ));
+            let bad_cfg = text.replacen("config gcn_dim 3", "config gcn_dim banana", 1);
+            assert!(matches!(
+                load_checkpoint(bad_cfg.as_bytes()).unwrap_err(),
+                PersistError::Format(_)
+            ));
+            let nan_z = text.replacen("zscore_std ", "zscore_std NaN ", 1);
+            assert!(load_checkpoint(nan_z.as_bytes()).is_err());
+        }
     }
 }

@@ -73,6 +73,23 @@ impl ZScore {
         Self { mean, std }
     }
 
+    /// Rebuilds a transform from previously fitted statistics (e.g. read
+    /// back from a checkpoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ, any value is non-finite, or a standard
+    /// deviation is not strictly positive.
+    pub fn from_parts(mean: Vec<f64>, std: Vec<f64>) -> Self {
+        assert_eq!(mean.len(), std.len(), "mean/std length mismatch");
+        assert!(
+            mean.iter().chain(&std).all(|v| v.is_finite()),
+            "statistics must be finite"
+        );
+        assert!(std.iter().all(|&s| s > 0.0), "std must be positive");
+        Self { mean, std }
+    }
+
     /// Number of features the transform was fitted on.
     pub fn num_features(&self) -> usize {
         self.mean.len()

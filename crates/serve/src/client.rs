@@ -1,0 +1,163 @@
+//! A minimal blocking HTTP/1.1 client over one keep-alive connection —
+//! used by the load generator, the CLI smoke path, and the loopback tests.
+
+use crate::http::HttpError;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A plain-text HTTP response: status code and body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body decoded as UTF-8.
+    pub body: String,
+}
+
+impl Response {
+    /// Asserts the response is a 200, returning the body.
+    ///
+    /// # Errors
+    ///
+    /// Returns `status + body` as a message on any non-200 status.
+    pub fn into_ok(self) -> Result<String, String> {
+        if self.status == 200 {
+            Ok(self.body)
+        } else {
+            Err(format!("HTTP {}: {}", self.status, self.body.trim_end()))
+        }
+    }
+}
+
+/// One keep-alive connection to an st-serve instance.
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl HttpClient {
+    /// Connects to `addr` (e.g. `127.0.0.1:8100`) with the given timeout
+    /// applied to connect and reads.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error resolving or connecting to the address.
+    pub fn connect(addr: &str, timeout: Duration) -> io::Result<HttpClient> {
+        let sockaddr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::other(format!("unresolvable address {addr}")))?;
+        let stream = TcpStream::connect_timeout(&sockaddr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        let _ = stream.set_nodelay(true);
+        let write_half = stream.try_clone()?;
+        Ok(HttpClient {
+            reader: BufReader::new(stream),
+            writer: BufWriter::new(write_half),
+        })
+    }
+
+    /// Sends one request and reads the response, reusing the connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket error or protocol violation as a message.
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> Result<Response, String> {
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nHost: st-serve\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .and_then(|()| self.writer.flush())
+        .map_err(|e| format!("send {method} {path}: {e}"))?;
+        read_response(&mut self.reader).map_err(|e| format!("read {method} {path}: {e}"))
+    }
+
+    /// `GET path`, expecting a 200; returns the body.
+    ///
+    /// # Errors
+    ///
+    /// Returns socket/protocol errors and non-200 statuses as a message.
+    pub fn get_ok(&mut self, path: &str) -> Result<String, String> {
+        self.request("GET", path, "")?.into_ok()
+    }
+
+    /// `POST path` with a body, expecting a 200; returns the response body.
+    ///
+    /// # Errors
+    ///
+    /// Returns socket/protocol errors and non-200 statuses as a message.
+    pub fn post_ok(&mut self, path: &str, body: &str) -> Result<String, String> {
+        self.request("POST", path, body)?.into_ok()
+    }
+}
+
+/// Reads one status line + headers + `Content-Length` body.
+fn read_response<R: io::BufRead>(r: &mut R) -> Result<Response, HttpError> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Err(HttpError::Malformed("connection closed".into()));
+    }
+    let status_line = line.trim_end_matches(['\r', '\n']);
+    let mut parts = status_line.split_whitespace();
+    let (Some(version), Some(status)) = (parts.next(), parts.next()) else {
+        return Err(HttpError::Malformed(format!(
+            "bad status line: {status_line:?}"
+        )));
+    };
+    if !version.starts_with("HTTP/") {
+        return Err(HttpError::Malformed(format!("bad version: {version:?}")));
+    }
+    let status: u16 = status
+        .parse()
+        .map_err(|e| HttpError::Malformed(format!("bad status: {e}")))?;
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if r.read_line(&mut header)? == 0 {
+            return Err(HttpError::Malformed("EOF inside headers".into()));
+        }
+        let header = header.trim_end_matches(['\r', '\n']);
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|e| HttpError::Malformed(format!("bad content-length: {e}")))?;
+            }
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    io::Read::read_exact(r, &mut body)?;
+    let body = String::from_utf8(body)
+        .map_err(|e| HttpError::Malformed(format!("body is not UTF-8: {e}")))?;
+    Ok(Response { status, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_a_response() {
+        let raw =
+            "HTTP/1.1 409 Conflict\r\nContent-Length: 4\r\nConnection: keep-alive\r\n\r\nnope";
+        let resp = read_response(&mut BufReader::new(raw.as_bytes())).unwrap();
+        assert_eq!(resp.status, 409);
+        assert_eq!(resp.body, "nope");
+        assert!(resp.into_ok().is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_response(&mut BufReader::new(&b"nonsense\r\n\r\n"[..])).is_err());
+        assert!(read_response(&mut BufReader::new(&b""[..])).is_err());
+    }
+}

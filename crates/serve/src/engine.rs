@@ -1,0 +1,387 @@
+//! The inference engine: a single thread owning the [`OnlineForecaster`].
+//!
+//! All worker threads funnel their work through one bounded channel into
+//! this thread, which applies observations in arrival order and serves
+//! forecasts. Because the rolling window only changes on `/observe`, every
+//! forecast at the same **window version** is identical — the engine keeps
+//! the last computed forecast (and imputed window) per version and serves
+//! repeats from that cache instead of re-running the autodiff tape. Worker
+//! requests that race between two observations coalesce onto one tape run.
+
+use crate::metrics::Metrics;
+use rihgcn_core::OnlineForecaster;
+use st_tensor::Matrix;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Immutable facts about the served model, captured before the forecaster
+/// moves into the engine thread.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelInfo {
+    /// Graph nodes `N`.
+    pub nodes: usize,
+    /// Features per node `F`.
+    pub features: usize,
+    /// History window length `T`.
+    pub history: usize,
+    /// Forecast horizon `T'`.
+    pub horizon: usize,
+    /// Time-of-day slots per day.
+    pub slots_per_day: usize,
+}
+
+impl ModelInfo {
+    /// Reads the static facts off a forecaster.
+    pub fn of(online: &OnlineForecaster) -> Self {
+        Self {
+            nodes: online.model().num_nodes(),
+            features: online.model().num_features(),
+            history: online.history(),
+            horizon: online.horizon(),
+            slots_per_day: online.model().slots_per_day(),
+        }
+    }
+}
+
+/// Engine-side failure modes, mapped to HTTP statuses by the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The rolling window is not full yet (maps to 409).
+    NotReady {
+        /// Observations currently buffered.
+        buffered: usize,
+        /// Window length required.
+        needed: usize,
+    },
+    /// The observation was rejected by validation (maps to 400).
+    Rejected(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::NotReady { buffered, needed } => {
+                write!(f, "window not full yet ({buffered}/{needed} observations)")
+            }
+            EngineError::Rejected(msg) => write!(f, "observation rejected: {msg}"),
+        }
+    }
+}
+
+/// Acknowledgement of an applied observation.
+#[derive(Debug, Clone, Copy)]
+pub struct ObserveAck {
+    /// Window version after the push.
+    pub version: u64,
+    /// Observations buffered after the push.
+    pub buffered: usize,
+    /// Whether a full window is now available.
+    pub ready: bool,
+}
+
+/// A forecast (or imputed window) tied to the window version it was
+/// computed at. The steps are shared, not cloned, across coalesced readers.
+#[derive(Debug, Clone)]
+pub struct StepsReply {
+    /// Window version the steps were computed at.
+    pub version: u64,
+    /// Per-step `N × F` matrices in original units.
+    pub steps: Arc<Vec<Matrix>>,
+}
+
+/// Live window state for `/healthz`.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowState {
+    /// Observations currently buffered.
+    pub buffered: usize,
+    /// Whether a full window is available.
+    pub ready: bool,
+    /// Current window version.
+    pub version: u64,
+}
+
+/// One unit of work for the engine thread.
+pub enum EngineRequest {
+    /// Push an observation into the rolling window.
+    Observe {
+        /// `N × F` measurements in original units.
+        values: Matrix,
+        /// `N × F` binary mask.
+        mask: Matrix,
+        /// Time-of-day slot.
+        slot: usize,
+        /// Reply channel.
+        reply: Sender<Result<ObserveAck, EngineError>>,
+    },
+    /// Multi-horizon forecast in original units.
+    Forecast {
+        /// Reply channel.
+        reply: Sender<Result<StepsReply, EngineError>>,
+    },
+    /// Imputed history window in original units.
+    Imputed {
+        /// Reply channel.
+        reply: Sender<Result<StepsReply, EngineError>>,
+    },
+    /// Window state snapshot.
+    Health {
+        /// Reply channel.
+        reply: Sender<WindowState>,
+    },
+}
+
+/// How long a worker waits for the engine before reporting a 500.
+pub const ENGINE_REPLY_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A handle for submitting work to the engine thread.
+#[derive(Clone)]
+pub struct EngineHandle {
+    tx: SyncSender<EngineRequest>,
+}
+
+impl EngineHandle {
+    /// Submits a request; fails if the engine has shut down.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message when the engine thread is gone.
+    pub fn submit(&self, req: EngineRequest) -> Result<(), String> {
+        self.tx
+            .send(req)
+            .map_err(|_| "inference engine has shut down".to_string())
+    }
+}
+
+/// Single-slot cache: the last value computed, tagged with its version.
+struct VersionCache {
+    version: u64,
+    value: Arc<Vec<Matrix>>,
+}
+
+struct Engine {
+    online: OnlineForecaster,
+    metrics: Arc<Metrics>,
+    forecast_cache: Option<VersionCache>,
+    imputed_cache: Option<VersionCache>,
+    tape_runs: Arc<AtomicU64>,
+}
+
+impl Engine {
+    fn handle(&mut self, req: EngineRequest) {
+        match req {
+            EngineRequest::Observe {
+                values,
+                mask,
+                slot,
+                reply,
+            } => {
+                let result = self
+                    .online
+                    .try_push(values, mask, slot)
+                    .map(|()| ObserveAck {
+                        version: self.online.window_version(),
+                        buffered: self.online.len(),
+                        ready: self.online.ready(),
+                    })
+                    .map_err(|e| EngineError::Rejected(e.to_string()));
+                let _ = reply.send(result);
+            }
+            EngineRequest::Forecast { reply } => {
+                let result = Self::steps(
+                    &self.online,
+                    &mut self.forecast_cache,
+                    &self.metrics,
+                    &self.tape_runs,
+                    OnlineForecaster::forecast,
+                );
+                let _ = reply.send(result);
+            }
+            EngineRequest::Imputed { reply } => {
+                let result = Self::steps(
+                    &self.online,
+                    &mut self.imputed_cache,
+                    &self.metrics,
+                    &self.tape_runs,
+                    OnlineForecaster::imputed_window,
+                );
+                let _ = reply.send(result);
+            }
+            EngineRequest::Health { reply } => {
+                let _ = reply.send(WindowState {
+                    buffered: self.online.len(),
+                    ready: self.online.ready(),
+                    version: self.online.window_version(),
+                });
+            }
+        }
+    }
+
+    /// Serves a per-version result from the cache when the window has not
+    /// advanced, recomputing (one tape run) otherwise.
+    fn steps(
+        online: &OnlineForecaster,
+        cache: &mut Option<VersionCache>,
+        metrics: &Metrics,
+        tape_runs: &AtomicU64,
+        compute: impl Fn(&OnlineForecaster) -> Option<Vec<Matrix>>,
+    ) -> Result<StepsReply, EngineError> {
+        let version = online.window_version();
+        if let Some(c) = cache {
+            if c.version == version {
+                metrics.cache_hit();
+                return Ok(StepsReply {
+                    version,
+                    steps: Arc::clone(&c.value),
+                });
+            }
+        }
+        let steps = compute(online).ok_or(EngineError::NotReady {
+            buffered: online.len(),
+            needed: online.history(),
+        })?;
+        tape_runs.fetch_add(1, Ordering::Relaxed);
+        let value = Arc::new(steps);
+        *cache = Some(VersionCache {
+            version,
+            value: Arc::clone(&value),
+        });
+        Ok(StepsReply {
+            version,
+            steps: value,
+        })
+    }
+}
+
+/// Spawns the engine thread. The returned handle is cloned into every
+/// worker; the thread exits (returning the forecaster) once all handles
+/// are dropped and the queue drains. `tape_runs` counts actual model
+/// evaluations — the loopback test uses it to prove coalescing.
+pub fn spawn(
+    online: OnlineForecaster,
+    metrics: Arc<Metrics>,
+    queue_depth: usize,
+    tape_runs: Arc<AtomicU64>,
+) -> (EngineHandle, JoinHandle<OnlineForecaster>) {
+    let (tx, rx): (SyncSender<EngineRequest>, Receiver<EngineRequest>) =
+        std::sync::mpsc::sync_channel(queue_depth.max(1));
+    let handle = std::thread::Builder::new()
+        .name("st-serve-engine".into())
+        .spawn(move || {
+            let mut engine = Engine {
+                online,
+                metrics,
+                forecast_cache: None,
+                imputed_cache: None,
+                tape_runs,
+            };
+            while let Ok(req) = rx.recv() {
+                engine.handle(req);
+            }
+            engine.online
+        })
+        .expect("spawn engine thread");
+    (EngineHandle { tx }, handle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rihgcn_core::{prepare_split, RihgcnConfig, RihgcnModel};
+    use st_data::{generate_pems, PemsConfig};
+    use st_tensor::rng;
+    use std::sync::mpsc::channel;
+
+    fn setup() -> (OnlineForecaster, st_data::TrafficDataset) {
+        let ds = generate_pems(&PemsConfig {
+            num_nodes: 4,
+            num_days: 2,
+            ..Default::default()
+        });
+        let ds = ds.with_extra_missing(0.3, &mut rng(3));
+        let (norm, z) = prepare_split(&ds.split_chronological());
+        let cfg = RihgcnConfig {
+            gcn_dim: 3,
+            lstm_dim: 4,
+            cheb_k: 2,
+            num_temporal_graphs: 2,
+            history: 4,
+            horizon: 2,
+            ..Default::default()
+        };
+        let model = RihgcnModel::from_dataset(&norm.train, cfg);
+        (OnlineForecaster::new(model, z), ds)
+    }
+
+    fn observe(handle: &EngineHandle, ds: &st_data::TrafficDataset, t: usize) -> ObserveAck {
+        let (tx, rx) = channel();
+        handle
+            .submit(EngineRequest::Observe {
+                values: ds.values.time_slice(t),
+                mask: ds.mask.time_slice(t),
+                slot: t,
+                reply: tx,
+            })
+            .unwrap();
+        rx.recv().unwrap().unwrap()
+    }
+
+    fn forecast(handle: &EngineHandle) -> Result<StepsReply, EngineError> {
+        let (tx, rx) = channel();
+        handle
+            .submit(EngineRequest::Forecast { reply: tx })
+            .unwrap();
+        rx.recv().unwrap()
+    }
+
+    #[test]
+    fn engine_serves_and_coalesces() {
+        let (online, ds) = setup();
+        let metrics = Arc::new(Metrics::new());
+        let tape_runs = Arc::new(AtomicU64::new(0));
+        let (handle, join) = spawn(online, Arc::clone(&metrics), 16, Arc::clone(&tape_runs));
+
+        // Not ready yet.
+        let err = forecast(&handle).unwrap_err();
+        assert!(matches!(err, EngineError::NotReady { buffered: 0, .. }));
+
+        for t in 0..4 {
+            let ack = observe(&handle, &ds, t);
+            assert_eq!(ack.version, t as u64 + 1);
+        }
+
+        let a = forecast(&handle).unwrap();
+        let b = forecast(&handle).unwrap();
+        assert_eq!(a.version, b.version);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(tape_runs.load(Ordering::Relaxed), 1, "second call cached");
+        assert_eq!(metrics.total_cache_hits(), 1);
+
+        // A new observation invalidates the cache.
+        observe(&handle, &ds, 4);
+        let c = forecast(&handle).unwrap();
+        assert_ne!(c.version, a.version);
+        assert_eq!(tape_runs.load(Ordering::Relaxed), 2);
+
+        // Bad observation is rejected without killing the engine.
+        let (tx, rx) = channel();
+        handle
+            .submit(EngineRequest::Observe {
+                values: Matrix::zeros(1, 1),
+                mask: Matrix::zeros(1, 1),
+                slot: 0,
+                reply: tx,
+            })
+            .unwrap();
+        assert!(matches!(
+            rx.recv().unwrap().unwrap_err(),
+            EngineError::Rejected(_)
+        ));
+
+        drop(handle);
+        let online = join.join().unwrap();
+        assert_eq!(online.len(), 4);
+    }
+}

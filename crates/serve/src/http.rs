@@ -1,0 +1,264 @@
+//! Minimal HTTP/1.1 framing over `std::io` — just enough of the protocol
+//! for the forecast service and its load generator: request-line + headers
+//! parsing, `Content-Length` bodies, keep-alive, and plain-text responses.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Errors raised while reading one request off a connection.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Underlying socket failure (includes read timeouts).
+    Io(io::Error),
+    /// The bytes on the wire are not a valid HTTP/1.x request.
+    Malformed(String),
+    /// The declared body exceeds the configured limit.
+    BodyTooLarge(usize),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+            HttpError::BodyTooLarge(n) => write!(f, "request body of {n} bytes is too large"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+impl HttpError {
+    /// Whether this is a socket read timeout (idle keep-alive connection).
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            HttpError::Io(e) if e.kind() == io::ErrorKind::WouldBlock
+                || e.kind() == io::ErrorKind::TimedOut
+        )
+    }
+}
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-case method, e.g. `GET`.
+    pub method: String,
+    /// Request path (query string included verbatim).
+    pub path: String,
+    /// Protocol version token, e.g. `HTTP/1.1`.
+    pub version: String,
+    /// Header `(name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with the given name, case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this request.
+    pub fn wants_close(&self) -> bool {
+        self.version == "HTTP/1.0"
+            || self
+                .header("connection")
+                .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// Body as UTF-8 text.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message when the body is not valid UTF-8.
+    pub fn body_text(&self) -> Result<&str, String> {
+        std::str::from_utf8(&self.body).map_err(|e| format!("body is not UTF-8: {e}"))
+    }
+}
+
+/// Reads one request. Returns `Ok(None)` on clean EOF before the first
+/// byte (the peer closed an idle keep-alive connection).
+///
+/// # Errors
+///
+/// [`HttpError::Malformed`] for protocol violations, [`HttpError::Io`] for
+/// socket errors (including read timeouts), [`HttpError::BodyTooLarge`]
+/// when `Content-Length` exceeds `max_body`.
+pub fn read_request<R: BufRead>(r: &mut R, max_body: usize) -> Result<Option<Request>, HttpError> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let request_line = line.trim_end_matches(['\r', '\n']);
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::Malformed(format!(
+            "bad request line: {request_line:?}"
+        )));
+    };
+    if !version.starts_with("HTTP/") {
+        return Err(HttpError::Malformed(format!("bad version: {version:?}")));
+    }
+    let mut req = Request {
+        method: method.to_ascii_uppercase(),
+        path: path.to_string(),
+        version: version.to_string(),
+        headers: Vec::new(),
+        body: Vec::new(),
+    };
+
+    loop {
+        let mut header = String::new();
+        if r.read_line(&mut header)? == 0 {
+            return Err(HttpError::Malformed("EOF inside headers".into()));
+        }
+        let header = header.trim_end_matches(['\r', '\n']);
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(HttpError::Malformed(format!("bad header: {header:?}")));
+        };
+        req.headers
+            .push((name.trim().to_string(), value.trim().to_string()));
+        if req.headers.len() > 100 {
+            return Err(HttpError::Malformed("too many headers".into()));
+        }
+    }
+
+    if let Some(len) = req.header("content-length") {
+        let len: usize = len
+            .parse()
+            .map_err(|e| HttpError::Malformed(format!("bad content-length: {e}")))?;
+        if len > max_body {
+            return Err(HttpError::BodyTooLarge(len));
+        }
+        let mut body = vec![0u8; len];
+        r.read_exact(&mut body)?;
+        req.body = body;
+    }
+    Ok(Some(req))
+}
+
+/// Human-readable reason phrase for the status codes the service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete plain-text response and flushes the writer.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_response<W: Write>(
+    w: &mut W,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {}\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
+    )?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), 1024)
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_post_with_content_length() {
+        let req = parse("POST /observe HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"hello");
+        assert_eq!(req.body_text().unwrap(), "hello");
+    }
+
+    #[test]
+    fn eof_before_request_is_none() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn connection_close_and_http10_end_keep_alive() {
+        let req = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.wants_close());
+        let req = parse("GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(req.wants_close());
+    }
+
+    #[test]
+    fn rejects_garbage_and_oversized_bodies() {
+        assert!(matches!(
+            parse("garbage\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n"),
+            Err(HttpError::BodyTooLarge(9999))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nnocolon\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn response_has_content_length_and_connection() {
+        let mut buf = Vec::new();
+        write_response(&mut buf, 200, "hi\n", true).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\nhi\n"));
+    }
+}

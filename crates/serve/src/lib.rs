@@ -1,0 +1,37 @@
+//! # st-serve
+//!
+//! A zero-dependency HTTP/1.1 forecast service around
+//! [`rihgcn_core::OnlineForecaster`]: a std `TcpListener` accept loop feeds
+//! a fixed worker pool; all inference funnels through one engine thread
+//! that owns the forecaster, micro-batches requests, and coalesces
+//! identical window-version forecasts onto a single model evaluation.
+//!
+//! Routes:
+//!
+//! | route                  | purpose                                          |
+//! |------------------------|--------------------------------------------------|
+//! | `POST /observe`        | push one `N × F` observation + mask + slot       |
+//! | `GET /forecast`        | multi-horizon forecast in original units         |
+//! | `GET /imputed`         | imputed history window                           |
+//! | `GET /healthz`         | model shape + window fill state                  |
+//! | `GET /metrics`         | plain-text counters and latency histogram        |
+//! | `POST /admin/shutdown` | graceful shutdown (drain connections, join)      |
+//!
+//! Payload floats use Rust's shortest-round-trip formatting, so forecasts
+//! fetched over HTTP are **bit-identical** to calling the forecaster
+//! in-process.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod engine;
+pub mod http;
+pub mod metrics;
+pub mod server;
+pub mod wire;
+
+pub use client::{HttpClient, Response};
+pub use engine::{EngineError, ModelInfo, StepsReply};
+pub use metrics::{Metrics, Route};
+pub use server::{ServeConfig, Server, ShutdownHandle};
+pub use wire::{format_observation, format_steps, parse_observation, parse_steps, Observation};

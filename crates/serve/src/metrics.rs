@@ -1,0 +1,175 @@
+//! Lock-free service counters rendered in a Prometheus-style text format.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Routes the service distinguishes in its metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// `POST /observe`
+    Observe,
+    /// `GET /forecast`
+    Forecast,
+    /// `GET /imputed`
+    Imputed,
+    /// `GET /healthz`
+    Healthz,
+    /// `GET /metrics`
+    Metrics,
+    /// `POST /admin/shutdown`
+    Shutdown,
+    /// Anything else (404/405 traffic).
+    Other,
+}
+
+const ROUTES: [(Route, &str); 7] = [
+    (Route::Observe, "observe"),
+    (Route::Forecast, "forecast"),
+    (Route::Imputed, "imputed"),
+    (Route::Healthz, "healthz"),
+    (Route::Metrics, "metrics"),
+    (Route::Shutdown, "shutdown"),
+    (Route::Other, "other"),
+];
+
+fn route_index(route: Route) -> usize {
+    ROUTES
+        .iter()
+        .position(|(r, _)| *r == route)
+        .expect("every route is listed")
+}
+
+/// Upper bounds (inclusive, in microseconds) of the latency histogram
+/// buckets; the last bucket is unbounded.
+const BUCKET_BOUNDS_US: [u64; 6] = [100, 1_000, 10_000, 100_000, 1_000_000, u64::MAX];
+const BUCKET_LABELS: [&str; 6] = ["100us", "1ms", "10ms", "100ms", "1s", "+inf"];
+
+/// Atomic counters for the service: per-route request counts, error count,
+/// engine cache hits, rejected connections, and a request-latency
+/// histogram. All methods are callable from any worker thread.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    requests: [AtomicU64; ROUTES.len()],
+    errors: AtomicU64,
+    cache_hits: AtomicU64,
+    rejected_connections: AtomicU64,
+    latency: [AtomicU64; BUCKET_BOUNDS_US.len()],
+}
+
+impl Metrics {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one served request: its route, wall latency, and whether the
+    /// response was an error (status ≥ 400).
+    pub fn record(&self, route: Route, latency_us: u64, error: bool) {
+        self.requests[route_index(route)].fetch_add(1, Ordering::Relaxed);
+        if error {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let bucket = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&b| latency_us <= b)
+            .expect("last bound is u64::MAX");
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a forecast served from the engine's window-version cache.
+    pub fn cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a connection rejected by the max-connections limit.
+    pub fn reject_connection(&self) {
+        self.rejected_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests across all routes.
+    pub fn total_requests(&self) -> u64 {
+        self.requests
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total error responses.
+    pub fn total_errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Total engine cache hits.
+    pub fn total_cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Renders all counters as `GET /metrics` plain text (cumulative
+    /// histogram buckets, one `st_serve_*` line per counter).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, (_, name)) in ROUTES.iter().enumerate() {
+            out.push_str(&format!(
+                "st_serve_requests_total{{route=\"{name}\"}} {}\n",
+                self.requests[i].load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str(&format!(
+            "st_serve_errors_total {}\n",
+            self.errors.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "st_serve_cache_hits_total {}\n",
+            self.cache_hits.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "st_serve_rejected_connections_total {}\n",
+            self.rejected_connections.load(Ordering::Relaxed)
+        ));
+        let mut cumulative = 0u64;
+        for (i, label) in BUCKET_LABELS.iter().enumerate() {
+            cumulative += self.latency[i].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "st_serve_latency_bucket{{le=\"{label}\"}} {cumulative}\n"
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_routes_errors_and_buckets() {
+        let m = Metrics::new();
+        m.record(Route::Forecast, 50, false);
+        m.record(Route::Forecast, 5_000, false);
+        m.record(Route::Observe, 500, true);
+        m.cache_hit();
+        m.reject_connection();
+        assert_eq!(m.total_requests(), 3);
+        assert_eq!(m.total_errors(), 1);
+        assert_eq!(m.total_cache_hits(), 1);
+        let text = m.render();
+        assert!(text.contains("st_serve_requests_total{route=\"forecast\"} 2"));
+        assert!(text.contains("st_serve_requests_total{route=\"observe\"} 1"));
+        assert!(text.contains("st_serve_errors_total 1"));
+        assert!(text.contains("st_serve_cache_hits_total 1"));
+        assert!(text.contains("st_serve_rejected_connections_total 1"));
+        // Cumulative: ≤100us holds 1, ≤1ms holds 2, ≤10ms (and beyond) 3.
+        assert!(text.contains("st_serve_latency_bucket{le=\"100us\"} 1"));
+        assert!(text.contains("st_serve_latency_bucket{le=\"1ms\"} 2"));
+        assert!(text.contains("st_serve_latency_bucket{le=\"+inf\"} 3"));
+    }
+
+    #[test]
+    fn huge_latency_lands_in_last_bucket() {
+        let m = Metrics::new();
+        m.record(Route::Healthz, u64::MAX, false);
+        assert!(m
+            .render()
+            .contains("st_serve_latency_bucket{le=\"+inf\"} 1"));
+        assert!(m.render().contains("st_serve_latency_bucket{le=\"1s\"} 0"));
+    }
+}

@@ -1,0 +1,435 @@
+//! The HTTP front end: accept loop, fixed worker pool, routing, and
+//! graceful shutdown.
+//!
+//! ```text
+//! accept thread ──► bounded conn queue ──► worker 0..K ──► engine thread
+//!      │ (max-connections guard)              │  (bounded request queue,
+//!      ▼                                      ▼   micro-batched)
+//!   503 when full                      HTTP parse / route / respond
+//! ```
+//!
+//! Shutdown is SIGTERM-equivalent without signal handling (std has none):
+//! anything holding a [`ShutdownHandle`] — the `/admin/shutdown` route, a
+//! stdin-EOF watcher, a test — flips the shutdown flag and wakes the
+//! acceptor with a self-connection. The acceptor stops taking connections
+//! and drops the queue; workers drain in-flight connections and exit; the
+//! engine exits once the last worker drops its handle.
+
+use crate::engine::{
+    self, EngineError, EngineHandle, EngineRequest, ModelInfo, ENGINE_REPLY_TIMEOUT,
+};
+use crate::http::{self, HttpError, Request};
+use crate::metrics::{Metrics, Route};
+use crate::wire;
+use rihgcn_core::OnlineForecaster;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables of the HTTP service.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:8100` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker threads handling connections. `0` follows the `st-par`
+    /// convention: `ST_NUM_THREADS`, else available parallelism.
+    pub workers: usize,
+    /// Maximum connections queued or in flight before new ones get 503.
+    pub max_connections: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+    /// Maximum accepted request-body size in bytes.
+    pub max_body_bytes: usize,
+    /// Bound of the engine's request queue (backpressure depth).
+    pub queue_depth: usize,
+    /// Requests served per connection before it is recycled.
+    pub max_requests_per_connection: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            max_connections: 64,
+            read_timeout: Duration::from_secs(5),
+            max_body_bytes: 8 << 20,
+            queue_depth: 128,
+            max_requests_per_connection: 10_000,
+        }
+    }
+}
+
+/// State shared between the acceptor, the workers and shutdown handles.
+struct Shared {
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn trigger_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            // Wake the acceptor out of its blocking accept().
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+
+    fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// Clonable handle that triggers graceful shutdown from anywhere.
+#[derive(Clone)]
+pub struct ShutdownHandle(Arc<Shared>);
+
+impl ShutdownHandle {
+    /// Requests a graceful shutdown (idempotent): stop accepting, drain
+    /// in-flight connections, stop the engine.
+    pub fn shutdown(&self) {
+        self.0.trigger_shutdown();
+    }
+}
+
+/// A running forecast service.
+pub struct Server {
+    shared: Arc<Shared>,
+    metrics: Arc<Metrics>,
+    tape_runs: Arc<AtomicU64>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    engine: Option<JoinHandle<OnlineForecaster>>,
+}
+
+impl Server {
+    /// Binds the listener, spawns the engine and worker threads, and starts
+    /// accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error binding the address or spawning threads.
+    pub fn start(online: OnlineForecaster, cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(
+            cfg.addr
+                .to_socket_addrs()?
+                .next()
+                .ok_or_else(|| io::Error::other(format!("unresolvable address {}", cfg.addr)))?,
+        )?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            shutdown: AtomicBool::new(false),
+            addr,
+        });
+        let metrics = Arc::new(Metrics::new());
+        let tape_runs = Arc::new(AtomicU64::new(0));
+        let info = ModelInfo::of(&online);
+        let (engine_handle, engine_join) = engine::spawn(
+            online,
+            Arc::clone(&metrics),
+            cfg.queue_depth,
+            Arc::clone(&tape_runs),
+        );
+
+        let workers_n = if cfg.workers > 0 {
+            cfg.workers
+        } else {
+            st_par::num_threads()
+        };
+        let active = Arc::new(AtomicUsize::new(0));
+        let (conn_tx, conn_rx): (SyncSender<TcpStream>, Receiver<TcpStream>) =
+            std::sync::mpsc::sync_channel(cfg.max_connections.max(1));
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+        let mut workers = Vec::with_capacity(workers_n);
+        for i in 0..workers_n {
+            let conn_rx = Arc::clone(&conn_rx);
+            let engine_handle = engine_handle.clone();
+            let metrics = Arc::clone(&metrics);
+            let shared = Arc::clone(&shared);
+            let active = Arc::clone(&active);
+            let cfg = cfg.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("st-serve-worker-{i}"))
+                    .spawn(move || loop {
+                        // Take one connection, then release the lock before
+                        // serving it so the other workers keep draining.
+                        let stream = conn_rx.lock().expect("conn queue lock").recv();
+                        let Ok(stream) = stream else { break };
+                        serve_connection(stream, &engine_handle, &metrics, &shared, &info, &cfg);
+                        active.fetch_sub(1, Ordering::SeqCst);
+                    })?,
+            );
+        }
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let metrics = Arc::clone(&metrics);
+            let max_connections = cfg.max_connections;
+            std::thread::Builder::new()
+                .name("st-serve-accept".into())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if shared.is_shutting_down() {
+                            break;
+                        }
+                        let Ok(stream) = conn else { continue };
+                        if active.load(Ordering::SeqCst) >= max_connections {
+                            metrics.reject_connection();
+                            let _ = http::write_response(
+                                &mut &stream,
+                                503,
+                                "connection limit reached\n",
+                                false,
+                            );
+                            continue;
+                        }
+                        active.fetch_add(1, Ordering::SeqCst);
+                        if conn_tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    // Dropping conn_tx here releases the workers.
+                })?
+        };
+
+        Ok(Server {
+            shared,
+            metrics,
+            tape_runs,
+            accept: Some(accept),
+            workers,
+            engine: Some(engine_join),
+        })
+    }
+
+    /// The address the listener is bound to (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Live service counters.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Number of model evaluations performed so far (cache misses).
+    pub fn tape_runs(&self) -> u64 {
+        self.tape_runs.load(Ordering::Relaxed)
+    }
+
+    /// A handle that can trigger graceful shutdown from another thread or
+    /// from the `/admin/shutdown` route.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(Arc::clone(&self.shared))
+    }
+
+    /// Blocks until a shutdown is triggered (by a [`ShutdownHandle`] or the
+    /// `/admin/shutdown` route), drains connections, and joins every
+    /// thread. Returns the forecaster with its final window state.
+    pub fn join(mut self) -> OnlineForecaster {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        self.engine
+            .take()
+            .expect("join consumes the server once")
+            .join()
+            .expect("engine thread must not panic")
+    }
+
+    /// Triggers shutdown and joins; see [`Server::join`].
+    pub fn shutdown(self) -> OnlineForecaster {
+        self.shared.trigger_shutdown();
+        self.join()
+    }
+}
+
+/// Serves one (possibly keep-alive) connection to completion.
+fn serve_connection(
+    stream: TcpStream,
+    engine: &EngineHandle,
+    metrics: &Metrics,
+    shared: &Shared,
+    info: &ModelInfo,
+    cfg: &ServeConfig,
+) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(cfg.read_timeout)).is_err() {
+        return;
+    }
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+
+    for _ in 0..cfg.max_requests_per_connection {
+        let req = match http::read_request(&mut reader, cfg.max_body_bytes) {
+            Ok(Some(req)) => req,
+            Ok(None) => break,
+            Err(e) if e.is_timeout() => {
+                let _ = http::write_response(&mut writer, 408, "request timed out\n", false);
+                break;
+            }
+            Err(HttpError::BodyTooLarge(_)) => {
+                metrics.record(Route::Other, 0, true);
+                let _ = http::write_response(&mut writer, 413, "request body too large\n", false);
+                break;
+            }
+            Err(HttpError::Malformed(msg)) => {
+                metrics.record(Route::Other, 0, true);
+                let _ = http::write_response(&mut writer, 400, &format!("{msg}\n"), false);
+                break;
+            }
+            Err(HttpError::Io(_)) => break,
+        };
+
+        let started = Instant::now();
+        let outcome = route(&req, engine, metrics, info);
+        let latency_us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        metrics.record(outcome.route, latency_us, outcome.status >= 400);
+
+        let keep_alive =
+            !req.wants_close() && !outcome.shutdown_after && !shared.is_shutting_down();
+        if http::write_response(&mut writer, outcome.status, &outcome.body, keep_alive).is_err() {
+            break;
+        }
+        if outcome.shutdown_after {
+            shared.trigger_shutdown();
+        }
+        if !keep_alive {
+            break;
+        }
+    }
+}
+
+struct Outcome {
+    status: u16,
+    body: String,
+    route: Route,
+    shutdown_after: bool,
+}
+
+impl Outcome {
+    fn ok(route: Route, body: String) -> Self {
+        Self {
+            status: 200,
+            body,
+            route,
+            shutdown_after: false,
+        }
+    }
+
+    fn err(route: Route, status: u16, msg: String) -> Self {
+        Self {
+            status,
+            body: msg,
+            route,
+            shutdown_after: false,
+        }
+    }
+}
+
+fn engine_failure(route: Route, e: EngineError) -> Outcome {
+    let status = match e {
+        EngineError::NotReady { .. } => 409,
+        EngineError::Rejected(_) => 400,
+    };
+    Outcome::err(route, status, format!("{e}\n"))
+}
+
+/// Sends one engine request and waits for the typed reply.
+fn ask<T: Send + 'static>(
+    engine: &EngineHandle,
+    build: impl FnOnce(std::sync::mpsc::Sender<T>) -> EngineRequest,
+) -> Result<T, String> {
+    let (tx, rx) = channel();
+    engine.submit(build(tx))?;
+    rx.recv_timeout(ENGINE_REPLY_TIMEOUT)
+        .map_err(|_| "inference engine did not answer in time".to_string())
+}
+
+fn route(req: &Request, engine: &EngineHandle, metrics: &Metrics, info: &ModelInfo) -> Outcome {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => match ask(engine, |reply| EngineRequest::Health { reply }) {
+            Ok(state) => Outcome::ok(
+                Route::Healthz,
+                format!(
+                    "ok nodes {} features {} history {} horizon {} slots_per_day {} \
+                     buffered {} ready {} version {}\n",
+                    info.nodes,
+                    info.features,
+                    info.history,
+                    info.horizon,
+                    info.slots_per_day,
+                    state.buffered,
+                    state.ready,
+                    state.version
+                ),
+            ),
+            Err(msg) => Outcome::err(Route::Healthz, 500, format!("{msg}\n")),
+        },
+        ("GET", "/metrics") => Outcome::ok(Route::Metrics, metrics.render()),
+        ("POST", "/observe") => {
+            let body = match req.body_text() {
+                Ok(b) => b,
+                Err(msg) => return Outcome::err(Route::Observe, 400, format!("{msg}\n")),
+            };
+            let obs = match wire::parse_observation(body, info.nodes, info.features) {
+                Ok(o) => o,
+                Err(msg) => return Outcome::err(Route::Observe, 400, format!("{msg}\n")),
+            };
+            match ask(engine, |reply| EngineRequest::Observe {
+                values: obs.values,
+                mask: obs.mask,
+                slot: obs.slot,
+                reply,
+            }) {
+                Ok(Ok(ack)) => Outcome::ok(
+                    Route::Observe,
+                    format!(
+                        "ok version {} buffered {} ready {}\n",
+                        ack.version, ack.buffered, ack.ready
+                    ),
+                ),
+                Ok(Err(e)) => engine_failure(Route::Observe, e),
+                Err(msg) => Outcome::err(Route::Observe, 500, format!("{msg}\n")),
+            }
+        }
+        ("GET", "/forecast") => match ask(engine, |reply| EngineRequest::Forecast { reply }) {
+            Ok(Ok(reply)) => Outcome::ok(
+                Route::Forecast,
+                wire::format_steps(reply.version, &reply.steps),
+            ),
+            Ok(Err(e)) => engine_failure(Route::Forecast, e),
+            Err(msg) => Outcome::err(Route::Forecast, 500, format!("{msg}\n")),
+        },
+        ("GET", "/imputed") => match ask(engine, |reply| EngineRequest::Imputed { reply }) {
+            Ok(Ok(reply)) => Outcome::ok(
+                Route::Imputed,
+                wire::format_steps(reply.version, &reply.steps),
+            ),
+            Ok(Err(e)) => engine_failure(Route::Imputed, e),
+            Err(msg) => Outcome::err(Route::Imputed, 500, format!("{msg}\n")),
+        },
+        ("POST", "/admin/shutdown") => Outcome {
+            status: 200,
+            body: "shutting down\n".into(),
+            route: Route::Shutdown,
+            shutdown_after: true,
+        },
+        (
+            _,
+            "/healthz" | "/metrics" | "/observe" | "/forecast" | "/imputed" | "/admin/shutdown",
+        ) => Outcome::err(Route::Other, 405, "method not allowed\n".into()),
+        _ => Outcome::err(Route::Other, 404, "no such route\n".into()),
+    }
+}

@@ -1,0 +1,202 @@
+//! Plain-text wire format for observations and forecast payloads.
+//!
+//! Floats travel with Rust's shortest-round-trip (`{:?}`) formatting, the
+//! same convention as the persist layer, so a value crosses the HTTP
+//! boundary **bit-identically** — the loopback parity test depends on it.
+//!
+//! Observation body (`POST /observe`):
+//!
+//! ```text
+//! slot <s>
+//! values <N·F floats, row-major>
+//! mask <N·F floats, 0 or 1>
+//! ```
+//!
+//! Forecast / imputed-window payload:
+//!
+//! ```text
+//! version <v>
+//! steps <K> nodes <N> features <F>
+//! <F floats>      (K·N lines: step 0 node 0, step 0 node 1, …)
+//! ```
+
+use st_tensor::Matrix;
+
+/// One decoded observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// Time-of-day slot index.
+    pub slot: usize,
+    /// `N × F` measurements in original units.
+    pub values: Matrix,
+    /// `N × F` observation mask (1 = observed).
+    pub mask: Matrix,
+}
+
+fn fmt_row(row: &[f64], out: &mut String) {
+    for (i, v) in row.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&format!("{v:?}"));
+    }
+}
+
+fn parse_row(line: &str, expected: usize, what: &str) -> Result<Vec<f64>, String> {
+    let values: Result<Vec<f64>, _> = line.split_whitespace().map(str::parse::<f64>).collect();
+    let values = values.map_err(|e| format!("{what}: {e}"))?;
+    if values.len() != expected {
+        return Err(format!(
+            "{what}: expected {expected} values, found {}",
+            values.len()
+        ));
+    }
+    Ok(values)
+}
+
+/// Encodes an observation body.
+pub fn format_observation(slot: usize, values: &Matrix, mask: &Matrix) -> String {
+    let mut out = format!("slot {slot}\nvalues ");
+    fmt_row(values.as_slice(), &mut out);
+    out.push_str("\nmask ");
+    fmt_row(mask.as_slice(), &mut out);
+    out.push('\n');
+    out
+}
+
+/// Decodes an observation body against the model's `(nodes, features)`.
+///
+/// # Errors
+///
+/// Returns a human-readable message on any malformed line or count
+/// mismatch (the server maps it to a 400 response).
+pub fn parse_observation(body: &str, nodes: usize, features: usize) -> Result<Observation, String> {
+    let mut slot: Option<usize> = None;
+    let mut values: Option<Vec<f64>> = None;
+    let mut mask: Option<Vec<f64>> = None;
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("slot ") {
+            slot = Some(rest.trim().parse().map_err(|e| format!("slot: {e}"))?);
+        } else if let Some(rest) = line.strip_prefix("values ") {
+            values = Some(parse_row(rest, nodes * features, "values")?);
+        } else if let Some(rest) = line.strip_prefix("mask ") {
+            mask = Some(parse_row(rest, nodes * features, "mask")?);
+        } else {
+            return Err(format!("unexpected line {line:?} (slot/values/mask)"));
+        }
+    }
+    let slot = slot.ok_or("missing `slot` line")?;
+    let values = values.ok_or("missing `values` line")?;
+    let mask = mask.ok_or("missing `mask` line")?;
+    Ok(Observation {
+        slot,
+        values: Matrix::from_vec(nodes, features, values),
+        mask: Matrix::from_vec(nodes, features, mask),
+    })
+}
+
+/// Encodes a list of per-step matrices (forecast or imputed window) plus
+/// the window version they were computed at.
+pub fn format_steps(version: u64, steps: &[Matrix]) -> String {
+    let (nodes, features) = steps.first().map(Matrix::shape).unwrap_or((0, 0));
+    let mut out = format!(
+        "version {version}\nsteps {} nodes {nodes} features {features}\n",
+        steps.len()
+    );
+    for step in steps {
+        for node in 0..nodes {
+            let row_start = node * features;
+            fmt_row(&step.as_slice()[row_start..row_start + features], &mut out);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Decodes a [`format_steps`] payload.
+///
+/// # Errors
+///
+/// Returns a human-readable message on malformed input.
+pub fn parse_steps(text: &str) -> Result<(u64, Vec<Matrix>), String> {
+    let mut lines = text.lines();
+    let version: u64 = lines
+        .next()
+        .and_then(|l| l.strip_prefix("version "))
+        .ok_or("missing `version` line")?
+        .trim()
+        .parse()
+        .map_err(|e| format!("version: {e}"))?;
+    let header = lines.next().ok_or("missing `steps` line")?;
+    let parts: Vec<&str> = header.split_whitespace().collect();
+    let ["steps", k, "nodes", n, "features", f] = parts.as_slice() else {
+        return Err(format!("bad steps header: {header:?}"));
+    };
+    let parse = |v: &str, what: &str| -> Result<usize, String> {
+        v.parse().map_err(|e| format!("{what}: {e}"))
+    };
+    let (k, n, f) = (
+        parse(k, "steps")?,
+        parse(n, "nodes")?,
+        parse(f, "features")?,
+    );
+    let mut steps = Vec::with_capacity(k);
+    for step in 0..k {
+        let mut data = Vec::with_capacity(n * f);
+        for node in 0..n {
+            let line = lines
+                .next()
+                .ok_or(format!("missing row for step {step} node {node}"))?;
+            data.extend(parse_row(line, f, "row")?);
+        }
+        steps.push(Matrix::from_vec(n, f, data));
+    }
+    Ok((version, steps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observation_round_trips_bit_exactly() {
+        let values = Matrix::from_fn(3, 2, |r, c| (r as f64 + 0.1) / (c as f64 + 0.7));
+        let mask = Matrix::from_fn(3, 2, |r, c| ((r + c) % 2) as f64);
+        let body = format_observation(42, &values, &mask);
+        let obs = parse_observation(&body, 3, 2).unwrap();
+        assert_eq!(obs.slot, 42);
+        assert_eq!(obs.values, values);
+        assert_eq!(obs.mask, mask);
+    }
+
+    #[test]
+    fn steps_round_trip_bit_exactly() {
+        let steps: Vec<Matrix> = (0..3)
+            .map(|s| Matrix::from_fn(4, 2, |r, c| 1.0 / (1.0 + s as f64 + r as f64 * c as f64)))
+            .collect();
+        let text = format_steps(7, &steps);
+        let (version, back) = parse_steps(&text).unwrap();
+        assert_eq!(version, 7);
+        assert_eq!(back, steps);
+    }
+
+    #[test]
+    fn parse_observation_rejects_malformed_bodies() {
+        assert!(parse_observation("", 2, 2).is_err());
+        assert!(parse_observation("slot 1\nvalues 1 2 3 4\n", 2, 2).is_err()); // no mask
+        assert!(parse_observation("slot 1\nvalues 1 2 3\nmask 1 1 1 1\n", 2, 2).is_err());
+        assert!(parse_observation("slot x\nvalues 1 2 3 4\nmask 1 1 1 1\n", 2, 2).is_err());
+        assert!(parse_observation("bogus line\n", 2, 2).is_err());
+    }
+
+    #[test]
+    fn parse_steps_rejects_malformed_payloads() {
+        assert!(parse_steps("").is_err());
+        assert!(parse_steps("version 1\n").is_err());
+        assert!(parse_steps("version 1\nsteps 1 nodes 2 features 2\n1.0 2.0\n").is_err());
+    }
+}

@@ -1,0 +1,161 @@
+//! End-to-end loopback test: a real server on an ephemeral port, driven
+//! through the bundled [`HttpClient`], checked **bit-for-bit** against an
+//! identical in-process [`OnlineForecaster`].
+
+use rihgcn_core::{prepare_split, OnlineForecaster, RihgcnConfig, RihgcnModel};
+use st_data::{generate_pems, PemsConfig, TrafficDataset};
+use st_serve::{wire, HttpClient, ServeConfig, Server};
+use st_tensor::rng;
+use std::time::Duration;
+
+const HISTORY: usize = 4;
+
+fn forecaster() -> (OnlineForecaster, TrafficDataset) {
+    let ds = generate_pems(&PemsConfig {
+        num_nodes: 4,
+        num_days: 2,
+        ..Default::default()
+    });
+    let ds = ds.with_extra_missing(0.3, &mut rng(3));
+    let (norm, z) = prepare_split(&ds.split_chronological());
+    let cfg = RihgcnConfig {
+        gcn_dim: 3,
+        lstm_dim: 4,
+        cheb_k: 2,
+        num_temporal_graphs: 2,
+        history: HISTORY,
+        horizon: 2,
+        ..Default::default()
+    };
+    let model = RihgcnModel::from_dataset(&norm.train, cfg);
+    (OnlineForecaster::new(model, z), ds)
+}
+
+fn start_server() -> (Server, HttpClient, TrafficDataset) {
+    let (online, ds) = forecaster();
+    let server = Server::start(
+        online,
+        ServeConfig {
+            workers: 2,
+            ..Default::default()
+        },
+    )
+    .expect("bind loopback");
+    let client = HttpClient::connect(&server.local_addr().to_string(), Duration::from_secs(10))
+        .expect("connect to server");
+    (server, client, ds)
+}
+
+#[test]
+fn http_forecasts_match_in_process_bit_for_bit() {
+    let (server, mut client, ds) = start_server();
+    // A second forecaster built the same deterministic way is the oracle.
+    let (mut oracle, _) = forecaster();
+
+    // Health before any observation.
+    let health = client.get_ok("/healthz").expect("healthz");
+    assert!(health.contains("nodes 4"), "health: {health}");
+    assert!(
+        health.contains("buffered 0 ready false"),
+        "health: {health}"
+    );
+
+    // Forecast before the window fills → 409 Conflict.
+    let resp = client.request("GET", "/forecast", "").expect("request");
+    assert_eq!(resp.status, 409, "body: {}", resp.body);
+    assert!(resp.body.contains("window not full"), "body: {}", resp.body);
+
+    // Fill the window through HTTP and the oracle identically.
+    for t in 0..HISTORY {
+        let values = ds.values.time_slice(t);
+        let mask = ds.mask.time_slice(t);
+        let body = wire::format_observation(t, &values, &mask);
+        let ack = client.post_ok("/observe", &body).expect("observe");
+        assert!(ack.contains(&format!("version {}", t + 1)), "ack: {ack}");
+        oracle.push(values, mask, t);
+    }
+
+    // Forecast and imputed window must round-trip bit-identically.
+    let forecast_text = client.get_ok("/forecast").expect("forecast");
+    let (version, steps) = wire::parse_steps(&forecast_text).expect("parse forecast");
+    assert_eq!(version, HISTORY as u64);
+    assert_eq!(steps, oracle.forecast().expect("oracle forecast"));
+
+    let imputed_text = client.get_ok("/imputed").expect("imputed");
+    let (_, imputed) = wire::parse_steps(&imputed_text).expect("parse imputed");
+    assert_eq!(imputed, oracle.imputed_window().expect("oracle imputed"));
+
+    // Repeats at the same window version are coalesced onto the cache:
+    // still bit-identical, no extra tape runs.
+    let runs_before = server.tape_runs();
+    let again = client.get_ok("/forecast").expect("forecast again");
+    assert_eq!(again, forecast_text, "cache must serve identical bytes");
+    let again = client.get_ok("/forecast").expect("forecast again");
+    let (_, steps_again) = wire::parse_steps(&again).expect("parse");
+    assert_eq!(steps_again, steps);
+    assert_eq!(
+        server.tape_runs(),
+        runs_before,
+        "cached repeats run no tape"
+    );
+    assert!(server.metrics().total_cache_hits() >= 2);
+
+    // A new observation advances the version and invalidates the cache.
+    let body = wire::format_observation(
+        HISTORY,
+        &ds.values.time_slice(HISTORY),
+        &ds.mask.time_slice(HISTORY),
+    );
+    client.post_ok("/observe", &body).expect("observe");
+    oracle.push(
+        ds.values.time_slice(HISTORY),
+        ds.mask.time_slice(HISTORY),
+        HISTORY,
+    );
+    let text = client.get_ok("/forecast").expect("forecast after advance");
+    let (version, steps) = wire::parse_steps(&text).expect("parse");
+    assert_eq!(version, HISTORY as u64 + 1);
+    assert_eq!(steps, oracle.forecast().expect("oracle forecast"));
+
+    // Error paths: malformed observation, unknown route, wrong method.
+    let resp = client
+        .request("POST", "/observe", "slot 0\nvalues 1 2\nmask 1 1\n")
+        .expect("request");
+    assert_eq!(resp.status, 400, "body: {}", resp.body);
+    let resp = client.request("GET", "/nope", "").expect("request");
+    assert_eq!(resp.status, 404);
+    let resp = client.request("DELETE", "/forecast", "").expect("request");
+    assert_eq!(resp.status, 405);
+
+    // Metrics reflect the traffic.
+    let metrics = client.get_ok("/metrics").expect("metrics");
+    assert!(
+        metrics.contains("st_serve_requests_total{route=\"forecast\"} 5"),
+        "metrics: {metrics}"
+    );
+    assert!(
+        metrics.contains("st_serve_cache_hits_total 2"),
+        "metrics: {metrics}"
+    );
+    assert!(
+        metrics.contains("st_serve_errors_total"),
+        "metrics: {metrics}"
+    );
+
+    // Graceful shutdown over HTTP; the server drains and joins cleanly,
+    // returning the forecaster with the full window state.
+    let bye = client.post_ok("/admin/shutdown", "").expect("shutdown");
+    assert!(bye.contains("shutting down"), "bye: {bye}");
+    let online = server.join();
+    assert_eq!(online.len(), HISTORY, "rolling window stays capped");
+    assert_eq!(online.window_version(), HISTORY as u64 + 1);
+}
+
+#[test]
+fn shutdown_handle_stops_an_idle_server() {
+    let (server, mut client, _) = start_server();
+    client.get_ok("/healthz").expect("healthz");
+    server.shutdown_handle().shutdown();
+    let online = server.join();
+    assert_eq!(online.len(), 0);
+}

@@ -18,6 +18,40 @@ ST_NUM_THREADS=1 cargo test -q --offline --workspace
 echo "== test (4 worker threads) =="
 ST_NUM_THREADS=4 cargo test -q --offline --workspace
 
+echo "== serve smoke (train a checkpoint, run the HTTP service) =="
+# End-to-end over the real network stack: generate a tiny dataset, train
+# one epoch into a self-contained checkpoint, then — at both thread-count
+# extremes — start the server on an ephemeral port and drive every route
+# with the load generator, which also shuts the server down.
+SERVE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SERVE_DIR"' EXIT
+cargo run -q --release --offline -p rihgcn-cli --bin rihgcn -- \
+    generate --dataset pems --out "$SERVE_DIR/data.csv" \
+    --nodes 4 --days 1 --missing-rate 0.2
+cargo run -q --release --offline -p rihgcn-cli --bin rihgcn -- \
+    train --data "$SERVE_DIR/data.csv" --out "$SERVE_DIR/model.params" \
+    --checkpoint "$SERVE_DIR/model.ckpt" --epochs 1 \
+    --gcn-dim 4 --lstm-dim 6 --graphs 2 --history 4 --horizon 2
+for threads in 1 4; do
+    echo "-- serve smoke (ST_NUM_THREADS=$threads) --"
+    rm -f "$SERVE_DIR/addr.txt"
+    ST_NUM_THREADS=$threads cargo run -q --release --offline \
+        -p rihgcn-cli --bin rihgcn -- \
+        serve --checkpoint "$SERVE_DIR/model.ckpt" \
+        --addr 127.0.0.1:0 --addr-file "$SERVE_DIR/addr.txt" &
+    SERVER_PID=$!
+    for _ in $(seq 1 100); do
+        [ -s "$SERVE_DIR/addr.txt" ] && break
+        kill -0 "$SERVER_PID" 2>/dev/null || { echo "server died"; exit 1; }
+        sleep 0.1
+    done
+    [ -s "$SERVE_DIR/addr.txt" ] || { echo "server never bound"; exit 1; }
+    ST_NUM_THREADS=$threads cargo run -q --release --offline \
+        -p rihgcn-bench --bin loadgen -- \
+        --addr "$(cat "$SERVE_DIR/addr.txt")" --smoke --shutdown
+    wait "$SERVER_PID"
+done
+
 echo "== bench smoke (serial vs parallel) =="
 # One tiny sample per benchmark: checks the harness runs, records the
 # serial-vs-parallel comparison, and asserts nothing about speedup (that

@@ -13,6 +13,8 @@
 //! * [`graph`] — adjacency, Laplacians, DTW, interval partitioning;
 //! * [`nn`] — layers and optimiser;
 //! * [`par`] — deterministic std-only data parallelism;
+//! * [`serve`] — the std-only HTTP forecast service (checkpoints,
+//!   micro-batched inference, metrics);
 //! * [`autodiff`] / [`tensor`] — the numerical substrate.
 //!
 //! # Examples
@@ -39,4 +41,5 @@ pub use st_data as data;
 pub use st_graph as graph;
 pub use st_nn as nn;
 pub use st_par as par;
+pub use st_serve as serve;
 pub use st_tensor as tensor;
