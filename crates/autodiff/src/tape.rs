@@ -10,8 +10,18 @@
 //! variables" trick needs: the estimated matrix `X̂_{t+1}` stays a tape node,
 //! so the prediction loss at later timestamps sends *delayed gradients* back
 //! through the imputation at earlier timestamps.
+//!
+//! # Buffer reuse
+//!
+//! Training replays the same graph topology every step, so the tape owns a
+//! [`MatrixPool`] and routes every forward value, backward scratch gradient
+//! and persistent gradient slot through it. [`Tape::reset`] returns all of
+//! them to the pool instead of freeing them; at steady state a recycled tape
+//! performs no heap allocation at all. Pooled execution is bit-identical to
+//! the allocating path: recycled buffers are fully overwritten (`*_into`
+//! kernels) or seeded by `copy_from` (a memcpy), never partially updated.
 
-use st_tensor::Matrix;
+use st_tensor::{Matrix, MatrixPool, PoolStats};
 
 /// Handle to a node on a [`Tape`].
 ///
@@ -27,7 +37,7 @@ impl Var {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum Op {
     Leaf,
     Add(usize, usize),
@@ -80,12 +90,16 @@ struct Node {
 #[derive(Debug, Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    pool: MatrixPool,
+    // Per-sweep scratch gradients, kept across sweeps so the Vec itself is
+    // reused; every entry is `None` between sweeps.
+    sweep: Vec<Option<Matrix>>,
 }
 
 impl Tape {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Self { nodes: Vec::new() }
+        Self::default()
     }
 
     /// Number of nodes recorded so far.
@@ -96,6 +110,32 @@ impl Tape {
     /// Whether the tape holds no nodes.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// Clears all nodes, returning every value and gradient buffer to the
+    /// tape's pool.
+    ///
+    /// The node `Vec`'s capacity is kept, so a recycled tape re-records the
+    /// same graph without growing. `Var`s from before the reset are invalid
+    /// (they would index into the new recording).
+    pub fn reset(&mut self) {
+        let Tape { nodes, pool, sweep } = self;
+        for node in nodes.drain(..) {
+            pool.release(node.value);
+            if let Some(g) = node.grad {
+                pool.release(g);
+            }
+        }
+        for g in sweep.iter_mut() {
+            if let Some(g) = g.take() {
+                pool.release(g);
+            }
+        }
+    }
+
+    /// Cumulative hit/miss statistics of the tape's buffer pool.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     fn push(&mut self, value: Matrix, op: Op, needs_grad: bool) -> Var {
@@ -113,9 +153,30 @@ impl Tape {
         self.push(value, Op::Leaf, false)
     }
 
+    /// Records a constant by copying `value` into a pooled buffer.
+    pub fn constant_ref(&mut self, value: &Matrix) -> Var {
+        let mut v = self.pool.acquire(value.rows(), value.cols());
+        v.copy_from(value);
+        self.push(v, Op::Leaf, false)
+    }
+
+    /// Records an all-zero constant in a pooled buffer.
+    pub fn constant_zeros(&mut self, rows: usize, cols: usize) -> Var {
+        let v = self.pool.acquire_zeroed(rows, cols);
+        self.push(v, Op::Leaf, false)
+    }
+
     /// Records a trainable parameter leaf.
     pub fn parameter(&mut self, value: Matrix) -> Var {
         self.push(value, Op::Leaf, true)
+    }
+
+    /// Records a trainable parameter leaf by copying `value` into a pooled
+    /// buffer.
+    pub fn parameter_ref(&mut self, value: &Matrix) -> Var {
+        let mut v = self.pool.acquire(value.rows(), value.cols());
+        v.copy_from(value);
+        self.push(v, Op::Leaf, true)
     }
 
     /// The forward value of a node.
@@ -130,6 +191,9 @@ impl Tape {
     /// The accumulated gradient of a node; a zero matrix if [`Tape::backward`]
     /// has not reached it.
     ///
+    /// Allocates a copy on every call — prefer [`Tape::grad_ref`] in hot
+    /// paths.
+    ///
     /// # Panics
     ///
     /// Panics if `v` does not belong to this tape.
@@ -138,6 +202,16 @@ impl Tape {
         node.grad
             .clone()
             .unwrap_or_else(|| Matrix::zeros(node.value.rows(), node.value.cols()))
+    }
+
+    /// Borrows the accumulated gradient of a node; `None` if
+    /// [`Tape::backward`] has not reached it (i.e. the gradient is zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to this tape.
+    pub fn grad_ref(&self, v: Var) -> Option<&Matrix> {
+        self.nodes[v.0].grad.as_ref()
     }
 
     /// Whether gradients flow through this node.
@@ -155,7 +229,11 @@ impl Tape {
     ///
     /// Panics if shapes differ.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = &self.nodes[a.0].value + &self.nodes[b.0].value;
+        let (r, c) = self.nodes[a.0].value.shape();
+        let mut v = self.pool.acquire(r, c);
+        self.nodes[a.0]
+            .value
+            .zip_map_into(&self.nodes[b.0].value, &mut v, |x, y| x + y);
         let ng = self.binary_needs(a, b);
         self.push(v, Op::Add(a.0, b.0), ng)
     }
@@ -166,7 +244,11 @@ impl Tape {
     ///
     /// Panics if shapes differ.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = &self.nodes[a.0].value - &self.nodes[b.0].value;
+        let (r, c) = self.nodes[a.0].value.shape();
+        let mut v = self.pool.acquire(r, c);
+        self.nodes[a.0]
+            .value
+            .zip_map_into(&self.nodes[b.0].value, &mut v, |x, y| x - y);
         let ng = self.binary_needs(a, b);
         self.push(v, Op::Sub(a.0, b.0), ng)
     }
@@ -177,7 +259,11 @@ impl Tape {
     ///
     /// Panics if shapes differ.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.hadamard(&self.nodes[b.0].value);
+        let (r, c) = self.nodes[a.0].value.shape();
+        let mut v = self.pool.acquire(r, c);
+        self.nodes[a.0]
+            .value
+            .hadamard_into(&self.nodes[b.0].value, &mut v);
         let ng = self.binary_needs(a, b);
         self.push(v, Op::Mul(a.0, b.0), ng)
     }
@@ -188,21 +274,30 @@ impl Tape {
     ///
     /// Panics if inner dimensions disagree.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        let rows = self.nodes[a.0].value.rows();
+        let cols = self.nodes[b.0].value.cols();
+        let mut v = self.pool.acquire(rows, cols);
+        self.nodes[a.0]
+            .value
+            .matmul_into(&self.nodes[b.0].value, &mut v);
         let ng = self.binary_needs(a, b);
         self.push(v, Op::Matmul(a.0, b.0), ng)
     }
 
     /// Scalar multiple `s · a`.
     pub fn scale(&mut self, a: Var, s: f64) -> Var {
-        let v = self.nodes[a.0].value.scale(s);
+        let (r, c) = self.nodes[a.0].value.shape();
+        let mut v = self.pool.acquire(r, c);
+        self.nodes[a.0].value.map_into(&mut v, |x| x * s);
         let ng = self.nodes[a.0].needs_grad;
         self.push(v, Op::Scale(a.0, s), ng)
     }
 
     /// Adds the scalar `s` to every element.
     pub fn add_scalar(&mut self, a: Var, s: f64) -> Var {
-        let v = self.nodes[a.0].value.map(|x| x + s);
+        let (r, c) = self.nodes[a.0].value.shape();
+        let mut v = self.pool.acquire(r, c);
+        self.nodes[a.0].value.map_into(&mut v, |x| x + s);
         let ng = self.nodes[a.0].needs_grad;
         self.push(v, Op::AddScalar(a.0), ng)
     }
@@ -213,9 +308,11 @@ impl Tape {
     ///
     /// Panics if `bias` is not a row vector of matching width.
     pub fn add_bias(&mut self, x: Var, bias: Var) -> Var {
-        let v = self.nodes[x.0]
+        let (r, c) = self.nodes[x.0].value.shape();
+        let mut v = self.pool.acquire(r, c);
+        self.nodes[x.0]
             .value
-            .add_row_broadcast(&self.nodes[bias.0].value);
+            .add_row_broadcast_into(&self.nodes[bias.0].value, &mut v);
         let ng = self.binary_needs(x, bias);
         self.push(
             v,
@@ -229,28 +326,38 @@ impl Tape {
 
     /// Elementwise logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        let (r, c) = self.nodes[a.0].value.shape();
+        let mut v = self.pool.acquire(r, c);
+        self.nodes[a.0]
+            .value
+            .map_into(&mut v, |x| 1.0 / (1.0 + (-x).exp()));
         let ng = self.nodes[a.0].needs_grad;
         self.push(v, Op::Sigmoid(a.0), ng)
     }
 
     /// Elementwise hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(f64::tanh);
+        let (r, c) = self.nodes[a.0].value.shape();
+        let mut v = self.pool.acquire(r, c);
+        self.nodes[a.0].value.map_into(&mut v, f64::tanh);
         let ng = self.nodes[a.0].needs_grad;
         self.push(v, Op::Tanh(a.0), ng)
     }
 
     /// Elementwise rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        let (r, c) = self.nodes[a.0].value.shape();
+        let mut v = self.pool.acquire(r, c);
+        self.nodes[a.0].value.map_into(&mut v, |x| x.max(0.0));
         let ng = self.nodes[a.0].needs_grad;
         self.push(v, Op::Relu(a.0), ng)
     }
 
     /// Elementwise absolute value (subgradient 0 at the origin).
     pub fn abs(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(f64::abs);
+        let (r, c) = self.nodes[a.0].value.shape();
+        let mut v = self.pool.acquire(r, c);
+        self.nodes[a.0].value.map_into(&mut v, f64::abs);
         let ng = self.nodes[a.0].needs_grad;
         self.push(v, Op::Abs(a.0), ng)
     }
@@ -261,7 +368,12 @@ impl Tape {
     ///
     /// Panics if the row counts differ.
     pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
-        let v = self.nodes[a.0].value.hcat(&self.nodes[b.0].value);
+        let rows = self.nodes[a.0].value.rows();
+        let cols = self.nodes[a.0].value.cols() + self.nodes[b.0].value.cols();
+        let mut v = self.pool.acquire(rows, cols);
+        self.nodes[a.0]
+            .value
+            .hcat_into(&self.nodes[b.0].value, &mut v);
         let ng = self.binary_needs(a, b);
         self.push(v, Op::ConcatCols(a.0, b.0), ng)
     }
@@ -272,14 +384,22 @@ impl Tape {
     ///
     /// Panics if the range is out of bounds.
     pub fn slice_cols(&mut self, x: Var, start: usize, end: usize) -> Var {
-        let v = self.nodes[x.0].value.slice_cols(start, end);
+        assert!(
+            start <= end && end <= self.nodes[x.0].value.cols(),
+            "slice_cols range out of bounds"
+        );
+        let rows = self.nodes[x.0].value.rows();
+        let mut v = self.pool.acquire(rows, end - start);
+        self.nodes[x.0].value.slice_cols_into(start, end, &mut v);
         let ng = self.nodes[x.0].needs_grad;
         self.push(v, Op::SliceCols { x: x.0, start }, ng)
     }
 
     /// Sum of all elements as a `1 × 1` matrix.
     pub fn sum(&mut self, a: Var) -> Var {
-        let v = Matrix::from_rows(&[&[self.nodes[a.0].value.sum()]]);
+        let s = self.nodes[a.0].value.sum();
+        let mut v = self.pool.acquire(1, 1);
+        v.fill(s);
         let ng = self.nodes[a.0].needs_grad;
         self.push(v, Op::Sum(a.0), ng)
     }
@@ -291,15 +411,18 @@ impl Tape {
     /// Panics if `a` is empty.
     pub fn mean(&mut self, a: Var) -> Var {
         assert!(!self.nodes[a.0].value.is_empty(), "mean of empty matrix");
-        let v = Matrix::from_rows(&[&[self.nodes[a.0].value.mean()]]);
+        let s = self.nodes[a.0].value.mean();
+        let mut v = self.pool.acquire(1, 1);
+        v.fill(s);
         let ng = self.nodes[a.0].needs_grad;
         self.push(v, Op::Mean(a.0), ng)
     }
 
     /// Row-wise softmax.
     pub fn softmax_rows(&mut self, a: Var) -> Var {
-        let x = &self.nodes[a.0].value;
-        let mut v = x.clone();
+        let (r, c) = self.nodes[a.0].value.shape();
+        let mut v = self.pool.acquire(r, c);
+        v.copy_from(&self.nodes[a.0].value);
         for r in 0..v.rows() {
             let row = v.row_mut(r);
             let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
@@ -324,21 +447,28 @@ impl Tape {
     pub fn scale_var(&mut self, x: Var, s: Var) -> Var {
         let sv = &self.nodes[s.0].value;
         assert_eq!(sv.shape(), (1, 1), "scale_var scalar must be 1x1");
-        let v = self.nodes[x.0].value.scale(sv[(0, 0)]);
+        let sv = sv[(0, 0)];
+        let (r, c) = self.nodes[x.0].value.shape();
+        let mut v = self.pool.acquire(r, c);
+        self.nodes[x.0].value.map_into(&mut v, |x| x * sv);
         let ng = self.binary_needs(x, s);
         self.push(v, Op::ScaleVar { x: x.0, s: s.0 }, ng)
     }
 
     /// Transpose of `x`.
     pub fn transpose(&mut self, x: Var) -> Var {
-        let v = self.nodes[x.0].value.transpose();
+        let (r, c) = self.nodes[x.0].value.shape();
+        let mut v = self.pool.acquire(c, r);
+        self.nodes[x.0].value.transpose_into(&mut v);
         let ng = self.nodes[x.0].needs_grad;
         self.push(v, Op::Transpose(x.0), ng)
     }
 
     /// Elementwise exponential.
     pub fn exp(&mut self, a: Var) -> Var {
-        let v = self.nodes[a.0].value.map(f64::exp);
+        let (r, c) = self.nodes[a.0].value.shape();
+        let mut v = self.pool.acquire(r, c);
+        self.nodes[a.0].value.map_into(&mut v, f64::exp);
         let ng = self.nodes[a.0].needs_grad;
         self.push(v, Op::Exp(a.0), ng)
     }
@@ -353,7 +483,9 @@ impl Tape {
             self.nodes[a.0].value.as_slice().iter().all(|&x| x > 0.0),
             "ln requires strictly positive inputs"
         );
-        let v = self.nodes[a.0].value.map(f64::ln);
+        let (r, c) = self.nodes[a.0].value.shape();
+        let mut v = self.pool.acquire(r, c);
+        self.nodes[a.0].value.map_into(&mut v, f64::ln);
         let ng = self.nodes[a.0].needs_grad;
         self.push(v, Op::Ln(a.0), ng)
     }
@@ -368,7 +500,9 @@ impl Tape {
             self.nodes[a.0].value.as_slice().iter().all(|&x| x >= 0.0),
             "sqrt requires non-negative inputs"
         );
-        let v = self.nodes[a.0].value.map(f64::sqrt);
+        let (r, c) = self.nodes[a.0].value.shape();
+        let mut v = self.pool.acquire(r, c);
+        self.nodes[a.0].value.map_into(&mut v, f64::sqrt);
         let ng = self.nodes[a.0].needs_grad;
         self.push(v, Op::Sqrt(a.0), ng)
     }
@@ -383,9 +517,11 @@ impl Tape {
             self.nodes[b.0].value.as_slice().iter().all(|&x| x != 0.0),
             "division by zero"
         );
-        let v = self.nodes[a.0]
+        let (r, c) = self.nodes[a.0].value.shape();
+        let mut v = self.pool.acquire(r, c);
+        self.nodes[a.0]
             .value
-            .zip_map(&self.nodes[b.0].value, |x, y| x / y);
+            .zip_map_into(&self.nodes[b.0].value, &mut v, |x, y| x / y);
         let ng = self.binary_needs(a, b);
         self.push(v, Op::Div(a.0, b.0), ng)
     }
@@ -410,11 +546,20 @@ impl Tape {
     ///
     /// `mask` is a constant `{0,1}` matrix of the same shape.
     pub fn masked_mae(&mut self, a: Var, b: Var, mask: &Matrix) -> Var {
-        let count = mask.sum().max(1.0);
-        let m = self.constant(mask.clone());
+        let m = self.constant_ref(mask);
+        self.masked_mae_var(a, b, m)
+    }
+
+    /// [`Tape::masked_mae`] with the mask already on the tape.
+    ///
+    /// The normaliser `max(1, sum(mask))` is read from the mask node's
+    /// forward value and treated as a constant, exactly like `masked_mae`;
+    /// gradients do not flow into `mask` through the count.
+    pub fn masked_mae_var(&mut self, a: Var, b: Var, mask: Var) -> Var {
+        let count = self.nodes[mask.0].value.sum().max(1.0);
         let d = self.sub(a, b);
         let d = self.abs(d);
-        let d = self.mul(d, m);
+        let d = self.mul(d, mask);
         let s = self.sum(d);
         self.scale(s, 1.0 / count)
     }
@@ -422,7 +567,7 @@ impl Tape {
     /// Runs the reverse sweep from `loss`, which must be a `1 × 1` node.
     ///
     /// Gradients accumulate into every node with `needs_grad`; read them back
-    /// with [`Tape::grad`]. Calling `backward` twice accumulates twice.
+    /// with [`Tape::grad_ref`]. Calling `backward` twice accumulates twice.
     ///
     /// # Panics
     ///
@@ -433,197 +578,274 @@ impl Tape {
             (1, 1),
             "backward requires a scalar (1x1) loss node"
         );
-        self.seed_and_sweep(loss, Matrix::ones(1, 1));
+        let mut seed = self.pool.acquire(1, 1);
+        seed.fill(1.0);
+        self.seed_and_sweep(loss, seed);
     }
 
     fn seed_and_sweep(&mut self, root: Var, seed: Matrix) {
         if !self.nodes[root.0].needs_grad {
+            self.pool.release(seed);
             return;
         }
         // Per-sweep scratch gradients: using a separate buffer (instead of the
         // persistent `grad` slots) gives PyTorch-like semantics where calling
         // `backward` twice adds d(loss)/d(node) twice, rather than compounding
         // previously-stored gradients through the sweep.
-        let mut scratch: Vec<Option<Matrix>> = vec![None; root.0 + 1];
-        acc(&self.nodes, &mut scratch, root.0, &seed);
+        if self.sweep.len() < root.0 + 1 {
+            self.sweep.resize_with(root.0 + 1, || None);
+        }
+        let Tape { nodes, pool, sweep } = self;
+        acc_owned(nodes, sweep, pool, root.0, seed);
 
+        // Children always have higher indices than their parents, so by the
+        // time the sweep visits node `i` its scratch gradient is final: take
+        // it, distribute to parents, then merge it into the persistent slot.
         for i in (0..=root.0).rev() {
-            if !self.nodes[i].needs_grad {
-                continue;
-            }
-            let g = match &scratch[i] {
-                Some(g) => g.clone(),
-                None => continue,
-            };
-            let op = self.nodes[i].op.clone();
-            match op {
+            let Some(g) = sweep[i].take() else { continue };
+            match nodes[i].op {
                 Op::Leaf => {}
                 Op::Add(a, b) => {
-                    acc(&self.nodes, &mut scratch, a, &g);
-                    acc(&self.nodes, &mut scratch, b, &g);
+                    acc_ref(nodes, sweep, pool, a, &g);
+                    acc_ref(nodes, sweep, pool, b, &g);
                 }
                 Op::Sub(a, b) => {
-                    acc(&self.nodes, &mut scratch, a, &g);
-                    let neg = -&g;
-                    acc(&self.nodes, &mut scratch, b, &neg);
+                    acc_ref(nodes, sweep, pool, a, &g);
+                    let mut neg = pool.acquire(g.rows(), g.cols());
+                    g.map_into(&mut neg, |x| x * -1.0);
+                    acc_owned(nodes, sweep, pool, b, neg);
                 }
                 Op::Mul(a, b) => {
-                    let ga = g.hadamard(&self.nodes[b].value);
-                    let gb = g.hadamard(&self.nodes[a].value);
-                    acc(&self.nodes, &mut scratch, a, &ga);
-                    acc(&self.nodes, &mut scratch, b, &gb);
+                    let mut ga = pool.acquire(g.rows(), g.cols());
+                    g.hadamard_into(&nodes[b].value, &mut ga);
+                    let mut gb = pool.acquire(g.rows(), g.cols());
+                    g.hadamard_into(&nodes[a].value, &mut gb);
+                    acc_owned(nodes, sweep, pool, a, ga);
+                    acc_owned(nodes, sweep, pool, b, gb);
                 }
                 Op::Matmul(a, b) => {
-                    if self.nodes[a].needs_grad {
-                        let ga = g.matmul_nt(&self.nodes[b].value);
-                        acc(&self.nodes, &mut scratch, a, &ga);
+                    if nodes[a].needs_grad {
+                        let mut ga = pool.acquire(g.rows(), nodes[b].value.rows());
+                        g.matmul_nt_into(&nodes[b].value, &mut ga);
+                        acc_owned(nodes, sweep, pool, a, ga);
                     }
-                    if self.nodes[b].needs_grad {
-                        let gb = self.nodes[a].value.matmul_tn(&g);
-                        acc(&self.nodes, &mut scratch, b, &gb);
+                    if nodes[b].needs_grad {
+                        let mut gb = pool.acquire(nodes[a].value.cols(), g.cols());
+                        nodes[a].value.matmul_tn_into(&g, &mut gb);
+                        acc_owned(nodes, sweep, pool, b, gb);
                     }
                 }
                 Op::Scale(a, s) => {
-                    let ga = g.scale(s);
-                    acc(&self.nodes, &mut scratch, a, &ga);
+                    let mut ga = pool.acquire(g.rows(), g.cols());
+                    g.map_into(&mut ga, |x| x * s);
+                    acc_owned(nodes, sweep, pool, a, ga);
                 }
-                Op::AddScalar(a) => acc(&self.nodes, &mut scratch, a, &g),
+                Op::AddScalar(a) => acc_ref(nodes, sweep, pool, a, &g),
                 Op::AddBias { x, bias } => {
-                    acc(&self.nodes, &mut scratch, x, &g);
-                    if self.nodes[bias].needs_grad {
-                        let gb = g.sum_cols();
-                        acc(&self.nodes, &mut scratch, bias, &gb);
+                    acc_ref(nodes, sweep, pool, x, &g);
+                    if nodes[bias].needs_grad {
+                        let mut gb = pool.acquire(1, g.cols());
+                        g.sum_cols_into(&mut gb);
+                        acc_owned(nodes, sweep, pool, bias, gb);
                     }
                 }
                 Op::Sigmoid(a) => {
-                    let y = &self.nodes[i].value;
-                    let ga = g.zip_map(y, |gi, yi| gi * yi * (1.0 - yi));
-                    acc(&self.nodes, &mut scratch, a, &ga);
+                    let mut ga = pool.acquire(g.rows(), g.cols());
+                    g.zip_map_into(&nodes[i].value, &mut ga, |gi, yi| gi * yi * (1.0 - yi));
+                    acc_owned(nodes, sweep, pool, a, ga);
                 }
                 Op::Tanh(a) => {
-                    let y = &self.nodes[i].value;
-                    let ga = g.zip_map(y, |gi, yi| gi * (1.0 - yi * yi));
-                    acc(&self.nodes, &mut scratch, a, &ga);
+                    let mut ga = pool.acquire(g.rows(), g.cols());
+                    g.zip_map_into(&nodes[i].value, &mut ga, |gi, yi| gi * (1.0 - yi * yi));
+                    acc_owned(nodes, sweep, pool, a, ga);
                 }
                 Op::Relu(a) => {
-                    let x = &self.nodes[a].value;
-                    let ga = g.zip_map(x, |gi, xi| if xi > 0.0 { gi } else { 0.0 });
-                    acc(&self.nodes, &mut scratch, a, &ga);
+                    let mut ga = pool.acquire(g.rows(), g.cols());
+                    g.zip_map_into(
+                        &nodes[a].value,
+                        &mut ga,
+                        |gi, xi| {
+                            if xi > 0.0 {
+                                gi
+                            } else {
+                                0.0
+                            }
+                        },
+                    );
+                    acc_owned(nodes, sweep, pool, a, ga);
                 }
                 Op::Abs(a) => {
-                    let x = &self.nodes[a].value;
-                    let ga = g.zip_map(x, |gi, xi| gi * sign(xi));
-                    acc(&self.nodes, &mut scratch, a, &ga);
+                    let mut ga = pool.acquire(g.rows(), g.cols());
+                    g.zip_map_into(&nodes[a].value, &mut ga, |gi, xi| gi * sign(xi));
+                    acc_owned(nodes, sweep, pool, a, ga);
                 }
                 Op::ConcatCols(a, b) => {
-                    let ca = self.nodes[a].value.cols();
-                    let ga = g.slice_cols(0, ca);
-                    let gb = g.slice_cols(ca, g.cols());
-                    acc(&self.nodes, &mut scratch, a, &ga);
-                    acc(&self.nodes, &mut scratch, b, &gb);
+                    let ca = nodes[a].value.cols();
+                    let mut ga = pool.acquire(g.rows(), ca);
+                    g.slice_cols_into(0, ca, &mut ga);
+                    let mut gb = pool.acquire(g.rows(), g.cols() - ca);
+                    g.slice_cols_into(ca, g.cols(), &mut gb);
+                    acc_owned(nodes, sweep, pool, a, ga);
+                    acc_owned(nodes, sweep, pool, b, gb);
                 }
                 Op::SliceCols { x, start } => {
-                    if self.nodes[x].needs_grad {
-                        let parent = &self.nodes[x].value;
-                        let mut gx = Matrix::zeros(parent.rows(), parent.cols());
-                        for r in 0..g.rows() {
-                            for c in 0..g.cols() {
-                                gx[(r, start + c)] = g[(r, c)];
+                    if nodes[x].needs_grad {
+                        let (pr, pc) = nodes[x].value.shape();
+                        if start == 0 && g.cols() == pc {
+                            // The slice covered every column; its gradient
+                            // is the parent's gradient — no scatter needed.
+                            acc_ref(nodes, sweep, pool, x, &g);
+                        } else {
+                            let width = g.cols();
+                            let mut gx = pool.acquire_zeroed(pr, pc);
+                            for r in 0..g.rows() {
+                                gx.row_mut(r)[start..start + width].copy_from_slice(g.row(r));
                             }
+                            acc_owned(nodes, sweep, pool, x, gx);
                         }
-                        acc(&self.nodes, &mut scratch, x, &gx);
                     }
                 }
                 Op::Sum(a) => {
                     let s = g[(0, 0)];
-                    let shape = self.nodes[a].value.shape();
-                    let ga = Matrix::filled(shape.0, shape.1, s);
-                    acc(&self.nodes, &mut scratch, a, &ga);
+                    let (r, c) = nodes[a].value.shape();
+                    let mut ga = pool.acquire(r, c);
+                    ga.fill(s);
+                    acc_owned(nodes, sweep, pool, a, ga);
                 }
                 Op::Mean(a) => {
-                    let shape = self.nodes[a].value.shape();
-                    let s = g[(0, 0)] / (shape.0 * shape.1) as f64;
-                    let ga = Matrix::filled(shape.0, shape.1, s);
-                    acc(&self.nodes, &mut scratch, a, &ga);
+                    let (r, c) = nodes[a].value.shape();
+                    let s = g[(0, 0)] / (r * c) as f64;
+                    let mut ga = pool.acquire(r, c);
+                    ga.fill(s);
+                    acc_owned(nodes, sweep, pool, a, ga);
                 }
                 Op::SoftmaxRows(a) => {
-                    let y = &self.nodes[i].value;
-                    let mut ga = Matrix::zeros(y.rows(), y.cols());
+                    let y = &nodes[i].value;
+                    let mut ga = pool.acquire(y.rows(), y.cols());
                     for r in 0..y.rows() {
                         let yr = y.row(r);
                         let gr = g.row(r);
                         let dot: f64 = yr.iter().zip(gr).map(|(&yi, &gi)| yi * gi).sum();
-                        for c in 0..y.cols() {
-                            ga[(r, c)] = yr[c] * (gr[c] - dot);
+                        for (o, (&yi, &gi)) in ga.row_mut(r).iter_mut().zip(yr.iter().zip(gr)) {
+                            *o = yi * (gi - dot);
                         }
                     }
-                    acc(&self.nodes, &mut scratch, a, &ga);
+                    acc_owned(nodes, sweep, pool, a, ga);
                 }
                 Op::ScaleVar { x, s } => {
-                    let sv = self.nodes[s].value[(0, 0)];
-                    if self.nodes[x].needs_grad {
-                        let gx = g.scale(sv);
-                        acc(&self.nodes, &mut scratch, x, &gx);
+                    let sv = nodes[s].value[(0, 0)];
+                    if nodes[x].needs_grad {
+                        let mut gx = pool.acquire(g.rows(), g.cols());
+                        g.map_into(&mut gx, |gi| gi * sv);
+                        acc_owned(nodes, sweep, pool, x, gx);
                     }
-                    if self.nodes[s].needs_grad {
-                        let gs = g.hadamard(&self.nodes[x].value).sum();
-                        let gs = Matrix::from_rows(&[&[gs]]);
-                        acc(&self.nodes, &mut scratch, s, &gs);
+                    if nodes[s].needs_grad {
+                        // Fused g ⊙ x followed by sum, in the same
+                        // element order as the materialised product.
+                        let dot: f64 = g
+                            .as_slice()
+                            .iter()
+                            .zip(nodes[x].value.as_slice())
+                            .map(|(&gi, &xi)| gi * xi)
+                            .sum();
+                        let mut gs = pool.acquire(1, 1);
+                        gs.fill(dot);
+                        acc_owned(nodes, sweep, pool, s, gs);
                     }
                 }
                 Op::Transpose(x) => {
-                    let gx = g.transpose();
-                    acc(&self.nodes, &mut scratch, x, &gx);
+                    let mut gx = pool.acquire(g.cols(), g.rows());
+                    g.transpose_into(&mut gx);
+                    acc_owned(nodes, sweep, pool, x, gx);
                 }
                 Op::Exp(a) => {
                     // d(eˣ) = eˣ — reuse the stored output.
-                    let ga = g.hadamard(&self.nodes[i].value);
-                    acc(&self.nodes, &mut scratch, a, &ga);
+                    let mut ga = pool.acquire(g.rows(), g.cols());
+                    g.hadamard_into(&nodes[i].value, &mut ga);
+                    acc_owned(nodes, sweep, pool, a, ga);
                 }
                 Op::Ln(a) => {
-                    let x = &self.nodes[a].value;
-                    let ga = g.zip_map(x, |gi, xi| gi / xi);
-                    acc(&self.nodes, &mut scratch, a, &ga);
+                    let mut ga = pool.acquire(g.rows(), g.cols());
+                    g.zip_map_into(&nodes[a].value, &mut ga, |gi, xi| gi / xi);
+                    acc_owned(nodes, sweep, pool, a, ga);
                 }
                 Op::Sqrt(a) => {
-                    let y = &self.nodes[i].value;
-                    let ga = g.zip_map(y, |gi, yi| gi / (2.0 * yi.max(1e-300)));
-                    acc(&self.nodes, &mut scratch, a, &ga);
+                    let mut ga = pool.acquire(g.rows(), g.cols());
+                    g.zip_map_into(&nodes[i].value, &mut ga, |gi, yi| {
+                        gi / (2.0 * yi.max(1e-300))
+                    });
+                    acc_owned(nodes, sweep, pool, a, ga);
                 }
                 Op::Div(a, b) => {
-                    let bv = &self.nodes[b].value;
-                    let ga = g.zip_map(bv, |gi, bi| gi / bi);
-                    acc(&self.nodes, &mut scratch, a, &ga);
-                    if self.nodes[b].needs_grad {
-                        let av = &self.nodes[a].value;
-                        let gb = Matrix::from_fn(g.rows(), g.cols(), |r, c| {
-                            -g[(r, c)] * av[(r, c)] / (bv[(r, c)] * bv[(r, c)])
-                        });
-                        acc(&self.nodes, &mut scratch, b, &gb);
+                    let mut ga = pool.acquire(g.rows(), g.cols());
+                    g.zip_map_into(&nodes[b].value, &mut ga, |gi, bi| gi / bi);
+                    acc_owned(nodes, sweep, pool, a, ga);
+                    if nodes[b].needs_grad {
+                        let mut gb = pool.acquire(g.rows(), g.cols());
+                        for (o, ((&gi, &ai), &bi)) in gb.as_mut_slice().iter_mut().zip(
+                            g.as_slice()
+                                .iter()
+                                .zip(nodes[a].value.as_slice())
+                                .zip(nodes[b].value.as_slice()),
+                        ) {
+                            *o = -gi * ai / (bi * bi);
+                        }
+                        acc_owned(nodes, sweep, pool, b, gb);
                     }
                 }
             }
-        }
-
-        // Merge the sweep's gradients into the persistent per-node slots.
-        for (i, g) in scratch.into_iter().enumerate() {
-            if let Some(g) = g {
-                match &mut self.nodes[i].grad {
-                    Some(existing) => existing.axpy(1.0, &g),
-                    slot @ None => *slot = Some(g),
+            // Merge this node's sweep gradient into the persistent slot.
+            match &mut nodes[i].grad {
+                Some(existing) => {
+                    existing.axpy(1.0, &g);
+                    pool.release(g);
                 }
+                slot @ None => *slot = Some(g),
             }
         }
     }
 }
 
-fn acc(nodes: &[Node], scratch: &mut [Option<Matrix>], idx: usize, g: &Matrix) {
+/// Accumulates a borrowed gradient into the scratch slot for `idx`.
+fn acc_ref(
+    nodes: &[Node],
+    sweep: &mut [Option<Matrix>],
+    pool: &mut MatrixPool,
+    idx: usize,
+    g: &Matrix,
+) {
     if !nodes[idx].needs_grad {
         return;
     }
-    match &mut scratch[idx] {
+    match &mut sweep[idx] {
         Some(existing) => existing.axpy(1.0, g),
-        slot @ None => *slot = Some(g.clone()),
+        slot @ None => {
+            let mut buf = pool.acquire(g.rows(), g.cols());
+            buf.copy_from(g);
+            *slot = Some(buf);
+        }
+    }
+}
+
+/// Accumulates an owned (pooled) gradient into the scratch slot for `idx`,
+/// returning the buffer to the pool when it isn't moved into the slot.
+fn acc_owned(
+    nodes: &[Node],
+    sweep: &mut [Option<Matrix>],
+    pool: &mut MatrixPool,
+    idx: usize,
+    g: Matrix,
+) {
+    if !nodes[idx].needs_grad {
+        pool.release(g);
+        return;
+    }
+    match &mut sweep[idx] {
+        Some(existing) => {
+            existing.axpy(1.0, &g);
+            pool.release(g);
+        }
+        slot @ None => *slot = Some(g),
     }
 }
 

@@ -9,6 +9,7 @@
 //! cargo bench -p rihgcn-bench --bench micro
 //! ```
 
+use rihgcn_bench::alloc::{AllocSnapshot, CountingAlloc};
 use rihgcn_bench::timing::Runner;
 use rihgcn_core::{Forecaster, RihgcnConfig, RihgcnModel};
 use st_autodiff::Tape;
@@ -16,6 +17,10 @@ use st_data::{generate_pems, DayProfiles, PemsConfig, WindowSampler};
 use st_graph::{dtw, gaussian_adjacency, scaled_laplacian_from_adjacency, Interval, RoadNetwork};
 use st_nn::{Activation, ChebGcn, LstmCell, ParamStore, Session};
 use st_tensor::{rng, uniform_matrix, Matrix};
+
+// Count heap traffic for the mem/* group; a System passthrough otherwise.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn bench_matmul(runner: &mut Runner) {
     for &n in &[16usize, 64, 128] {
@@ -134,6 +139,46 @@ fn bench_rihgcn_step(runner: &mut Runner) {
     runner.bench("rihgcn_forward_only", || model.forward(&sample));
 }
 
+fn bench_memory(runner: &mut Runner) {
+    // Allocator traffic of a training step: the first step misses the empty
+    // buffer pool on every tape buffer (the historical tape-per-step
+    // baseline), steady-state steps reuse the recycled session.
+    let ds = generate_pems(&PemsConfig {
+        num_nodes: 8,
+        num_days: 3,
+        ..Default::default()
+    });
+    let ds = ds.with_extra_missing(0.4, &mut rng(8));
+    let cfg = RihgcnConfig {
+        gcn_dim: 8,
+        lstm_dim: 16,
+        num_temporal_graphs: 4,
+        ..Default::default()
+    };
+    let mut model = RihgcnModel::from_dataset(&ds, cfg);
+    let sample = WindowSampler::paper_default().window_at(&ds, 0);
+
+    let fresh = AllocSnapshot::take();
+    let _ = model.accumulate_gradients(&sample);
+    println!(
+        "{:<40} {} allocations, {} bytes",
+        "mem/step_fresh_pool",
+        fresh.allocations_since(),
+        fresh.bytes_since()
+    );
+    let steady = AllocSnapshot::take();
+    let _ = model.accumulate_gradients(&sample);
+    println!(
+        "{:<40} {} allocations, {} bytes",
+        "mem/step_recycled",
+        steady.allocations_since(),
+        steady.bytes_since()
+    );
+    runner.bench("mem/recycled_step_time", || {
+        model.accumulate_gradients(&sample)
+    });
+}
+
 fn bench_parallel_speedup(runner: &mut Runner) {
     // Serial-vs-parallel comparisons over the two workloads the tentpole
     // parallelised: large dense matmul and the O(N²) DTW pairwise distance
@@ -182,6 +227,7 @@ fn main() {
     bench_backward_sweep(&mut runner);
     bench_imputers(&mut runner);
     bench_rihgcn_step(&mut runner);
+    bench_memory(&mut runner);
     bench_parallel_speedup(&mut runner);
     eprintln!("{} benchmarks completed", runner.results().len());
 }

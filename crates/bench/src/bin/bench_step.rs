@@ -1,0 +1,172 @@
+//! Allocation-tracking training-step benchmark.
+//!
+//! Measures wall-clock time and heap-allocator traffic per RIHGCN training
+//! step (forward + backward + clip + Adam), using the counting global
+//! allocator from `rihgcn_bench::alloc`. Step 1 runs with an empty buffer
+//! pool — every tape buffer is a pool miss, making it allocation-equivalent
+//! to the historical fresh-`Tape::new()`-per-step path — while steps ≥ 2
+//! reuse the recycled session, so the `alloc_reduction` metric is exactly
+//! the saving of the zero-reallocation training loop.
+//!
+//! ```text
+//! cargo run --release -p rihgcn-bench --bin bench_step -- [--smoke] [--steps N] [--out FILE]
+//! ```
+//!
+//! Writes a JSON report (default `BENCH_step.json`) and exits non-zero if
+//! any metric is missing/non-finite or the steady-state allocation
+//! reduction falls below 90%.
+
+use rihgcn_bench::alloc::{AllocSnapshot, CountingAlloc};
+use rihgcn_core::{Forecaster, RihgcnConfig, RihgcnModel};
+use st_data::{generate_pems, PemsConfig, WindowSampler};
+use st_nn::Adam;
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Minimum steady-state allocation reduction the pool must deliver.
+const MIN_REDUCTION: f64 = 0.9;
+
+struct Args {
+    smoke: bool,
+    steps: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        steps: 0,
+        out: "BENCH_step.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--steps" => {
+                let v = it.next().expect("--steps needs a value");
+                args.steps = v.parse().expect("--steps must be an integer");
+            }
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_step [--smoke] [--steps N] [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.steps == 0 {
+        args.steps = if args.smoke { 4 } else { 10 };
+    }
+    assert!(args.steps >= 2, "need at least 2 steps to measure reuse");
+    args
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let args = parse_args();
+
+    let (nodes, graphs, gcn_dim, lstm_dim, history, horizon) = if args.smoke {
+        (4, 2, 4, 6, 4, 2)
+    } else {
+        (8, 4, 8, 16, 12, 12)
+    };
+    let ds = generate_pems(&PemsConfig {
+        num_nodes: nodes,
+        num_days: 3,
+        ..Default::default()
+    });
+    let ds = ds.with_extra_missing(0.4, &mut st_tensor::rng(8));
+    let cfg = RihgcnConfig {
+        gcn_dim,
+        lstm_dim,
+        num_temporal_graphs: graphs,
+        history,
+        horizon,
+        ..Default::default()
+    };
+    let mut model = RihgcnModel::from_dataset(&ds, cfg);
+    let sample = WindowSampler::new(history, horizon, 1).window_at(&ds, 0);
+    let mut adam = Adam::new(model.params(), 1e-3);
+
+    let mut allocs = Vec::with_capacity(args.steps);
+    let mut bytes = Vec::with_capacity(args.steps);
+    let mut times = Vec::with_capacity(args.steps);
+    for step in 0..args.steps {
+        model.params_mut().zero_grads();
+        let snap = AllocSnapshot::take();
+        let start = Instant::now();
+        let loss = model.accumulate_gradients(&sample);
+        model.params_mut().clip_grad_norm(5.0);
+        adam.step(model.params_mut());
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+        allocs.push(snap.allocations_since());
+        bytes.push(snap.bytes_since());
+        assert!(loss.is_finite(), "training loss diverged at step {step}");
+    }
+
+    let steady = allocs.len() - 1;
+    let allocs_step1 = allocs[0];
+    let bytes_step1 = bytes[0];
+    let allocs_per_step = allocs[1..].iter().sum::<u64>() as f64 / steady as f64;
+    let bytes_per_step = bytes[1..].iter().sum::<u64>() as f64 / steady as f64;
+    let time_per_step_ms = times[1..].iter().sum::<f64>() / steady as f64;
+    let alloc_reduction = 1.0 - allocs_per_step / allocs_step1.max(1) as f64;
+    let pool_hit_rate = model
+        .training_pool_stats()
+        .map(|s| s.hit_rate())
+        .unwrap_or(f64::NAN);
+
+    let json = format!(
+        "{{\n  \"bench\": \"rihgcn_training_step\",\n  \"smoke\": {},\n  \"threads\": {},\n  \"steps\": {},\n  \"time_per_step_ms\": {},\n  \"allocs_step1\": {},\n  \"bytes_step1\": {},\n  \"allocs_per_step\": {},\n  \"bytes_per_step\": {},\n  \"alloc_reduction\": {},\n  \"pool_hit_rate\": {}\n}}\n",
+        args.smoke,
+        st_par::num_threads(),
+        args.steps,
+        json_f64(time_per_step_ms),
+        allocs_step1,
+        bytes_step1,
+        json_f64(allocs_per_step),
+        json_f64(bytes_per_step),
+        json_f64(alloc_reduction),
+        json_f64(pool_hit_rate),
+    );
+    std::fs::write(&args.out, &json).expect("write report");
+    print!("{json}");
+    eprintln!(
+        "step 1: {allocs_step1} allocs / {bytes_step1} B; steady state: \
+         {allocs_per_step:.1} allocs / {bytes_per_step:.0} B per step \
+         ({:.1}% reduction, pool hit rate {:.1}%)",
+        alloc_reduction * 100.0,
+        pool_hit_rate * 100.0
+    );
+
+    let metrics = [
+        ("time_per_step_ms", time_per_step_ms),
+        ("allocs_per_step", allocs_per_step),
+        ("bytes_per_step", bytes_per_step),
+        ("alloc_reduction", alloc_reduction),
+        ("pool_hit_rate", pool_hit_rate),
+    ];
+    for (name, value) in metrics {
+        if !value.is_finite() {
+            eprintln!("FAIL: metric {name} is not finite");
+            std::process::exit(1);
+        }
+    }
+    if alloc_reduction < MIN_REDUCTION {
+        eprintln!(
+            "FAIL: steady-state allocation reduction {:.1}% below the {:.0}% floor",
+            alloc_reduction * 100.0,
+            MIN_REDUCTION * 100.0
+        );
+        std::process::exit(1);
+    }
+}

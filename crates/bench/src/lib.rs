@@ -36,6 +36,7 @@ use st_data::{
 };
 use st_nn::{ErrorAccum, Metrics};
 
+pub mod alloc;
 pub mod timing;
 
 /// Experiment scale: dataset size, model capacity, training budget.

@@ -1,0 +1,71 @@
+//! Allocation-regression guard for the zero-reallocation training loop.
+//!
+//! This file must hold exactly one `#[test]`: the counting allocator's
+//! counters are process-global, so a second concurrently-running test would
+//! pollute the measurements (libtest runs tests in threads of one process).
+
+use rihgcn_bench::alloc::{AllocSnapshot, CountingAlloc};
+use rihgcn_core::{Forecaster, RihgcnConfig, RihgcnModel};
+use st_data::{generate_pems, PemsConfig, WindowSampler};
+use st_nn::Adam;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Step 3 of a recycled-session training loop must allocate under 5% of
+/// what step 1 (empty pool — the historical tape-per-step baseline) does,
+/// at 1 and at 4 configured worker threads. The model is small enough that
+/// every kernel stays below `st_par`'s parallel threshold, so worker
+/// threads add no allocator traffic of their own.
+#[test]
+fn steady_state_step_allocates_under_five_percent_of_step_one() {
+    for threads in [1usize, 4] {
+        st_par::set_num_threads(threads);
+
+        let ds = generate_pems(&PemsConfig {
+            num_nodes: 4,
+            num_days: 3,
+            ..Default::default()
+        });
+        let ds = ds.with_extra_missing(0.4, &mut st_tensor::rng(5));
+        let cfg = RihgcnConfig {
+            gcn_dim: 4,
+            lstm_dim: 6,
+            cheb_k: 2,
+            num_temporal_graphs: 2,
+            history: 4,
+            horizon: 2,
+            ..Default::default()
+        };
+        let mut model = RihgcnModel::from_dataset(&ds, cfg);
+        let sample = WindowSampler::new(4, 2, 1).window_at(&ds, 0);
+        let mut adam = Adam::new(model.params(), 1e-3);
+
+        let mut allocs = Vec::new();
+        for _ in 0..3 {
+            model.params_mut().zero_grads();
+            let snap = AllocSnapshot::take();
+            let loss = model.accumulate_gradients(&sample);
+            model.params_mut().clip_grad_norm(5.0);
+            adam.step(model.params_mut());
+            allocs.push(snap.allocations_since());
+            assert!(loss.is_finite());
+        }
+
+        assert!(
+            allocs[0] > 100,
+            "step 1 should miss the empty pool on every buffer, got {} allocs",
+            allocs[0]
+        );
+        let limit = allocs[0] / 20;
+        assert!(
+            allocs[2] < limit,
+            "with {threads} threads, step 3 made {} heap allocations — \
+             not under 5% of step 1's {} (limit {})",
+            allocs[2],
+            allocs[0],
+            limit
+        );
+    }
+    st_par::set_num_threads(0);
+}

@@ -87,6 +87,10 @@ pub struct RihgcnModel {
     geo_adj: Matrix,
     temporal_graphs: Vec<(Interval, Matrix)>,
     slots_per_day: usize,
+    // Recycled training session: the tape (and its buffer pool) from the
+    // previous `accumulate_gradients` call, reused so steady-state training
+    // steps run without heap allocation.
+    session: Option<Session>,
 }
 
 impl RihgcnModel {
@@ -222,6 +226,7 @@ impl RihgcnModel {
             geo_adj,
             temporal_graphs,
             slots_per_day,
+            session: None,
         }
     }
 
@@ -268,6 +273,13 @@ impl RihgcnModel {
     /// Read-only access to the parameter store (for persistence).
     pub fn params(&self) -> &ParamStore {
         &self.store
+    }
+
+    /// Buffer-pool statistics of the recycled training tape, if at least one
+    /// training step has run (`None` before the first
+    /// [`accumulate_gradients`](crate::Forecaster::accumulate_gradients)).
+    pub fn training_pool_stats(&self) -> Option<st_tensor::PoolStats> {
+        self.session.as_ref().map(|s| s.tape.pool_stats())
     }
 
     /// Mutable access to the parameter store (for loading persisted
@@ -347,16 +359,21 @@ impl RihgcnModel {
             };
             estimates.push(est);
             // Observation error on observed entries.
-            let target = sess.constant(sample.inputs[t].clone());
-            let obs_err = sess.tape.masked_mae(est, target, &sample.masks[t]);
+            let target = sess.constant_ref(&sample.inputs[t]);
+            let mask_c = sess.constant_ref(&sample.masks[t]);
+            let obs_err = sess.tape.masked_mae_var(est, target, mask_c);
             imp_terms.push(obs_err);
-            // Forward/backward consistency on missing entries.
+            // Forward/backward consistency on missing entries. The inverse
+            // mask `1 − M` is built on the tape (−M then +1) so its buffer
+            // comes from the pool; for binary masks the result is
+            // bit-identical to materialising `map(|m| 1.0 − m)`.
             if self.cfg.consistency_weight > 0.0 {
                 if let Some(b) = &bwd_run {
-                    let inv_mask = sample.masks[t].map(|m| 1.0 - m);
+                    let neg_mask = sess.tape.scale(mask_c, -1.0);
+                    let inv_mask = sess.tape.add_scalar(neg_mask, 1.0);
                     let cons =
                         sess.tape
-                            .masked_mae(fwd_run.estimates[t], b.estimates[t], &inv_mask);
+                            .masked_mae_var(fwd_run.estimates[t], b.estimates[t], inv_mask);
                     let cons = sess.tape.scale(cons, self.cfg.consistency_weight);
                     imp_terms.push(cons);
                 }
@@ -421,7 +438,7 @@ impl RihgcnModel {
         let mut pred_terms = Vec::with_capacity(self.cfg.horizon);
         for h in 0..self.cfg.horizon {
             let step = sess.tape.slice_cols(pred_flat, h * d, (h + 1) * d);
-            let target = sess.constant(sample.targets[h].clone());
+            let target = sess.constant_ref(&sample.targets[h]);
             let err = sess.tape.masked_mae(step, target, &sample.target_masks[h]);
             pred_terms.push(err);
             predictions.push(step);
@@ -458,20 +475,23 @@ impl RihgcnModel {
 
         let mut z: Vec<Option<Var>> = vec![None; t_len];
         let mut estimates: Vec<Option<Var>> = vec![None; t_len];
-        let mut est_prev = sess.constant(Matrix::zeros(self.num_nodes, self.num_features));
+        let mut est_prev = sess.constant_zeros(self.num_nodes, self.num_features);
         let mut state = cells.lstm.zero_state(sess, self.num_nodes);
 
         for &t in &order {
             estimates[t] = Some(est_prev);
             // Complement input: X̄_t = M⊙X + (1−M)⊙X̂ (Eq. 3). `inputs[t]`
-            // is already M⊙X.
-            let obs = sess.constant(sample.inputs[t].clone());
-            let inv_mask = sess.constant(sample.masks[t].map(|m| 1.0 - m));
+            // is already M⊙X. The inverse mask is built on the tape (−M then
+            // +1, bit-identical to `1 − M` for binary masks) so every buffer
+            // comes from the pool.
+            let obs = sess.constant_ref(&sample.inputs[t]);
+            let mask_c = sess.constant_ref(&sample.masks[t]);
+            let neg_mask = sess.tape.scale(mask_c, -1.0);
+            let inv_mask = sess.tape.add_scalar(neg_mask, 1.0);
             let est_part = sess.tape.mul(inv_mask, est_prev);
             let x_bar = sess.tape.add(obs, est_part);
 
             let s = self.hgcn.forward(sess, &self.store, sample.slots[t], x_bar);
-            let mask_c = sess.constant(sample.masks[t].clone());
             let lstm_in = sess.tape.concat_cols(s, mask_c);
             state = cells.lstm.step(sess, &self.store, lstm_in, &state);
             let z_t = sess.tape.concat_cols(s, state.h);
@@ -548,11 +568,21 @@ impl crate::Forecaster for RihgcnModel {
     }
 
     fn accumulate_gradients(&mut self, sample: &WindowSample) -> f64 {
-        let mut sess = Session::new(&self.store);
+        // Take/reset/put: the session (tape + buffer pool) persists across
+        // steps, so at steady state the pass re-records the graph into
+        // recycled buffers instead of reallocating them.
+        let mut sess = match self.session.take() {
+            Some(mut s) => {
+                s.reset(&self.store);
+                s
+            }
+            None => Session::new(&self.store),
+        };
         let run = self.run_sample(&mut sess, sample);
         let loss_value = sess.tape.value(run.total_loss)[(0, 0)];
         sess.backward(run.total_loss);
         sess.write_grads(&mut self.store);
+        self.session = Some(sess);
         loss_value
     }
 

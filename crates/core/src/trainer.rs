@@ -93,6 +93,9 @@ pub fn fit<M: Forecaster>(
         let mut batch_count = 0usize;
         model.params_mut().zero_grads();
         for (i, &idx) in order.iter().enumerate() {
+            // Implementations recycle their tape across calls (see
+            // `RihgcnModel::accumulate_gradients`), so this inner loop runs
+            // allocation-free at steady state.
             epoch_loss += model.accumulate_gradients(&train[idx]);
             batch_count += 1;
             let end_of_batch = batch_count == tc.batch_size || i + 1 == order.len();

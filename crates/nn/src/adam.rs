@@ -110,21 +110,21 @@ impl Adam {
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         let ids: Vec<_> = store.ids().collect();
         for id in ids {
-            let g = store.grad(id).clone();
+            // In-place update through the split value/grad borrow: no
+            // per-parameter clones in the hot loop.
+            let (value, grad) = store.value_grad_mut(id);
             let m = &mut self.m[id.index()];
             let v = &mut self.v[id.index()];
-            let mut new_value = store.value(id).clone();
-            for i in 0..g.len() {
-                let gi = g.as_slice()[i];
+            for i in 0..grad.len() {
+                let gi = grad.as_slice()[i];
                 let mi = self.beta1 * m.as_slice()[i] + (1.0 - self.beta1) * gi;
                 let vi = self.beta2 * v.as_slice()[i] + (1.0 - self.beta2) * gi * gi;
                 m.as_mut_slice()[i] = mi;
                 v.as_mut_slice()[i] = vi;
                 let m_hat = mi / bc1;
                 let v_hat = vi / bc2;
-                new_value.as_mut_slice()[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+                value.as_mut_slice()[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
             }
-            store.set_value(id, new_value);
         }
     }
 }

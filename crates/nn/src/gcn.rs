@@ -183,7 +183,7 @@ impl ChebGcn {
             self.in_dim
         );
 
-        let l = sess.constant(scaled.clone());
+        let l = sess.constant_ref(scaled);
         // Chebyshev recurrence on the tape: T_0 x = x, T_1 x = L̃x,
         // T_k x = 2·L̃·T_{k−1}x − T_{k−2}x.
         let mut terms: Vec<Var> = Vec::with_capacity(self.k);
@@ -260,7 +260,7 @@ impl ChebGcn {
             let term = if order == 0 {
                 x
             } else {
-                let t = sess.constant(basis.matrices()[order].clone());
+                let t = sess.constant_ref(&basis.matrices()[order]);
                 sess.tape.matmul(t, x)
             };
             let w = sess.var(store, wid);

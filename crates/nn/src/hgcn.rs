@@ -32,8 +32,10 @@ pub struct HgcnBlock {
     geo_basis: ChebBasis,
     temporal_bases: Vec<ChebBasis>,
     intervals: Vec<Interval>,
+    // interval_weights(slot, …, tau) for every time-of-day slot, precomputed
+    // at construction so the training hot loop never allocates for them.
+    weight_cache: Vec<Vec<f64>>,
     slots_per_day: usize,
-    tau: f64,
     num_nodes: usize,
 }
 
@@ -123,6 +125,14 @@ impl HgcnBlock {
         let mut bases = bases.into_iter().map(|b| b.expect("basis computed"));
         let geo_basis = bases.next().expect("geographic basis");
 
+        let weight_cache = if intervals.is_empty() || slots_per_day == 0 {
+            Vec::new()
+        } else {
+            (0..slots_per_day)
+                .map(|slot| interval_weights(slot, &intervals, slots_per_day, tau))
+                .collect()
+        };
+
         Self {
             geo,
             gate,
@@ -130,8 +140,8 @@ impl HgcnBlock {
             geo_basis,
             temporal_bases: bases.collect(),
             intervals,
+            weight_cache,
             slots_per_day,
-            tau,
             num_nodes: n,
         }
     }
@@ -160,7 +170,13 @@ impl HgcnBlock {
         if self.intervals.is_empty() {
             return Vec::new();
         }
-        interval_weights(slot, &self.intervals, self.slots_per_day, self.tau)
+        self.weights_for_slot_cached(slot).to_vec()
+    }
+
+    /// Cached (allocation-free) variant of [`HgcnBlock::weights_for_slot`].
+    /// Requires at least one temporal graph.
+    fn weights_for_slot_cached(&self, slot: usize) -> &[f64] {
+        &self.weight_cache[slot % self.slots_per_day]
     }
 
     /// Computes the node embeddings `S = HGCN(x)` for a sample observed at
@@ -179,9 +195,9 @@ impl HgcnBlock {
         if self.temporal.is_empty() {
             return geo_out;
         }
-        let weights = self.weights_for_slot(slot);
+        let weights = self.weights_for_slot_cached(slot);
         let mut acc: Option<Var> = None;
-        for ((gcn, basis), &w) in self.temporal.iter().zip(&self.temporal_bases).zip(&weights) {
+        for ((gcn, basis), &w) in self.temporal.iter().zip(&self.temporal_bases).zip(weights) {
             let out = gcn.forward_with_basis(sess, store, basis, x);
             let weighted = sess.tape.scale(out, w);
             acc = Some(match acc {

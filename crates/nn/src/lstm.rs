@@ -93,8 +93,8 @@ impl LstmCell {
 
     /// Zero initial state for a batch of `batch` rows.
     pub fn zero_state(&self, sess: &mut Session, batch: usize) -> LstmState {
-        let h = sess.constant(Matrix::zeros(batch, self.hidden_dim));
-        let c = sess.constant(Matrix::zeros(batch, self.hidden_dim));
+        let h = sess.constant_zeros(batch, self.hidden_dim);
+        let c = sess.constant_zeros(batch, self.hidden_dim);
         LstmState { h, c }
     }
 

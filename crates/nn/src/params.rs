@@ -102,6 +102,17 @@ impl ParamStore {
         &self.grads[id.0]
     }
 
+    /// Mutable value plus gradient of a parameter, for in-place optimiser
+    /// updates (values and gradients live in separate vectors, so the split
+    /// borrow is safe).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this store.
+    pub fn value_grad_mut(&mut self, id: ParamId) -> (&mut Matrix, &Matrix) {
+        (&mut self.values[id.0], &self.grads[id.0])
+    }
+
     /// Name of a parameter.
     ///
     /// # Panics
@@ -199,6 +210,16 @@ impl Session {
         }
     }
 
+    /// Recycles the session for another pass: the tape's node list and every
+    /// matrix buffer return to its pool, and the parameter bindings are
+    /// cleared. At steady state the next pass re-records the same graph
+    /// without heap allocation, bit-identical to a fresh session.
+    pub fn reset(&mut self, store: &ParamStore) {
+        self.tape.reset();
+        self.bound.clear();
+        self.bound.resize(store.len(), None);
+    }
+
     /// The tape variable for a parameter, binding it on first use.
     ///
     /// # Panics
@@ -209,7 +230,7 @@ impl Session {
         if let Some(v) = self.bound[id.index()] {
             return v;
         }
-        let v = self.tape.parameter(store.value(id).clone());
+        let v = self.tape.parameter_ref(store.value(id));
         self.bound[id.index()] = Some(v);
         v
     }
@@ -217,6 +238,16 @@ impl Session {
     /// Records a constant on the tape.
     pub fn constant(&mut self, value: Matrix) -> Var {
         self.tape.constant(value)
+    }
+
+    /// Records a constant by copying `value` into a pooled tape buffer.
+    pub fn constant_ref(&mut self, value: &Matrix) -> Var {
+        self.tape.constant_ref(value)
+    }
+
+    /// Records an all-zero constant in a pooled tape buffer.
+    pub fn constant_zeros(&mut self, rows: usize, cols: usize) -> Var {
+        self.tape.constant_zeros(rows, cols)
     }
 
     /// Runs the backward sweep from `loss`.
@@ -233,8 +264,11 @@ impl Session {
     pub fn write_grads(&self, store: &mut ParamStore) {
         for (idx, bound) in self.bound.iter().enumerate() {
             if let Some(var) = bound {
-                let g = self.tape.grad(*var);
-                store.accumulate_grad(ParamId(idx), &g);
+                // A `None` gradient is exactly zero; skipping the
+                // accumulation leaves the store buffer bit-identical.
+                if let Some(g) = self.tape.grad_ref(*var) {
+                    store.accumulate_grad(ParamId(idx), g);
+                }
             }
         }
     }

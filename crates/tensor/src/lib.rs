@@ -29,6 +29,7 @@
 pub mod linalg;
 mod matrix;
 mod parallel;
+mod pool;
 mod random;
 mod rng;
 pub mod stats;
@@ -37,6 +38,7 @@ mod tensor3;
 pub use linalg::SolveError;
 pub use matrix::Matrix;
 pub use parallel::{parallel_threshold, set_parallel_threshold, DEFAULT_PARALLEL_THRESHOLD};
+pub use pool::{MatrixPool, PoolStats};
 pub use random::{normal_matrix, rng, standard_normal, uniform_matrix, xavier_matrix};
 pub use rng::{splitmix64, SampleRange, StRng};
 pub use tensor3::Tensor3;

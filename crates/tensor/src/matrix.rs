@@ -243,16 +243,41 @@ impl Matrix {
     ///
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_body(rhs, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul`] writing into a caller-provided buffer.
+    ///
+    /// `out` is fully overwritten (its prior contents may be arbitrary, e.g.
+    /// a recycled pool buffer). Bit-identical to `matmul` for any thread
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()` or `out` is not
+    /// `self.rows() × rhs.cols()`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (self.rows, rhs.cols),
+            "matmul_into output shape mismatch"
+        );
+        out.fill(0.0);
+        self.matmul_body(rhs, out);
+    }
+
+    fn matmul_body(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {}x{} · {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
         let flops = self.rows * self.cols * rhs.cols;
         // i-k-j loop order: the inner loop walks both `rhs` and `out`
         // contiguously, which is substantially faster than the naive i-j-k.
-        Self::rowwise_product(&mut out, flops, |row0, block| {
+        Self::rowwise_product(out, flops, |row0, block| {
             for (local, out_row) in block.chunks_mut(rhs.cols).enumerate() {
                 let i = row0 + local;
                 for k in 0..self.cols {
@@ -267,7 +292,6 @@ impl Matrix {
                 }
             }
         });
-        out
     }
 
     /// Matrix product `selfᵀ · rhs` without materialising the transpose.
@@ -281,14 +305,38 @@ impl Matrix {
     ///
     /// Panics if `self.rows() != rhs.rows()`.
     pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        self.matmul_tn_body(rhs, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_tn`] writing into a caller-provided buffer.
+    ///
+    /// `out` is fully overwritten. Bit-identical to `matmul_tn` for any
+    /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != rhs.rows()` or `out` is not
+    /// `self.cols() × rhs.cols()`.
+    pub fn matmul_tn_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (self.cols, rhs.cols),
+            "matmul_tn_into output shape mismatch"
+        );
+        out.fill(0.0);
+        self.matmul_tn_body(rhs, out);
+    }
+
+    fn matmul_tn_body(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows, rhs.rows,
             "matmul_tn shape mismatch: ({}x{})ᵀ · {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
         let flops = self.rows * self.cols * rhs.cols;
-        Self::rowwise_product(&mut out, flops, |row0, block| {
+        Self::rowwise_product(out, flops, |row0, block| {
             for (local, out_row) in block.chunks_mut(rhs.cols).enumerate() {
                 let i = row0 + local; // column of self, row of the output
                 for k in 0..self.rows {
@@ -303,7 +351,6 @@ impl Matrix {
                 }
             }
         });
-        out
     }
 
     /// Matrix product `self · rhsᵀ` without materialising the transpose.
@@ -315,14 +362,38 @@ impl Matrix {
     ///
     /// Panics if `self.cols() != rhs.cols()`.
     pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        self.matmul_nt_body(rhs, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_nt`] writing into a caller-provided buffer.
+    ///
+    /// `out` is fully overwritten (every element is assigned, so no
+    /// zero-fill is needed first). Bit-identical to `matmul_nt` for any
+    /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.cols()` or `out` is not
+    /// `self.rows() × rhs.rows()`.
+    pub fn matmul_nt_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (self.rows, rhs.rows),
+            "matmul_nt_into output shape mismatch"
+        );
+        self.matmul_nt_body(rhs, out);
+    }
+
+    fn matmul_nt_body(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_nt shape mismatch: {}x{} · ({}x{})ᵀ",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
         let flops = self.rows * self.cols * rhs.rows;
-        Self::rowwise_product(&mut out, flops, |row0, block| {
+        Self::rowwise_product(out, flops, |row0, block| {
             for (local, out_row) in block.chunks_mut(rhs.rows).enumerate() {
                 let i = row0 + local;
                 let lhs_row = &self.data[i * self.cols..(i + 1) * self.cols];
@@ -336,18 +407,31 @@ impl Matrix {
                 }
             }
         });
-        out
     }
 
     /// Transposed copy of the matrix.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Writes the transpose of `self` into `out`, fully overwriting it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not `self.cols() × self.rows()`.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (self.cols, self.rows),
+            "transpose_into output shape mismatch"
+        );
         for i in 0..self.rows {
             for j in 0..self.cols {
                 out.data[j * self.rows + i] = self.data[i * self.cols + j];
             }
         }
-        out
     }
 
     /// Elementwise (Hadamard) product.
@@ -357,6 +441,31 @@ impl Matrix {
     /// Panics if shapes differ.
     pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
         self.zip_map(rhs, |a, b| a * b)
+    }
+
+    /// Elementwise product written into `out`, fully overwriting it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of the three shapes differ.
+    pub fn hadamard_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.zip_map_into(rhs, out, |a, b| a * b);
+    }
+
+    /// Sets every element to `value`.
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
+    /// Overwrites `self` with the contents of `src` (a shape-checked
+    /// memcpy — the bit pattern of every element is preserved exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        assert_eq!(self.shape(), src.shape(), "copy_from shape mismatch");
+        self.data.copy_from_slice(&src.data);
     }
 
     /// Applies `f` to every element, producing a new matrix.
@@ -372,6 +481,19 @@ impl Matrix {
     pub fn map_inplace(&mut self, mut f: impl FnMut(f64) -> f64) {
         for x in &mut self.data {
             *x = f(*x);
+        }
+    }
+
+    /// Writes `f(x)` for every element of `self` into `out`, fully
+    /// overwriting it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out`'s shape differs from `self`'s.
+    pub fn map_into(&self, out: &mut Matrix, mut f: impl FnMut(f64) -> f64) {
+        assert_eq!(self.shape(), out.shape(), "map_into shape mismatch");
+        for (o, &x) in out.data.iter_mut().zip(&self.data) {
+            *o = f(x);
         }
     }
 
@@ -400,6 +522,30 @@ impl Matrix {
         }
     }
 
+    /// Writes `f(a, b)` for every element pair into `out`, fully
+    /// overwriting it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of the three shapes differ.
+    pub fn zip_map_into(&self, rhs: &Matrix, out: &mut Matrix, mut f: impl FnMut(f64, f64) -> f64) {
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "zip_map shape mismatch: {:?} vs {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        assert_eq!(
+            self.shape(),
+            out.shape(),
+            "zip_map_into output shape mismatch"
+        );
+        for (o, (&a, &b)) in out.data.iter_mut().zip(self.data.iter().zip(&rhs.data)) {
+            *o = f(a, b);
+        }
+    }
+
     /// Multiplies every element by `s`.
     pub fn scale(&self, s: f64) -> Matrix {
         self.map(|x| x * s)
@@ -423,15 +569,36 @@ impl Matrix {
     ///
     /// Panics if `bias` is not `1 × self.cols()`.
     pub fn add_row_broadcast(&self, bias: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.add_row_broadcast_assign(bias);
+        out
+    }
+
+    /// [`Matrix::add_row_broadcast`] written into `out`, fully overwriting
+    /// it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 × self.cols()` or `out`'s shape differs
+    /// from `self`'s.
+    pub fn add_row_broadcast_into(&self, bias: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.shape(),
+            out.shape(),
+            "add_row_broadcast_into output shape mismatch"
+        );
+        out.copy_from(self);
+        out.add_row_broadcast_assign(bias);
+    }
+
+    fn add_row_broadcast_assign(&mut self, bias: &Matrix) {
         assert_eq!(bias.rows, 1, "bias must be a row vector");
         assert_eq!(bias.cols, self.cols, "bias width mismatch");
-        let mut out = self.clone();
-        for r in 0..out.rows {
-            for (o, &b) in out.row_mut(r).iter_mut().zip(&bias.data) {
+        for r in 0..self.rows {
+            for (o, &b) in self.row_mut(r).iter_mut().zip(&bias.data) {
                 *o += b;
             }
         }
-        out
     }
 
     /// Sum of all elements.
@@ -456,12 +623,31 @@ impl Matrix {
     /// Row vector containing the sum of each column.
     pub fn sum_cols(&self) -> Matrix {
         let mut out = Matrix::zeros(1, self.cols);
+        self.sum_cols_body(&mut out);
+        out
+    }
+
+    /// [`Matrix::sum_cols`] written into `out`, fully overwriting it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not `1 × self.cols()`.
+    pub fn sum_cols_into(&self, out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (1, self.cols),
+            "sum_cols_into output shape mismatch"
+        );
+        out.fill(0.0);
+        self.sum_cols_body(out);
+    }
+
+    fn sum_cols_body(&self, out: &mut Matrix) {
         for r in 0..self.rows {
             for (o, &x) in out.data.iter_mut().zip(self.row(r)) {
                 *o += x;
             }
         }
-        out
     }
 
     /// Maximum absolute value of any element; `0.0` for an empty matrix.
@@ -494,6 +680,27 @@ impl Matrix {
         }
     }
 
+    /// [`Matrix::hcat`] written into `out`, fully overwriting it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts differ or `out` is not
+    /// `self.rows() × (self.cols() + rhs.cols())`.
+    pub fn hcat_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, rhs.rows, "hcat row count mismatch");
+        let cols = self.cols + rhs.cols;
+        assert_eq!(
+            out.shape(),
+            (self.rows, cols),
+            "hcat_into output shape mismatch"
+        );
+        for r in 0..self.rows {
+            let out_row = &mut out.data[r * cols..(r + 1) * cols];
+            out_row[..self.cols].copy_from_slice(self.row(r));
+            out_row[self.cols..].copy_from_slice(rhs.row(r));
+        }
+    }
+
     /// Vertically concatenates `self` and `rhs` (same column count).
     ///
     /// # Panics
@@ -521,6 +728,29 @@ impl Matrix {
             "slice_cols range out of bounds"
         );
         Matrix::from_fn(self.rows, end - start, |r, c| self[(r, start + c)])
+    }
+
+    /// Columns `[start, end)` written into `out`, fully overwriting it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or `out` is not
+    /// `self.rows() × (end - start)`.
+    pub fn slice_cols_into(&self, start: usize, end: usize, out: &mut Matrix) {
+        assert!(
+            start <= end && end <= self.cols,
+            "slice_cols range out of bounds"
+        );
+        let width = end - start;
+        assert_eq!(
+            out.shape(),
+            (self.rows, width),
+            "slice_cols_into output shape mismatch"
+        );
+        for r in 0..self.rows {
+            let src = &self.data[r * self.cols + start..r * self.cols + end];
+            out.data[r * width..(r + 1) * width].copy_from_slice(src);
+        }
     }
 
     /// Returns rows `[start, end)` as a new matrix.
@@ -808,6 +1038,84 @@ mod tests {
         let m = Matrix::from_rows(&[&[1.0, 2.5], &[-3.0, 0.0]]);
         let cloned = m.clone();
         assert_eq!(m, cloned);
+    }
+
+    #[test]
+    fn into_kernels_match_allocating_kernels() {
+        // Every `_into` variant must produce the same bits as its
+        // allocating twin even when the output buffer starts out dirty.
+        let mut rng = crate::rng(42);
+        let a = Matrix::from_fn(4, 3, |_, _| rng.gen_f64() - 0.5);
+        let b = Matrix::from_fn(3, 5, |_, _| rng.gen_f64() - 0.5);
+        let c = Matrix::from_fn(4, 5, |_, _| rng.gen_f64() - 0.5);
+        let d = Matrix::from_fn(2, 3, |_, _| rng.gen_f64() - 0.5);
+        let e = Matrix::from_fn(4, 3, |_, _| rng.gen_f64() - 0.5);
+        let bias = Matrix::from_fn(1, 3, |_, _| rng.gen_f64() - 0.5);
+        let dirty = |r, c| Matrix::filled(r, c, f64::NAN);
+
+        let mut out = dirty(4, 5);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+
+        let mut out = dirty(3, 5);
+        a.matmul_tn_into(&c, &mut out);
+        assert_eq!(out, a.matmul_tn(&c));
+
+        let mut out = dirty(4, 2);
+        a.matmul_nt_into(&d, &mut out);
+        assert_eq!(out, a.matmul_nt(&d));
+
+        let mut out = dirty(3, 4);
+        a.transpose_into(&mut out);
+        assert_eq!(out, a.transpose());
+
+        let mut out = dirty(4, 3);
+        a.map_into(&mut out, |x| x.tanh());
+        assert_eq!(out, a.map(|x| x.tanh()));
+
+        let mut out = dirty(4, 3);
+        a.zip_map_into(&e, &mut out, |x, y| x - y);
+        assert_eq!(out, a.zip_map(&e, |x, y| x - y));
+
+        let mut out = dirty(4, 3);
+        a.hadamard_into(&e, &mut out);
+        assert_eq!(out, a.hadamard(&e));
+
+        let mut out = dirty(1, 3);
+        a.sum_cols_into(&mut out);
+        assert_eq!(out, a.sum_cols());
+
+        let mut out = dirty(4, 6);
+        a.hcat_into(&e, &mut out);
+        assert_eq!(out, a.hcat(&e));
+
+        let mut out = dirty(4, 2);
+        a.slice_cols_into(1, 3, &mut out);
+        assert_eq!(out, a.slice_cols(1, 3));
+
+        let mut out = dirty(4, 3);
+        a.add_row_broadcast_into(&bias, &mut out);
+        assert_eq!(out, a.add_row_broadcast(&bias));
+    }
+
+    #[test]
+    fn fill_and_copy_from() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        m.fill(7.0);
+        assert_eq!(m, Matrix::filled(2, 2, 7.0));
+        let src = Matrix::from_rows(&[&[-1.0, 0.5], &[2.0, -0.0]]);
+        m.copy_from(&src);
+        assert_eq!(m.as_slice()[3].to_bits(), (-0.0_f64).to_bits());
+        assert_eq!(m, src);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_into output shape mismatch")]
+    fn matmul_into_rejects_wrong_output_shape() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 4);
+        let mut out = Matrix::zeros(2, 3);
+        a.matmul_into(&b, &mut out);
     }
 
     #[test]

@@ -59,6 +59,12 @@ echo "== bench smoke (serial vs parallel) =="
 RIHGCN_BENCH_SAMPLES=1 RIHGCN_BENCH_SAMPLE_MS=20 \
     cargo bench -q --offline -p rihgcn-bench --bench micro >/dev/null
 
+echo "== allocation bench (training-step memory profile) =="
+# Writes BENCH_step.json; the binary itself fails the build on non-finite
+# or missing metrics, or a steady-state allocation reduction below 90%.
+scripts/bench_step.sh --smoke
+test -s BENCH_step.json || { echo "BENCH_step.json missing"; exit 1; }
+
 echo "== formatting =="
 cargo fmt --check
 
