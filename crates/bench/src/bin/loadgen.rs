@@ -178,12 +178,14 @@ fn smoke(addr: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Nearest-rank percentile (see `rihgcn_bench::timing::percentile`); `0`
+/// for an empty sample set. The previous `((len−1)·p).round()` indexing was
+/// off by one on even sample counts (it picked the upper middle for p50).
 fn percentile(sorted_us: &[u64], p: f64) -> u64 {
     if sorted_us.is_empty() {
         return 0;
     }
-    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
-    sorted_us[idx]
+    rihgcn_bench::timing::percentile(sorted_us, p)
 }
 
 fn load(addr: &str, threads: usize, requests: usize) -> Result<(), String> {

@@ -13,6 +13,37 @@
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
+/// Nearest-rank percentile of an ascending-sorted slice.
+///
+/// Returns the smallest element such that at least `p·n` of the samples are
+/// `≤` it: index `⌈p·n⌉ − 1` (0-based). For `p = 0.5` on an even count this
+/// selects the **lower** middle element — the previous `len / 2` indexing
+/// (and loadgen's `((len−1)·p).round()`) picked the upper one, an
+/// off-by-one against the nearest-rank definition that `p50`/`p99` report
+/// lines claim.
+///
+/// `p` is clamped to `(0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use rihgcn_bench::timing::percentile;
+///
+/// let xs = [10u64, 20, 30, 40];
+/// assert_eq!(percentile(&xs, 0.50), 20); // rank ⌈0.5·4⌉ = 2
+/// assert_eq!(percentile(&xs, 0.99), 40);
+/// ```
+pub fn percentile<T: Copy>(sorted: &[T], p: f64) -> T {
+    assert!(!sorted.is_empty(), "percentile of an empty sample set");
+    let n = sorted.len();
+    let rank = (p.clamp(f64::MIN_POSITIVE, 1.0) * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
 /// Default number of timed samples per benchmark.
 const DEFAULT_SAMPLES: usize = 20;
 
@@ -118,7 +149,7 @@ impl Runner {
 
         let result = BenchResult {
             name: name.to_string(),
-            median: per_iter[per_iter.len() / 2],
+            median: percentile(&per_iter, 0.5),
             min: per_iter[0],
             mean: per_iter.iter().sum::<Duration>() / per_iter.len() as u32,
             iters_per_sample: iters,
@@ -187,5 +218,44 @@ mod tests {
     #[should_panic(expected = "at least one sample")]
     fn zero_samples_rejected() {
         let _ = Runner::with_settings(0, 1);
+    }
+
+    #[test]
+    fn percentile_nearest_rank_on_known_distributions() {
+        // Even count: nearest-rank p50 is the LOWER middle element
+        // (rank ⌈0.5·4⌉ = 2); the old len/2 indexing returned 30.
+        let even = [10u64, 20, 30, 40];
+        assert_eq!(percentile(&even, 0.50), 20);
+        assert_eq!(percentile(&even, 0.25), 10);
+        assert_eq!(percentile(&even, 0.75), 30);
+        assert_eq!(percentile(&even, 0.99), 40);
+        assert_eq!(percentile(&even, 1.00), 40);
+
+        // Odd count: p50 is the true middle.
+        let odd = [1u64, 2, 3, 4, 5];
+        assert_eq!(percentile(&odd, 0.50), 3);
+        assert_eq!(percentile(&odd, 0.20), 1);
+        assert_eq!(percentile(&odd, 0.21), 2);
+
+        // n = 100: p99 must be the 99th value (index 98), not the maximum.
+        let hundred: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&hundred, 0.99), 99);
+        assert_eq!(percentile(&hundred, 0.50), 50);
+        assert_eq!(percentile(&hundred, 0.01), 1);
+
+        // Degenerate single sample and out-of-range p clamp.
+        assert_eq!(percentile(&[7u64], 0.5), 7);
+        assert_eq!(percentile(&even, 0.0), 10);
+        assert_eq!(percentile(&even, 2.0), 40);
+
+        // Works for Duration (the Runner's median path).
+        let ds: Vec<Duration> = (1..=4).map(Duration::from_micros).collect();
+        assert_eq!(percentile(&ds, 0.5), Duration::from_micros(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample set")]
+    fn percentile_rejects_empty_input() {
+        let _ = percentile::<u64>(&[], 0.5);
     }
 }

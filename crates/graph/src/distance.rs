@@ -4,6 +4,18 @@
 //! with Dynamic Time Warping (Section III-D), mentioning Edit distance with
 //! Real Penalty and Longest Common Subsequence as alternatives; all three are
 //! implemented here so the temporal-graph construction can be ablated.
+//!
+//! The O(N·M) dynamic programs are split into two phases per row: a
+//! branch-free, data-independent **cost precompute** over the whole row
+//! (pointwise `(aᵢ−bⱼ)²`, `|aᵢ−bⱼ|` or `≤ ε` tests — tight loops the
+//! compiler autovectorises) followed by the inherently serial **scan**,
+//! which carries the diagonal and left cells in registers so the only work
+//! left on the loop-carried critical path is one `min`/`max` and one add.
+//! All DP rows live in a reusable [`DistanceScratch`] so the O(N²) pair
+//! loop of [`pairwise_distances`] performs no per-pair allocations. The
+//! restructuring is value-preserving: every cell combines the same operands
+//! in the same order as the textbook recurrence, so results are bit-exact
+//! against the pre-optimisation implementation.
 
 /// A pluggable time-series distance measure.
 ///
@@ -45,12 +57,66 @@ impl Default for SeriesDistance {
 impl SeriesDistance {
     /// Computes the distance between two scalar series.
     pub fn compute(&self, a: &[f64], b: &[f64]) -> f64 {
+        self.compute_with(a, b, &mut DistanceScratch::default())
+    }
+
+    /// [`SeriesDistance::compute`] reusing caller-owned DP buffers.
+    ///
+    /// Hot loops (the O(N²) pair sweep in [`pairwise_distances`]) call this
+    /// so every pair after the first is allocation-free.
+    pub fn compute_with(&self, a: &[f64], b: &[f64], scratch: &mut DistanceScratch) -> f64 {
         match *self {
-            SeriesDistance::Dtw => dtw(a, b),
-            SeriesDistance::Erp { gap } => erp(a, b, gap),
-            SeriesDistance::Lcss { epsilon } => lcss(a, b, epsilon),
+            SeriesDistance::Dtw => dtw_impl(a, b, usize::MAX, scratch),
+            SeriesDistance::Erp { gap } => erp_impl(a, b, gap, scratch),
+            SeriesDistance::Lcss { epsilon } => lcss_impl(a, b, epsilon, scratch),
         }
     }
+}
+
+/// Reusable DP row buffers for the distance kernels.
+///
+/// Each buffer is resized (never shrunk) on use, so a scratch that has seen
+/// the longest series in a workload never allocates again.
+///
+/// # Examples
+///
+/// ```
+/// use st_graph::{DistanceScratch, SeriesDistance};
+///
+/// let mut scratch = DistanceScratch::default();
+/// let a = [1.0, 2.0, 3.0];
+/// let d = SeriesDistance::Dtw.compute_with(&a, &a, &mut scratch);
+/// assert_eq!(d, 0.0);
+/// ```
+#[derive(Debug, Default)]
+pub struct DistanceScratch {
+    /// Previous DP row.
+    prev: Vec<f64>,
+    /// Current DP row.
+    curr: Vec<f64>,
+    /// Per-row pointwise costs (the vectorisable precompute).
+    cost: Vec<f64>,
+    /// Per-element gap costs `|bⱼ − g|` (ERP only, computed once per call).
+    gap: Vec<f64>,
+    /// Previous DP row for the integer LCSS recurrence.
+    prev_len: Vec<usize>,
+    /// Current DP row for the integer LCSS recurrence.
+    curr_len: Vec<usize>,
+    /// Pointwise `|aᵢ − bⱼ| ≤ ε` matches (LCSS only).
+    hit: Vec<bool>,
+}
+
+impl DistanceScratch {
+    /// A scratch with empty buffers (they grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Resizes `buf` to `len`, filling *all* elements with `value`.
+fn reset_row<T: Copy>(buf: &mut Vec<T>, len: usize, value: T) {
+    buf.clear();
+    buf.resize(len, value);
 }
 
 /// Dynamic Time Warping distance between two scalar series.
@@ -79,30 +145,47 @@ pub fn dtw(a: &[f64], b: &[f64]) -> f64 {
 /// Returns `f64::INFINITY` if either series is empty or the band makes the
 /// end state unreachable.
 pub fn dtw_windowed(a: &[f64], b: &[f64], window: usize) -> f64 {
+    dtw_impl(a, b, window, &mut DistanceScratch::default())
+}
+
+fn dtw_impl(a: &[f64], b: &[f64], window: usize, s: &mut DistanceScratch) -> f64 {
     let (n, m) = (a.len(), b.len());
     if n == 0 || m == 0 {
         return f64::INFINITY;
     }
     // The band must be at least |n−m| wide to reach the corner.
     let w = window.max(n.abs_diff(m));
-    let mut prev = vec![f64::INFINITY; m + 1];
-    let mut curr = vec![f64::INFINITY; m + 1];
-    prev[0] = 0.0;
+    reset_row(&mut s.prev, m + 1, f64::INFINITY);
+    reset_row(&mut s.curr, m + 1, f64::INFINITY);
+    reset_row(&mut s.cost, m, 0.0);
+    s.prev[0] = 0.0;
     for i in 1..=n {
-        curr.fill(f64::INFINITY);
+        let ai = a[i - 1];
         let lo = i.saturating_sub(w).max(1);
         let hi = i.saturating_add(w).min(m);
-        for j in lo..=hi {
-            let cost = {
-                let d = a[i - 1] - b[j - 1];
-                d * d
-            };
-            let best = prev[j - 1].min(prev[j]).min(curr[j - 1]);
-            curr[j] = cost + best;
+        // Phase 1 — branch-free pointwise costs over the band, off the DP
+        // critical path so the compiler can vectorise it.
+        let cost = &mut s.cost[lo - 1..hi];
+        for (c, &bv) in cost.iter_mut().zip(&b[lo - 1..hi]) {
+            let d = ai - bv;
+            *c = d * d;
         }
-        std::mem::swap(&mut prev, &mut curr);
+        // Phase 2 — the serial scan. `diag` carries prev[j-1] and `left`
+        // carries curr[j-1] in registers; the `min` association order
+        // matches the textbook recurrence exactly.
+        s.curr.fill(f64::INFINITY);
+        let mut diag = s.prev[lo - 1];
+        let mut left = f64::INFINITY;
+        for j in lo..=hi {
+            let up = s.prev[j];
+            let v = cost[j - lo] + diag.min(up).min(left);
+            s.curr[j] = v;
+            left = v;
+            diag = up;
+        }
+        std::mem::swap(&mut s.prev, &mut s.curr);
     }
-    prev[m].sqrt()
+    s.prev[m].sqrt()
 }
 
 /// Multivariate DTW: the mean of per-dimension DTW distances.
@@ -151,11 +234,11 @@ pub fn pairwise_distances(series: &[Vec<Vec<f64>>], measure: SeriesDistance) -> 
     let pairs: Vec<(usize, usize)> = (0..n)
         .flat_map(|i| (i + 1..n).map(move |j| (i, j)))
         .collect();
-    let pair_distance = |&(i, j): &(usize, usize)| -> f64 {
+    let pair_distance = |&(i, j): &(usize, usize), scratch: &mut DistanceScratch| -> f64 {
         let mut total = 0.0;
         let mut count = 0usize;
         for f in 0..series[i].len().min(series[j].len()) {
-            let d = measure.compute(&series[i][f], &series[j][f]);
+            let d = measure.compute_with(&series[i][f], &series[j][f], scratch);
             if d.is_finite() {
                 total += d;
                 count += 1;
@@ -180,14 +263,22 @@ pub fn pairwise_distances(series: &[Vec<Vec<f64>>], measure: SeriesDistance) -> 
         .saturating_mul(len * len)
         .saturating_mul(features);
 
+    // Pairs are grouped into fixed runs so each worker task reuses one DP
+    // scratch across its run; each value is still produced wholly by one
+    // task, so results stay bit-identical for any thread count.
+    const PAIR_RUN: usize = 8;
     let mut values = vec![0.0; pairs.len()];
     if st_par::num_threads() <= 1 || work < st_tensor::parallel_threshold() {
+        let mut scratch = DistanceScratch::default();
         for (v, pair) in values.iter_mut().zip(&pairs) {
-            *v = pair_distance(pair);
+            *v = pair_distance(pair, &mut scratch);
         }
     } else {
-        st_par::par_chunks_mut(&mut values, 1, |idx, slot| {
-            slot[0] = pair_distance(&pairs[idx]);
+        st_par::par_chunks_mut(&mut values, PAIR_RUN, |idx, slots| {
+            let mut scratch = DistanceScratch::default();
+            for (off, v) in slots.iter_mut().enumerate() {
+                *v = pair_distance(&pairs[idx * PAIR_RUN + off], &mut scratch);
+            }
         });
     }
     for (&(i, j), &d) in pairs.iter().zip(&values) {
@@ -202,22 +293,48 @@ pub fn pairwise_distances(series: &[Vec<Vec<f64>>], measure: SeriesDistance) -> 
 /// A metric (satisfies the triangle inequality) unlike raw DTW. Empty series
 /// are handled by pure gap cost.
 pub fn erp(a: &[f64], b: &[f64], g: f64) -> f64 {
+    erp_impl(a, b, g, &mut DistanceScratch::default())
+}
+
+fn erp_impl(a: &[f64], b: &[f64], g: f64, s: &mut DistanceScratch) -> f64 {
     let (n, m) = (a.len(), b.len());
-    let mut prev: Vec<f64> = (0..=m)
-        .map(|j| b[..j].iter().map(|x| (x - g).abs()).sum())
-        .collect();
-    let mut curr = vec![0.0; m + 1];
-    for i in 1..=n {
-        curr[0] = prev[0] + (a[i - 1] - g).abs();
-        for j in 1..=m {
-            let match_cost = prev[j - 1] + (a[i - 1] - b[j - 1]).abs();
-            let gap_a = prev[j] + (a[i - 1] - g).abs();
-            let gap_b = curr[j - 1] + (b[j - 1] - g).abs();
-            curr[j] = match_cost.min(gap_a).min(gap_b);
-        }
-        std::mem::swap(&mut prev, &mut curr);
+    // Gap costs |bⱼ − g| are row-invariant: computed once, vectorisable.
+    reset_row(&mut s.gap, m, 0.0);
+    for (gb, &bv) in s.gap.iter_mut().zip(b) {
+        *gb = (bv - g).abs();
     }
-    prev[m]
+    // First DP row: prefix sums of the gap costs (same left-to-right
+    // association as summing b[..j] directly).
+    reset_row(&mut s.prev, m + 1, 0.0);
+    for j in 1..=m {
+        s.prev[j] = s.prev[j - 1] + s.gap[j - 1];
+    }
+    reset_row(&mut s.curr, m + 1, 0.0);
+    reset_row(&mut s.cost, m, 0.0);
+    for i in 1..=n {
+        let ai = a[i - 1];
+        let ga = (ai - g).abs();
+        // Phase 1 — pointwise match costs |aᵢ − bⱼ|, branch-free.
+        for (c, &bv) in s.cost.iter_mut().zip(b) {
+            *c = (ai - bv).abs();
+        }
+        // Phase 2 — serial scan with register-carried diagonal and left.
+        let mut diag = s.prev[0];
+        let mut left = s.prev[0] + ga;
+        s.curr[0] = left;
+        for j in 1..=m {
+            let up = s.prev[j];
+            let match_cost = diag + s.cost[j - 1];
+            let gap_a = up + ga;
+            let gap_b = left + s.gap[j - 1];
+            let v = match_cost.min(gap_a).min(gap_b);
+            s.curr[j] = v;
+            left = v;
+            diag = up;
+        }
+        std::mem::swap(&mut s.prev, &mut s.curr);
+    }
+    s.prev[m]
 }
 
 /// Longest-Common-SubSequence similarity turned into a distance:
@@ -225,24 +342,36 @@ pub fn erp(a: &[f64], b: &[f64], g: f64) -> f64 {
 ///
 /// Returns `1.0` (maximally distant) when either series is empty.
 pub fn lcss(a: &[f64], b: &[f64], epsilon: f64) -> f64 {
+    lcss_impl(a, b, epsilon, &mut DistanceScratch::default())
+}
+
+fn lcss_impl(a: &[f64], b: &[f64], epsilon: f64, s: &mut DistanceScratch) -> f64 {
     let (n, m) = (a.len(), b.len());
     if n == 0 || m == 0 {
         return 1.0;
     }
-    let mut prev = vec![0usize; m + 1];
-    let mut curr = vec![0usize; m + 1];
+    reset_row(&mut s.prev_len, m + 1, 0);
+    reset_row(&mut s.curr_len, m + 1, 0);
+    reset_row(&mut s.hit, m, false);
     for i in 1..=n {
-        for j in 1..=m {
-            curr[j] = if (a[i - 1] - b[j - 1]).abs() <= epsilon {
-                prev[j - 1] + 1
-            } else {
-                prev[j].max(curr[j - 1])
-            };
+        let ai = a[i - 1];
+        // Phase 1 — pointwise ε-matches, a branch-free compare sweep.
+        for (h, &bv) in s.hit.iter_mut().zip(b) {
+            *h = (ai - bv).abs() <= epsilon;
         }
-        std::mem::swap(&mut prev, &mut curr);
-        curr.fill(0);
+        // Phase 2 — serial scan; `curr_len[0]` stays 0 so `left` starts 0.
+        let mut diag = s.prev_len[0];
+        let mut left = 0usize;
+        for j in 1..=m {
+            let up = s.prev_len[j];
+            let v = if s.hit[j - 1] { diag + 1 } else { up.max(left) };
+            s.curr_len[j] = v;
+            left = v;
+            diag = up;
+        }
+        std::mem::swap(&mut s.prev_len, &mut s.curr_len);
     }
-    1.0 - prev[m] as f64 / n.min(m) as f64
+    1.0 - s.prev_len[m] as f64 / n.min(m) as f64
 }
 
 #[cfg(test)]
@@ -435,6 +564,39 @@ mod tests {
         st_tensor::set_parallel_threshold(saved);
         for (a, b) in serial.as_slice().iter().zip(parallel.as_slice()) {
             assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_exact_across_measures_and_lengths() {
+        // One scratch serving interleaved measures and series lengths must
+        // give the same bits as a fresh scratch per call — stale buffer
+        // contents or sizing must never leak into results.
+        let series: Vec<Vec<f64>> = (0..6)
+            .map(|k| {
+                (0..10 + 7 * k)
+                    .map(|t| ((t * (k + 1)) as f64 * 0.31).sin() * (k as f64 + 0.5))
+                    .collect()
+            })
+            .collect();
+        let measures = [
+            SeriesDistance::Dtw,
+            SeriesDistance::Erp { gap: 0.25 },
+            SeriesDistance::Lcss { epsilon: 0.4 },
+        ];
+        let mut reused = DistanceScratch::new();
+        for x in &series {
+            for y in &series {
+                for measure in &measures {
+                    let with_reuse = measure.compute_with(x, y, &mut reused);
+                    let fresh = measure.compute(x, y);
+                    assert_eq!(
+                        with_reuse.to_bits(),
+                        fresh.to_bits(),
+                        "{measure:?} diverged under scratch reuse"
+                    );
+                }
+            }
         }
     }
 

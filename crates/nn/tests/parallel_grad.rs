@@ -113,6 +113,9 @@ fn gradients_are_correct_on_both_sides_of_the_parallel_threshold() {
     st_tensor::set_parallel_threshold(1000);
     matmul_chain_check(6, "below threshold (serial)");
     matmul_chain_check(14, "above threshold (parallel)");
+    // 13 = 3·MR + 1 = 3·NR + 1: exercises the microkernel's row and
+    // column tail paths (partial 4-wide tiles) through the whole chain.
+    matmul_chain_check(13, "above threshold, tile remainder (parallel)");
 
     // HGCN forward: force every product through the parallel path, then
     // repeat fully serial.

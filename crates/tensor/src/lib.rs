@@ -36,7 +36,7 @@ pub mod stats;
 mod tensor3;
 
 pub use linalg::SolveError;
-pub use matrix::Matrix;
+pub use matrix::{Matrix, KC, MR, NR};
 pub use parallel::{parallel_threshold, set_parallel_threshold, DEFAULT_PARALLEL_THRESHOLD};
 pub use pool::{MatrixPool, PoolStats};
 pub use random::{normal_matrix, rng, standard_normal, uniform_matrix, xavier_matrix};

@@ -2,11 +2,191 @@
 //!
 //! [`Matrix`] is the workhorse value type of the whole workspace: autodiff
 //! tape nodes, GCN propagation, LSTM states and dataset slices are all
-//! matrices. The implementation favours clarity and predictable performance
-//! (tight loops over contiguous storage) over micro-optimisation.
+//! matrices. The matmul family runs on cache-blocked packed-panel
+//! microkernels (see the `MR`/`NR`/`KC` constants) that are branch-free in
+//! the inner loop and bit-identical to the retained naive references
+//! ([`Matrix::matmul_naive`] and friends) for any thread count.
 
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// Output rows per microkernel register tile.
+///
+/// With [`NR`] this sizes the accumulator grid at `MR × NR = 16` f64 — eight
+/// SSE2 vectors — leaving registers free for the broadcast lhs value and the
+/// rhs row, so the tile stays resident for a whole k-panel.
+pub const MR: usize = 4;
+
+/// Output columns per microkernel register tile (see [`MR`]).
+pub const NR: usize = 4;
+
+/// Reduction-depth (k) panel length.
+///
+/// Packed lhs tiles are `MR × KC` f64 (8 KiB) and live on the stack, well
+/// inside L1; one panel's rhs rows stream through L2.
+pub const KC: usize = 256;
+
+/// Cache-blocked packed-panel GEMM over one horizontal band of the output.
+///
+/// Accumulates `out[i][j] += Σ_k a_at(i, k) · rhs[k*n + j]` for the band of
+/// whole output rows `row0..row0 + block.len()/n` held in `block`.
+/// `a_at(i, k)` abstracts the lhs layout so one driver serves both
+/// `matmul` (row reads) and `matmul_tn` (column reads); each call site gets
+/// a monomorphised copy with the packing loop inlined.
+///
+/// Exactness contract: every output element accumulates its k-terms in
+/// ascending order through a single accumulator — carried through `out`
+/// between k-panels — so the result is bit-identical to the naive triple
+/// loop regardless of the band decomposition (thread count) or the
+/// `MR`/`NR`/`KC` tile sizes. The inner loop is branch-free: zero lhs
+/// values are multiplied through, never skipped, so `0·NaN` and `0·∞`
+/// propagate as IEEE 754 requires.
+#[inline(always)]
+fn gemm_band(
+    a_at: impl Fn(usize, usize) -> f64,
+    kk: usize,
+    rhs: &[f64],
+    n: usize,
+    row0: usize,
+    block: &mut [f64],
+) {
+    let nrows = block.len() / n;
+    let mut apack = [0.0f64; MR * KC];
+    let mut kp = 0;
+    while kp < kk {
+        let kc = KC.min(kk - kp);
+        let mut it = 0;
+        while it < nrows {
+            let mr = MR.min(nrows - it);
+            // Pack the lhs tile k-major: apack[k*MR + r] = A[row0+it+r][kp+k].
+            // Rows past `mr` are zero-padded; their accumulators are computed
+            // but never stored.
+            for (k, col) in apack.chunks_exact_mut(MR).take(kc).enumerate() {
+                for (r, slot) in col.iter_mut().enumerate() {
+                    *slot = if r < mr {
+                        a_at(row0 + it + r, kp + k)
+                    } else {
+                        0.0
+                    };
+                }
+            }
+            let mut j = 0;
+            while j + NR <= n {
+                // Full-width microkernel: an MR×NR register tile swept over
+                // the k-panel, 4-wide accumulator rows the compiler
+                // autovectorises.
+                let mut acc = [[0.0f64; NR]; MR];
+                for (r, acc_row) in acc.iter_mut().enumerate().take(mr) {
+                    let row = &block[(it + r) * n + j..(it + r) * n + j + NR];
+                    acc_row.copy_from_slice(row);
+                }
+                for k in 0..kc {
+                    let a = &apack[k * MR..(k + 1) * MR];
+                    let b = &rhs[(kp + k) * n + j..(kp + k) * n + j + NR];
+                    for (acc_row, &ar) in acc.iter_mut().zip(a) {
+                        for (slot, &bc) in acc_row.iter_mut().zip(b) {
+                            *slot += ar * bc;
+                        }
+                    }
+                }
+                for (r, acc_row) in acc.iter().enumerate().take(mr) {
+                    let row = &mut block[(it + r) * n + j..(it + r) * n + j + NR];
+                    row.copy_from_slice(acc_row);
+                }
+                j += NR;
+            }
+            if j < n {
+                // Column tail (n not a multiple of NR): same ascending-k
+                // per-element accumulation at partial width.
+                let ncols = n - j;
+                let mut acc = [[0.0f64; NR]; MR];
+                for (r, acc_row) in acc.iter_mut().enumerate().take(mr) {
+                    let row = &block[(it + r) * n + j..(it + r) * n + j + ncols];
+                    acc_row[..ncols].copy_from_slice(row);
+                }
+                for k in 0..kc {
+                    let a = &apack[k * MR..(k + 1) * MR];
+                    let b = &rhs[(kp + k) * n + j..(kp + k) * n + j + ncols];
+                    for (acc_row, &ar) in acc.iter_mut().zip(a) {
+                        for (slot, &bc) in acc_row.iter_mut().zip(b) {
+                            *slot += ar * bc;
+                        }
+                    }
+                }
+                for (r, acc_row) in acc.iter().enumerate().take(mr) {
+                    let row = &mut block[(it + r) * n + j..(it + r) * n + j + ncols];
+                    row.copy_from_slice(&acc_row[..ncols]);
+                }
+            }
+            it += mr;
+        }
+        kp += kc;
+    }
+}
+
+/// [`gemm_band`]'s sibling for `self · rhsᵀ`: both operands are walked along
+/// k in row-major order, so the rhs tile is packed k-major instead.
+///
+/// Accumulates `out[i][j] += Σ_k lhs[i*lc + k] · rhs[j*lc + k]` for the band
+/// of whole output rows starting at `row0`; `n` is the rhs row count (the
+/// output width). The same exactness contract as [`gemm_band`] holds:
+/// single accumulator per element, ascending k.
+#[inline(always)]
+fn gemm_band_nt(lhs: &[f64], lc: usize, rhs: &[f64], n: usize, row0: usize, block: &mut [f64]) {
+    let nrows = block.len() / n;
+    let mut bpack = [0.0f64; NR * KC];
+    let mut kp = 0;
+    while kp < lc {
+        let kc = KC.min(lc - kp);
+        let mut j = 0;
+        while j < n {
+            let nr = NR.min(n - j);
+            // Pack the rhs tile k-major: bpack[k*NR + c] = B[j+c][kp+k],
+            // zero-padding columns past `nr`.
+            for (k, row) in bpack.chunks_exact_mut(NR).take(kc).enumerate() {
+                for (c, slot) in row.iter_mut().enumerate() {
+                    *slot = if c < nr {
+                        rhs[(j + c) * lc + kp + k]
+                    } else {
+                        0.0
+                    };
+                }
+            }
+            let mut it = 0;
+            while it < nrows {
+                let mr = MR.min(nrows - it);
+                // Tail rows alias the last valid lhs row: their accumulators
+                // are computed (branch-free inner loop) but never stored.
+                let mut arows = [&lhs[..0]; MR];
+                for (r, slot) in arows.iter_mut().enumerate() {
+                    let rr = row0 + it + r.min(mr - 1);
+                    *slot = &lhs[rr * lc..(rr + 1) * lc];
+                }
+                let mut acc = [[0.0f64; NR]; MR];
+                for (r, acc_row) in acc.iter_mut().enumerate().take(mr) {
+                    let row = &block[(it + r) * n + j..(it + r) * n + j + nr];
+                    acc_row[..nr].copy_from_slice(row);
+                }
+                for k in 0..kc {
+                    let b = &bpack[k * NR..(k + 1) * NR];
+                    for (acc_row, arow) in acc.iter_mut().zip(&arows) {
+                        let a = arow[kp + k];
+                        for (slot, &bc) in acc_row.iter_mut().zip(b) {
+                            *slot += a * bc;
+                        }
+                    }
+                }
+                for (r, acc_row) in acc.iter().enumerate().take(mr) {
+                    let row = &mut block[(it + r) * n + j..(it + r) * n + j + nr];
+                    row.copy_from_slice(&acc_row[..nr]);
+                }
+                it += mr;
+            }
+            j += nr;
+        }
+        kp += kc;
+    }
+}
 
 /// A dense, row-major matrix of `f64` values.
 ///
@@ -275,23 +455,93 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let flops = self.rows * self.cols * rhs.cols;
-        // i-k-j loop order: the inner loop walks both `rhs` and `out`
-        // contiguously, which is substantially faster than the naive i-j-k.
+        let lc = self.cols;
         Self::rowwise_product(out, flops, |row0, block| {
-            for (local, out_row) in block.chunks_mut(rhs.cols).enumerate() {
-                let i = row0 + local;
-                for k in 0..self.cols {
-                    let a = self.data[i * self.cols + k];
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                    for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                        *o += a * b;
-                    }
-                }
-            }
+            gemm_band(
+                |i, k| self.data[i * lc + k],
+                lc,
+                &rhs.data,
+                rhs.cols,
+                row0,
+                block,
+            );
         });
+    }
+
+    /// Reference `self · rhs`: the textbook scalar i-j-k triple loop.
+    ///
+    /// Retained as ground truth for the blocked kernels (which must match it
+    /// bit for bit — see `tests/kernel_properties.rs`) and as the scalar
+    /// baseline of the `bench_kernels` GFLOP/s scoreboard. Always serial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul_naive(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for j in 0..rhs.cols {
+                let mut acc = 0.0;
+                for k in 0..self.cols {
+                    acc += self.data[i * self.cols + k] * rhs.data[k * rhs.cols + j];
+                }
+                out.data[i * rhs.cols + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Reference `selfᵀ · rhs` triple loop (see [`Matrix::matmul_naive`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != rhs.rows()`.
+    pub fn matmul_tn_naive(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "matmul_tn shape mismatch: ({}x{})ᵀ · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for i in 0..self.cols {
+            for j in 0..rhs.cols {
+                let mut acc = 0.0;
+                for k in 0..self.rows {
+                    acc += self.data[k * self.cols + i] * rhs.data[k * rhs.cols + j];
+                }
+                out.data[i * rhs.cols + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Reference `self · rhsᵀ` triple loop (see [`Matrix::matmul_naive`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn matmul_nt_naive(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_nt shape mismatch: {}x{} · ({}x{})ᵀ",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            for j in 0..rhs.rows {
+                let mut acc = 0.0;
+                for k in 0..self.cols {
+                    acc += self.data[i * self.cols + k] * rhs.data[j * rhs.cols + k];
+                }
+                out.data[i * rhs.rows + j] = acc;
+            }
+        }
+        out
     }
 
     /// Matrix product `selfᵀ · rhs` without materialising the transpose.
@@ -336,20 +586,18 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let flops = self.rows * self.cols * rhs.cols;
+        let lc = self.cols;
         Self::rowwise_product(out, flops, |row0, block| {
-            for (local, out_row) in block.chunks_mut(rhs.cols).enumerate() {
-                let i = row0 + local; // column of self, row of the output
-                for k in 0..self.rows {
-                    let a = self.data[k * self.cols + i];
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                    for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                        *o += a * b;
-                    }
-                }
-            }
+            // Output row i is column i of `self`: the packing closure reads
+            // down a column, everything else matches `matmul`.
+            gemm_band(
+                |i, k| self.data[k * lc + i],
+                self.rows,
+                &rhs.data,
+                rhs.cols,
+                row0,
+                block,
+            );
         });
     }
 
@@ -369,9 +617,9 @@ impl Matrix {
 
     /// [`Matrix::matmul_nt`] writing into a caller-provided buffer.
     ///
-    /// `out` is fully overwritten (every element is assigned, so no
-    /// zero-fill is needed first). Bit-identical to `matmul_nt` for any
-    /// thread count.
+    /// `out` is fully overwritten (its prior contents may be arbitrary, e.g.
+    /// a recycled pool buffer). Bit-identical to `matmul_nt` for any thread
+    /// count.
     ///
     /// # Panics
     ///
@@ -383,6 +631,7 @@ impl Matrix {
             (self.rows, rhs.rows),
             "matmul_nt_into output shape mismatch"
         );
+        out.fill(0.0);
         self.matmul_nt_body(rhs, out);
     }
 
@@ -392,20 +641,13 @@ impl Matrix {
             "matmul_nt shape mismatch: {}x{} · ({}x{})ᵀ",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
+        if self.cols == 0 {
+            return; // empty reduction: out stays zero
+        }
         let flops = self.rows * self.cols * rhs.rows;
+        let lc = self.cols;
         Self::rowwise_product(out, flops, |row0, block| {
-            for (local, out_row) in block.chunks_mut(rhs.rows).enumerate() {
-                let i = row0 + local;
-                let lhs_row = &self.data[i * self.cols..(i + 1) * self.cols];
-                for (j, o) in out_row.iter_mut().enumerate() {
-                    let rhs_row = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
-                    let mut acc = 0.0;
-                    for (&a, &b) in lhs_row.iter().zip(rhs_row) {
-                        acc += a * b;
-                    }
-                    *o = acc;
-                }
-            }
+            gemm_band_nt(&self.data, lc, &rhs.data, rhs.rows, row0, block);
         });
     }
 
@@ -925,6 +1167,79 @@ mod tests {
     }
 
     #[test]
+    fn zero_times_nonfinite_propagates() {
+        // Regression: the old inner loop skipped `a == 0.0`, silently
+        // dropping `0·NaN` and `0·∞` contributions. IEEE 754 requires them
+        // to poison the output element.
+        let zero_row = Matrix::from_rows(&[&[0.0, 0.0, 0.0], &[1.0, 0.0, 0.0]]);
+        let rhs = Matrix::from_rows(&[&[1.0, 2.0], &[f64::NAN, 3.0], &[4.0, f64::INFINITY]]);
+        let out = zero_row.matmul(&rhs);
+        // Row 0 hits NaN via 0·NaN and NaN via 0·∞ − … (NaN + finite).
+        assert!(
+            out[(0, 0)].is_nan(),
+            "0·NaN must propagate, got {}",
+            out[(0, 0)]
+        );
+        assert!(
+            out[(0, 1)].is_nan(),
+            "0·∞ must propagate, got {}",
+            out[(0, 1)]
+        );
+        // And the blocked kernel must agree with the naive reference on the
+        // non-finite pattern, bit for bit.
+        let naive = zero_row.matmul_naive(&rhs);
+        for (a, b) in out.as_slice().iter().zip(naive.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // Same contract for the transpose kernels.
+        let tn = zero_row.transpose().matmul_tn(&rhs);
+        assert!(tn[(0, 0)].is_nan());
+        let nt = zero_row.matmul_nt(&rhs.transpose());
+        assert!(nt[(0, 0)].is_nan());
+    }
+
+    #[test]
+    fn blocked_kernels_match_naive_references() {
+        // Shapes straddling the MR/NR/KC tile edges; values span magnitudes
+        // so any reassociation in the blocked kernels would change bits.
+        let mut rng = crate::rng(77);
+        let mut gen = |r: usize, c: usize| {
+            Matrix::from_fn(r, c, |_, _| {
+                (rng.gen_f64() - 0.5) * 10f64.powi((rng.next_u64() % 9) as i32 - 4)
+            })
+        };
+        for (m, k, n) in [
+            (1, 1, 1),
+            (1, 7, 5),
+            (5, 3, 1),
+            (4, 4, 4),
+            (6, 9, 10),
+            (13, 17, 11),
+            (32, 300, 9), // k = 300 > KC: the reduction spans two k-panels
+        ] {
+            let a = gen(m, k);
+            let b = gen(k, n);
+            let at = gen(k, m);
+            let bt = gen(n, k);
+            for (name, blocked, naive) in [
+                ("matmul", a.matmul(&b), a.matmul_naive(&b)),
+                ("matmul_tn", at.matmul_tn(&b), at.matmul_tn_naive(&b)),
+                ("matmul_nt", a.matmul_nt(&bt), a.matmul_nt_naive(&bt)),
+            ] {
+                assert_eq!(blocked.shape(), naive.shape(), "{name} {m}x{k}x{n}");
+                for (x, y) in blocked.as_slice().iter().zip(naive.as_slice()) {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{name} {m}x{k}x{n} diverged from naive: {x} vs {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn matmul_tn_matches_explicit_transpose() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
         let b = Matrix::from_rows(&[&[1.0, 0.5], &[2.0, -1.0], &[0.0, 3.0]]);
@@ -1128,7 +1443,9 @@ mod tests {
             let mut rng = crate::rng(seed);
             Matrix::from_fn(r, c, |i, j| {
                 let x = rng.gen_f64() - 0.5;
-                // A sprinkle of exact zeros exercises the skip branches.
+                // A sprinkle of exact zeros: multiplied through, never
+                // skipped (the zero-skip fast path was removed because it
+                // swallowed 0·NaN / 0·∞).
                 if (i + j) % 7 == 0 {
                     0.0
                 } else {

@@ -1,0 +1,136 @@
+//! st-check properties for the cache-blocked matmul microkernels.
+//!
+//! The blocked kernels (`matmul` / `matmul_tn` / `matmul_nt` and their
+//! `_into` variants) promise to be **bit-identical** to the retained naive
+//! triple-loop references for every shape and every thread count. The
+//! generator is deliberately adversarial about shapes: degenerate vectors
+//! (1×N, N×1), inner dimension 1, dimensions that are not multiples of the
+//! `MR`/`NR` register-tile widths, and reductions deeper than one `KC`
+//! panel. Values span many orders of magnitude (plus exact zeros) so any
+//! reassociation of the per-element sums would change bits immediately.
+//!
+//! One `#[test]` owns all the global-knob flipping (parallel threshold and
+//! worker-count override are process-wide).
+
+use st_check::{prop_assert, prop_assert_eq, Check};
+use st_tensor::{Matrix, KC, MR, NR};
+
+/// One generated case: operand shapes plus a value seed.
+#[derive(Debug, Clone)]
+struct Case {
+    m: usize,
+    k: usize,
+    n: usize,
+    seed: u64,
+}
+
+fn gen_dim(g: &mut st_check::Gen) -> usize {
+    // Favour tile-edge-hostile sizes: exact tile widths, one off either
+    // side, degenerate 1, and a spread of non-multiples.
+    match g.usize_in(0, 7) {
+        0 => 1,
+        1 => MR,
+        2 => NR + 1,
+        3 => MR * 3 - 1,
+        4 => g.usize_in(1, 40),
+        5 => g.usize_in(1, 8) * MR + g.usize_in(1, MR - 1),
+        _ => g.usize_in(1, 8) * NR + 1,
+    }
+}
+
+fn gen_matrix(seed: u64, r: usize, c: usize) -> Matrix {
+    let mut rng = st_tensor::rng(seed);
+    Matrix::from_fn(r, c, |i, j| {
+        if (i + 2 * j) % 5 == 0 {
+            0.0 // exact zeros: must be multiplied through, not skipped
+        } else {
+            (rng.gen_f64() - 0.5) * 10f64.powi((rng.next_u64() % 11) as i32 - 5)
+        }
+    })
+}
+
+fn assert_bits_eq(name: &str, case: &Case, got: &Matrix, want: &Matrix) -> Result<(), String> {
+    prop_assert_eq!(got.shape(), want.shape());
+    for (x, y) in got.as_slice().iter().zip(want.as_slice()) {
+        prop_assert!(
+            x.to_bits() == y.to_bits(),
+            "{name} {case:?}: blocked {x} != naive {y}"
+        );
+    }
+    Ok(())
+}
+
+#[test]
+fn blocked_kernels_are_bit_identical_to_naive_at_any_thread_count() {
+    let saved = st_tensor::parallel_threshold();
+    // Force every product onto the parallel path so small shapes exercise
+    // band decomposition too.
+    st_tensor::set_parallel_threshold(1);
+
+    let result = std::panic::catch_unwind(|| {
+        Check::new("blocked_matmul_family_matches_naive")
+            .cases(40)
+            .run_with_shrink(
+                |g| Case {
+                    m: gen_dim(g),
+                    k: gen_dim(g),
+                    n: gen_dim(g),
+                    seed: g.u64_in(0, u64::MAX - 1),
+                },
+                |_| Vec::new(),
+                |case| {
+                    let &Case { m, k, n, seed } = case;
+                    let a = gen_matrix(seed, m, k);
+                    let b = gen_matrix(seed ^ 0x9E37, k, n);
+                    let at = gen_matrix(seed ^ 0x79B9, k, m);
+                    let bt = gen_matrix(seed ^ 0x7F4A, n, k);
+
+                    let nn_ref = a.matmul_naive(&b);
+                    let tn_ref = at.matmul_tn_naive(&b);
+                    let nt_ref = a.matmul_nt_naive(&bt);
+
+                    for threads in [1usize, 2, 4] {
+                        st_par::set_num_threads(threads);
+                        assert_bits_eq("matmul", case, &a.matmul(&b), &nn_ref)?;
+                        assert_bits_eq("matmul_tn", case, &at.matmul_tn(&b), &tn_ref)?;
+                        assert_bits_eq("matmul_nt", case, &a.matmul_nt(&bt), &nt_ref)?;
+
+                        // The `_into` variants must overwrite dirty pool
+                        // buffers with the same bits.
+                        let mut out = Matrix::filled(m, n, f64::NAN);
+                        a.matmul_into(&b, &mut out);
+                        assert_bits_eq("matmul_into", case, &out, &nn_ref)?;
+                        let mut out = Matrix::filled(m, n, f64::NAN);
+                        at.matmul_tn_into(&b, &mut out);
+                        assert_bits_eq("matmul_tn_into", case, &out, &tn_ref)?;
+                        let mut out = Matrix::filled(m, n, f64::NAN);
+                        a.matmul_nt_into(&bt, &mut out);
+                        assert_bits_eq("matmul_nt_into", case, &out, &nt_ref)?;
+                    }
+                    Ok(())
+                },
+            );
+    });
+
+    st_par::set_num_threads(0);
+    st_tensor::set_parallel_threshold(saved);
+    if let Err(panic) = result {
+        std::panic::resume_unwind(panic);
+    }
+}
+
+#[test]
+fn kc_panel_boundaries_preserve_bits() {
+    // Reductions deeper than one KC panel carry the accumulator through the
+    // output buffer between panels; that round trip must not change bits.
+    let depths = [KC - 1, KC, KC + 1, 2 * KC + 3];
+    for &k in &depths {
+        let a = gen_matrix(11, 5, k);
+        let b = gen_matrix(13, k, 6);
+        let blocked = a.matmul(&b);
+        let naive = a.matmul_naive(&b);
+        for (x, y) in blocked.as_slice().iter().zip(naive.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "k={k} diverged");
+        }
+    }
+}

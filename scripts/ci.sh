@@ -65,6 +65,29 @@ echo "== allocation bench (training-step memory profile) =="
 scripts/bench_step.sh --smoke
 test -s BENCH_step.json || { echo "BENCH_step.json missing"; exit 1; }
 
+echo "== kernel scoreboard smoke (GFLOP/s, bit-identity, 1 and 4 threads) =="
+# bench_kernels proves the blocked matmul kernels bit-identical to the
+# naive references at 1/2/4 worker threads before timing anything, and
+# exits non-zero on any non-finite metric. Run it under both thread-count
+# extremes and check the JSON report has the expected schema.
+for threads in 1 4; do
+    KERNELS_JSON="$(mktemp)"
+    ST_NUM_THREADS=$threads cargo run -q --release --offline \
+        -p rihgcn-bench --bin bench_kernels -- \
+        --smoke --out "$KERNELS_JSON" >/dev/null
+    test -s "$KERNELS_JSON" || { echo "BENCH_kernels.json missing"; exit 1; }
+    for key in rihgcn_kernel_scoreboard peak_gflops mem_bw_gbps \
+        min_model_speedup gflops_blocked gflops_naive roofline_gflops; do
+        grep -q "$key" "$KERNELS_JSON" || {
+            echo "kernel scoreboard missing $key"; exit 1;
+        }
+    done
+    grep -q '"gflops_blocked": null' "$KERNELS_JSON" && {
+        echo "kernel scoreboard has non-finite GFLOP/s"; exit 1;
+    }
+    rm -f "$KERNELS_JSON"
+done
+
 echo "== formatting =="
 cargo fmt --check
 

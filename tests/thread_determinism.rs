@@ -1,7 +1,10 @@
 //! Cross-thread determinism: the PR-1 guarantee (`tests/determinism.rs`)
-//! extended across worker counts. Training the full model with 1 worker and
-//! with 4 workers from the same seed must agree bit for bit — per-epoch
-//! losses and every final parameter.
+//! extended across worker counts. Training the full model with 1, 2 and 4
+//! workers from the same seed must agree bit for bit — per-epoch losses and
+//! every final parameter. Three counts (not two) matter for the blocked
+//! matmul kernels: 2 workers puts band boundaries in different places than
+//! 4, so a band-dependent reduction order would pass a 1-vs-4 comparison
+//! where both runs happen to split the same way and still be wrong.
 //!
 //! The parallel threshold is forced to 1 so every kernel actually takes its
 //! parallel path at this tiny model size; with the default threshold the
@@ -64,43 +67,53 @@ fn training_is_bitwise_identical_across_thread_counts() {
     rihgcn::tensor::set_parallel_threshold(1);
 
     let (train_1, val_1, params_1) = train_with_threads(1);
+    let (train_2, val_2, params_2) = train_with_threads(2);
     let (train_4, val_4, params_4) = train_with_threads(4);
 
     rihgcn::tensor::set_parallel_threshold(saved);
     rihgcn::par::set_num_threads(0);
 
-    assert_eq!(
-        train_1.len(),
-        train_4.len(),
-        "epoch counts diverged: {} vs {}",
-        train_1.len(),
-        train_4.len()
-    );
-    for (epoch, (a, b)) in train_1.iter().zip(&train_4).enumerate() {
+    for (threads, train_n, val_n, params_n) in [
+        (2, &train_2, &val_2, &params_2),
+        (4, &train_4, &val_4, &params_4),
+    ] {
         assert_eq!(
-            a.to_bits(),
-            b.to_bits(),
-            "train loss diverged at epoch {epoch}: {a} vs {b}"
+            train_1.len(),
+            train_n.len(),
+            "epoch counts diverged at {threads} threads: {} vs {}",
+            train_1.len(),
+            train_n.len()
         );
-    }
-    for (epoch, (a, b)) in val_1.iter().zip(&val_4).enumerate() {
-        assert_eq!(
-            a.to_bits(),
-            b.to_bits(),
-            "val loss diverged at epoch {epoch}: {a} vs {b}"
-        );
-    }
-
-    assert_eq!(params_1.len(), params_4.len(), "parameter counts diverged");
-    for ((name_1, m_1), (name_4, m_4)) in params_1.iter().zip(&params_4) {
-        assert_eq!(name_1, name_4, "parameter order diverged");
-        assert_eq!(m_1.shape(), m_4.shape(), "shape diverged for {name_1}");
-        for (x, y) in m_1.as_slice().iter().zip(m_4.as_slice()) {
+        for (epoch, (a, b)) in train_1.iter().zip(train_n).enumerate() {
             assert_eq!(
-                x.to_bits(),
-                y.to_bits(),
-                "parameter {name_1} diverged between 1 and 4 threads: {x} vs {y}"
+                a.to_bits(),
+                b.to_bits(),
+                "train loss diverged at epoch {epoch} with {threads} threads: {a} vs {b}"
             );
+        }
+        for (epoch, (a, b)) in val_1.iter().zip(val_n).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "val loss diverged at epoch {epoch} with {threads} threads: {a} vs {b}"
+            );
+        }
+
+        assert_eq!(
+            params_1.len(),
+            params_n.len(),
+            "parameter counts diverged at {threads} threads"
+        );
+        for ((name_1, m_1), (name_n, m_n)) in params_1.iter().zip(params_n) {
+            assert_eq!(name_1, name_n, "parameter order diverged");
+            assert_eq!(m_1.shape(), m_n.shape(), "shape diverged for {name_1}");
+            for (x, y) in m_1.as_slice().iter().zip(m_n.as_slice()) {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "parameter {name_1} diverged between 1 and {threads} threads: {x} vs {y}"
+                );
+            }
         }
     }
 }
