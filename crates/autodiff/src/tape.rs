@@ -138,6 +138,11 @@ impl Tape {
         self.pool.stats()
     }
 
+    /// Bytes currently parked in the pool's free lists.
+    pub fn pool_free_bytes(&self) -> usize {
+        self.pool.free_bytes()
+    }
+
     fn push(&mut self, value: Matrix, op: Op, needs_grad: bool) -> Var {
         self.nodes.push(Node {
             value,
@@ -578,6 +583,8 @@ impl Tape {
             (1, 1),
             "backward requires a scalar (1x1) loss node"
         );
+        let nodes = loss.0 + 1;
+        let _span = st_obs::span!("autodiff.backward", nodes);
         let mut seed = self.pool.acquire(1, 1);
         seed.fill(1.0);
         self.seed_and_sweep(loss, seed);

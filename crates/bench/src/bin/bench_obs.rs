@@ -1,0 +1,261 @@
+//! Observability overhead and determinism benchmark.
+//!
+//! Runs the same training-step workload as `bench_step` twice:
+//!
+//! * **phase A** — tracing disabled. Measures steady-state step time; when
+//!   a `BENCH_step.json` baseline with matching `smoke`/`threads` fields is
+//!   present, asserts the instrumented-but-disabled hot path costs < 2%
+//!   over the baseline (plus a small absolute noise floor — micro-scale
+//!   timings jitter).
+//! * **phase B** — tracing enabled. Repeats the identical run, asserts
+//!   every per-step loss is **bit-identical** to phase A (spans must never
+//!   change numerical results), and validates the captured trace contains
+//!   spans from each instrumented layer.
+//!
+//! ```text
+//! cargo run --release -p rihgcn-bench --bin bench_obs -- \
+//!     [--smoke] [--steps N] [--baseline BENCH_step.json] \
+//!     [--out BENCH_obs.json] [--trace FILE]
+//! ```
+//!
+//! Writes a JSON report and exits non-zero on any violated invariant.
+
+use rihgcn_bench::alloc::CountingAlloc;
+use rihgcn_core::{Forecaster, RihgcnConfig, RihgcnModel};
+use st_data::{generate_pems, PemsConfig, WindowSampler};
+use st_nn::Adam;
+use std::time::Instant;
+
+// Same allocator as bench_step so the timing environments match.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Maximum step-time overhead of disabled tracing vs the baseline.
+const MAX_DISABLED_OVERHEAD: f64 = 0.02;
+
+/// Absolute slack for micro-scale timing jitter (milliseconds): the 2%
+/// budget only binds once the delta clears this floor.
+const NOISE_FLOOR_MS: f64 = 0.25;
+
+struct Args {
+    smoke: bool,
+    steps: usize,
+    baseline: String,
+    out: String,
+    trace: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        steps: 0,
+        baseline: "BENCH_step.json".to_string(),
+        out: "BENCH_obs.json".to_string(),
+        trace: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--steps" => {
+                let v = it.next().expect("--steps needs a value");
+                args.steps = v.parse().expect("--steps must be an integer");
+            }
+            "--baseline" => args.baseline = it.next().expect("--baseline needs a path"),
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            "--trace" => args.trace = Some(it.next().expect("--trace needs a path")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: bench_obs [--smoke] [--steps N] [--baseline FILE] \
+                     [--out FILE] [--trace FILE]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.steps == 0 {
+        args.steps = if args.smoke { 4 } else { 10 };
+    }
+    assert!(args.steps >= 2, "need at least 2 steps for a steady state");
+    args
+}
+
+/// One full training run at the `bench_step` workload: returns the per-step
+/// losses and per-step wall times (ms). Deterministic given the step count.
+fn run_training(smoke: bool, steps: usize) -> (Vec<f64>, Vec<f64>) {
+    let (nodes, graphs, gcn_dim, lstm_dim, history, horizon) = if smoke {
+        (4, 2, 4, 6, 4, 2)
+    } else {
+        (8, 4, 8, 16, 12, 12)
+    };
+    let ds = generate_pems(&PemsConfig {
+        num_nodes: nodes,
+        num_days: 3,
+        ..Default::default()
+    });
+    let ds = ds.with_extra_missing(0.4, &mut st_tensor::rng(8));
+    let cfg = RihgcnConfig {
+        gcn_dim,
+        lstm_dim,
+        num_temporal_graphs: graphs,
+        history,
+        horizon,
+        ..Default::default()
+    };
+    let mut model = RihgcnModel::from_dataset(&ds, cfg);
+    let sample = WindowSampler::new(history, horizon, 1).window_at(&ds, 0);
+    let mut adam = Adam::new(model.params(), 1e-3);
+
+    let mut losses = Vec::with_capacity(steps);
+    let mut times = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        model.params_mut().zero_grads();
+        let start = Instant::now();
+        let loss = model.accumulate_gradients(&sample);
+        model.params_mut().clip_grad_norm(5.0);
+        adam.step(model.params_mut());
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+        losses.push(loss);
+    }
+    (losses, times)
+}
+
+/// Mean steady-state step time: step 1 is excluded (cold buffer pool).
+fn steady_ms(times: &[f64]) -> f64 {
+    times[1..].iter().sum::<f64>() / (times.len() - 1) as f64
+}
+
+/// Reads `time_per_step_ms` from a `bench_step` report, but only when its
+/// `smoke` and `threads` fields match this run (comparing against a
+/// different configuration would be meaningless).
+fn matching_baseline_ms(path: &str, smoke: bool, threads: usize) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let doc = st_obs::json::parse(&text).ok()?;
+    let num = |key: &str| match doc.get(key) {
+        Some(st_obs::json::Json::Num(v)) => Some(*v),
+        _ => None,
+    };
+    if doc.get("smoke") != Some(&st_obs::json::Json::Bool(smoke)) {
+        eprintln!("note: baseline {path} has a different smoke setting; skipping comparison");
+        return None;
+    }
+    if num("threads") != Some(threads as f64) {
+        eprintln!("note: baseline {path} ran at a different thread count; skipping comparison");
+        return None;
+    }
+    num("time_per_step_ms")
+}
+
+fn json_f64(v: Option<f64>) -> String {
+    match v {
+        Some(v) if v.is_finite() => format!("{v:.6}"),
+        _ => "null".to_string(),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let threads = st_par::num_threads();
+    let mut failed = false;
+
+    // Phase A: instrumented code, tracing disabled — the production path.
+    st_obs::set_enabled(false);
+    let (losses_off, times_off) = run_training(args.smoke, args.steps);
+    let off_ms = steady_ms(&times_off);
+
+    let baseline_ms = matching_baseline_ms(&args.baseline, args.smoke, threads);
+    let overhead = baseline_ms.map(|base| off_ms / base - 1.0);
+    if let (Some(base), Some(ovh)) = (baseline_ms, overhead) {
+        eprintln!(
+            "disabled tracing: {off_ms:.3} ms/step vs baseline {base:.3} ms/step \
+             ({:+.2}% overhead)",
+            ovh * 100.0
+        );
+        if ovh > MAX_DISABLED_OVERHEAD && off_ms - base > NOISE_FLOOR_MS {
+            eprintln!(
+                "FAIL: disabled-tracing overhead {:.2}% exceeds the {:.0}% budget \
+                 (delta {:.3} ms above the {NOISE_FLOOR_MS} ms noise floor)",
+                ovh * 100.0,
+                MAX_DISABLED_OVERHEAD * 100.0,
+                off_ms - base
+            );
+            failed = true;
+        }
+    } else {
+        eprintln!("disabled tracing: {off_ms:.3} ms/step (no matching baseline)");
+    }
+
+    // Phase B: identical run with tracing on. Results must not move a bit.
+    st_obs::trace::reset();
+    st_obs::set_enabled(true);
+    let (losses_on, times_on) = run_training(args.smoke, args.steps);
+    st_obs::set_enabled(false);
+    let on_ms = steady_ms(&times_on);
+    eprintln!(
+        "enabled tracing:  {on_ms:.3} ms/step ({:+.2}% vs disabled)",
+        (on_ms / off_ms - 1.0) * 100.0
+    );
+
+    assert_eq!(losses_off.len(), losses_on.len());
+    for (step, (a, b)) in losses_off.iter().zip(&losses_on).enumerate() {
+        if a.to_bits() != b.to_bits() {
+            eprintln!(
+                "FAIL: step {step} loss changed under tracing: {a:?} (off) vs {b:?} (on) — \
+                 spans must not perturb training"
+            );
+            failed = true;
+        }
+    }
+
+    // The captured trace must be valid Chrome JSON with spans from every
+    // layer the workload exercises.
+    let snap = st_obs::trace::snapshot();
+    let trace_json = st_obs::trace::chrome_trace_json(&snap);
+    if let Some(path) = &args.trace {
+        std::fs::write(path, &trace_json).expect("write trace");
+        eprintln!("wrote trace to {path}");
+    }
+    match st_obs::trace::validate_chrome_trace(&trace_json) {
+        Ok(stats) => {
+            for prefix in ["tensor.", "autodiff.", "par.", "nn.", "core."] {
+                if !stats.has_prefix(prefix) {
+                    eprintln!(
+                        "FAIL: traced run produced no {prefix}* span (names: {:?})",
+                        stats.names
+                    );
+                    failed = true;
+                }
+            }
+            eprintln!(
+                "trace: {} span events across {} names; slowest spans:\n{}",
+                stats.span_events,
+                stats.names.len(),
+                st_obs::trace::render_table(&st_obs::trace::aggregate(&snap))
+            );
+        }
+        Err(e) => {
+            eprintln!("FAIL: captured trace is invalid: {e}");
+            failed = true;
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"rihgcn_obs_overhead\",\n  \"smoke\": {},\n  \"threads\": {},\n  \"steps\": {},\n  \"time_disabled_ms\": {},\n  \"time_enabled_ms\": {},\n  \"baseline_ms\": {},\n  \"disabled_overhead\": {},\n  \"span_events\": {},\n  \"bit_identical\": {}\n}}\n",
+        args.smoke,
+        threads,
+        args.steps,
+        json_f64(Some(off_ms)),
+        json_f64(Some(on_ms)),
+        json_f64(baseline_ms),
+        json_f64(overhead),
+        snap.spans.len(),
+        !failed,
+    );
+    std::fs::write(&args.out, &json).expect("write report");
+    print!("{json}");
+
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,79 @@
+//! Validates a Chrome trace_event JSON file (as written by `--trace` or
+//! served by `GET /debug/trace`).
+//!
+//! ```text
+//! cargo run --release -p rihgcn-bench --bin trace_check -- FILE [--require PREFIX]...
+//! ```
+//!
+//! Checks that the document is well-formed JSON in Chrome trace_event
+//! format, contains at least one complete ("X") span event, and that the
+//! events' timestamps are monotonically non-decreasing in file order (the
+//! order `st_obs` emits). Each `--require PREFIX` additionally demands at
+//! least one span whose name starts with that prefix — CI uses this to
+//! prove a traced training run produced spans from every instrumented
+//! layer. Exits non-zero (with a reason on stderr) on any violation.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: trace_check FILE [--require PREFIX]...");
+        return ExitCode::from(2);
+    };
+    let mut required = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--require" => match args.next() {
+                Some(prefix) => required.push(prefix),
+                None => {
+                    eprintln!("--require needs a prefix");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("FAIL: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stats = match st_obs::trace::validate_chrome_trace(&text) {
+        Ok(stats) => stats,
+        Err(e) => {
+            eprintln!("FAIL: {path} is not a valid Chrome trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if stats.span_events == 0 {
+        eprintln!("FAIL: {path} is valid but contains no span events");
+        return ExitCode::FAILURE;
+    }
+    let mut missing = false;
+    for prefix in &required {
+        if !stats.has_prefix(prefix) {
+            eprintln!(
+                "FAIL: {path} has no span named {prefix}* (names: {:?})",
+                stats.names
+            );
+            missing = true;
+        }
+    }
+    if missing {
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "ok: {path} — {} events, {} spans, {} distinct names",
+        stats.events,
+        stats.span_events,
+        stats.names.len()
+    );
+    ExitCode::SUCCESS
+}

@@ -42,6 +42,7 @@ fn steady_state_step_allocates_under_five_percent_of_step_one() {
         let mut adam = Adam::new(model.params(), 1e-3);
 
         let mut allocs = Vec::new();
+        let mut stats_after_step1 = None;
         for _ in 0..3 {
             model.params_mut().zero_grads();
             let snap = AllocSnapshot::take();
@@ -50,6 +51,9 @@ fn steady_state_step_allocates_under_five_percent_of_step_one() {
             adam.step(model.params_mut());
             allocs.push(snap.allocations_since());
             assert!(loss.is_finite());
+            if stats_after_step1.is_none() {
+                stats_after_step1 = model.training_pool_stats();
+            }
         }
 
         assert!(
@@ -65,6 +69,22 @@ fn steady_state_step_allocates_under_five_percent_of_step_one() {
             allocs[2],
             allocs[0],
             limit
+        );
+
+        // The pool accessor must corroborate the allocator-level numbers:
+        // once step 1 has stocked the pool, steady-state steps serve ≥90%
+        // of buffer acquisitions from it. Measured as a delta so step 1's
+        // cold misses don't dilute the steady-state rate.
+        let s1 = stats_after_step1.expect("session exists after step 1");
+        let sf = model.training_pool_stats().expect("session still alive");
+        let hits = sf.hits - s1.hits;
+        let misses = sf.misses - s1.misses;
+        let rate = hits as f64 / (hits + misses).max(1) as f64;
+        assert!(
+            rate >= 0.90,
+            "with {threads} threads, steady-state pool hit rate {:.1}% \
+             below the 90% floor ({hits} hits / {misses} misses after step 1)",
+            rate * 100.0
         );
     }
     st_par::set_num_threads(0);

@@ -20,8 +20,9 @@
 
 use rihgcn_baselines::{knn_impute, last_observed_fill, matrix_factorization_impute};
 use rihgcn_core::{
-    evaluate_imputation, evaluate_prediction, fit, load_checkpoint, load_params, prepare_split,
-    save_checkpoint, save_params, OnlineForecaster, RihgcnConfig, RihgcnModel, TrainConfig,
+    evaluate_imputation, evaluate_prediction, fit, fit_with_observer, load_checkpoint, load_params,
+    prepare_split, save_checkpoint, save_params, JsonlObserver, OnlineForecaster, RihgcnConfig,
+    RihgcnModel, StderrPretty, TrainConfig,
 };
 use st_data::{
     generate_pems, generate_stampede, read_csv, write_csv, PemsConfig, QualityReport,
@@ -104,6 +105,7 @@ USAGE:
                   [--checkpoint model.ckpt] [--epochs E] [--graphs M]
                   [--lambda L] [--gcn-dim F] [--lstm-dim Q]
                   [--history T] [--horizon H]
+                  [--log-format none|pretty|json]
   rihgcn forecast --data data.csv --model model.params
                   [--graphs M] [--gcn-dim F] [--lstm-dim Q]
                   [--history T] [--horizon H]
@@ -112,20 +114,26 @@ USAGE:
   rihgcn evaluate --data data.csv [--epochs E] [--graphs M]
   rihgcn serve    --checkpoint model.ckpt [--addr HOST:PORT]
                   [--addr-file F] [--workers K] [--max-conns C]
-                  [--watch-stdin true]
+                  [--watch-stdin true] [--log-format none|pretty|json]
   rihgcn help
 
 `train --checkpoint` writes a self-contained checkpoint (parameters,
 config, normalisation stats and graphs) that `serve` loads without the
 training CSV. `serve` prints `listening on HOST:PORT` (and writes the
 bound address to --addr-file, useful with port 0), then serves
-POST /observe, GET /forecast, GET /imputed, GET /healthz, GET /metrics
-and POST /admin/shutdown until shut down; with `--watch-stdin true` it
-also shuts down on stdin EOF.
+POST /observe, GET /forecast, GET /imputed, GET /healthz, GET /metrics,
+GET /debug/trace and POST /admin/shutdown until shut down; with
+`--watch-stdin true` it also shuts down on stdin EOF.
+
+`train --log-format pretty` streams per-epoch progress to stderr;
+`json` streams one JSON object per epoch (JSON Lines) instead.
 
 Every command also accepts --threads N to set the worker count of the
-parallel kernels (default: ST_NUM_THREADS, else all available cores).
-Results are bit-identical for any thread count.
+parallel kernels (default: ST_NUM_THREADS, else all available cores)
+and --trace FILE to record a Chrome trace_event JSON profile of the
+run (open in chrome://tracing or Perfetto; ST_OBS=1 enables span
+collection without writing a file). Neither changes numerical results:
+outputs stay bit-identical for any thread count, traced or not.
 
 Datasets use the long CSV format: node,feature,time,value,observed.
 Generated CSVs embed a synthetic road network; externally produced CSVs
@@ -149,7 +157,12 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     if threads > 0 {
         st_par::set_num_threads(threads);
     }
-    match command.as_str() {
+    // Global tracing knob; spans never change numerical results either.
+    let trace_path = opts.get("trace").map(str::to_string);
+    if trace_path.is_some() {
+        st_obs::set_enabled(true);
+    }
+    let result = match command.as_str() {
         "generate" => cmd_generate(&opts, out),
         "train" => cmd_train(&opts, out),
         "forecast" => cmd_forecast(&opts, out),
@@ -162,6 +175,24 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             Ok(())
         }
         other => Err(format!("unknown command {other:?}; try `rihgcn help`").into()),
+    };
+    if result.is_ok() {
+        if let Some(path) = trace_path {
+            let events = st_obs::trace::write_chrome_trace(&path)?;
+            writeln!(out, "wrote trace ({events} span events) to {path}")?;
+        }
+    }
+    result
+}
+
+/// Builds the epoch observer selected by `--log-format` (`none` is the
+/// silent default; `pretty` and `json` stream progress to stderr).
+fn train_observer(opts: &Options) -> Result<Box<dyn rihgcn_core::TrainObserver>, CliError> {
+    match opts.get("log-format").unwrap_or("none") {
+        "none" => Ok(Box::new(rihgcn_core::NullObserver)),
+        "pretty" => Ok(Box::new(StderrPretty)),
+        "json" => Ok(Box::new(JsonlObserver::new(std::io::stderr()))),
+        other => Err(format!("invalid --log-format {other:?} (none|pretty|json)").into()),
     }
 }
 
@@ -260,7 +291,8 @@ fn cmd_train(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
         threads: opts.get_parsed("threads", 0usize)?,
         ..Default::default()
     };
-    let report = fit(&mut model, &train, &val, &tc);
+    let mut observer = train_observer(opts)?;
+    let report = fit_with_observer(&mut model, &train, &val, &tc, observer.as_mut());
     save_params(model.params(), BufWriter::new(File::create(model_path)?))?;
     writeln!(
         out,
@@ -290,10 +322,19 @@ fn cmd_serve(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
         max_connections: opts.get_parsed("max-conns", 64usize)?,
         ..Default::default()
     };
+    let json_logs = match opts.get("log-format").unwrap_or("none") {
+        "json" => true,
+        "none" | "pretty" => false,
+        other => return Err(format!("invalid --log-format {other:?} (none|pretty|json)").into()),
+    };
     let server =
         st_serve::Server::start(online, cfg).map_err(|e| format!("failed to start server: {e}"))?;
     let addr = server.local_addr();
-    writeln!(out, "listening on {addr}")?;
+    if json_logs {
+        writeln!(out, "{{\"event\":\"listening\",\"addr\":\"{addr}\"}}")?;
+    } else {
+        writeln!(out, "listening on {addr}")?;
+    }
     out.flush()?;
     if let Some(addr_file) = opts.get("addr-file") {
         // Written last so pollers only ever see the complete address.
@@ -309,12 +350,21 @@ fn cmd_serve(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
         });
     }
     let online = server.join();
-    writeln!(
-        out,
-        "server stopped after {} observations (window version {})",
-        online.len(),
-        online.window_version()
-    )?;
+    if json_logs {
+        writeln!(
+            out,
+            "{{\"event\":\"stopped\",\"observations\":{},\"window_version\":{}}}",
+            online.len(),
+            online.window_version()
+        )?;
+    } else {
+        writeln!(
+            out,
+            "server stopped after {} observations (window version {})",
+            online.len(),
+            online.window_version()
+        )?;
+    }
     Ok(())
 }
 
@@ -663,6 +713,113 @@ mod tests {
         let log = server.join().unwrap();
         assert!(log.contains("listening on"), "log: {log}");
         assert!(log.contains("server stopped"), "log: {log}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn train_with_trace_writes_valid_chrome_json() {
+        let dir = std::env::temp_dir().join("rihgcn-cli-trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.csv");
+        let trace = dir.join("trace.json");
+        let mut buf = Vec::new();
+        run(
+            &args(&[
+                "generate",
+                "--dataset",
+                "pems",
+                "--out",
+                data.to_str().unwrap(),
+                "--nodes",
+                "3",
+                "--days",
+                "1",
+                "--missing-rate",
+                "0.2",
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+
+        let mut buf = Vec::new();
+        run(
+            &args(&[
+                "train",
+                "--data",
+                data.to_str().unwrap(),
+                "--out",
+                dir.join("model.params").to_str().unwrap(),
+                "--epochs",
+                "1",
+                "--gcn-dim",
+                "3",
+                "--lstm-dim",
+                "4",
+                "--graphs",
+                "2",
+                "--history",
+                "4",
+                "--horizon",
+                "2",
+                "--log-format",
+                "json",
+                "--trace",
+                trace.to_str().unwrap(),
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("wrote trace"), "output: {text}");
+
+        let doc = std::fs::read_to_string(&trace).unwrap();
+        let stats = st_obs::trace::validate_chrome_trace(&doc).expect("valid Chrome trace");
+        assert!(stats.span_events > 0, "trace has spans");
+        for prefix in ["core.", "autodiff.", "tensor.", "nn."] {
+            assert!(
+                stats.has_prefix(prefix),
+                "trace must contain {prefix}* spans; names: {:?}",
+                stats.names
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn train_rejects_unknown_log_format() {
+        let dir = std::env::temp_dir().join("rihgcn-cli-logfmt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("data.csv");
+        let mut buf = Vec::new();
+        run(
+            &args(&[
+                "generate",
+                "--dataset",
+                "pems",
+                "--out",
+                data.to_str().unwrap(),
+                "--nodes",
+                "3",
+                "--days",
+                "1",
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        let err = run(
+            &args(&[
+                "train",
+                "--data",
+                data.to_str().unwrap(),
+                "--out",
+                dir.join("m.params").to_str().unwrap(),
+                "--log-format",
+                "yaml",
+            ]),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--log-format"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

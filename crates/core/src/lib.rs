@@ -40,14 +40,17 @@
 
 mod config;
 mod model;
+mod observe;
 mod online;
 mod persist;
 mod trainer;
 
 pub use config::{PredictionHead, RihgcnConfig, TrainConfig};
 pub use model::{RihgcnModel, SampleOutput};
+pub use observe::{EpochStats, JsonlObserver, NullObserver, StderrPretty, TrainObserver};
 pub use online::{OnlineForecaster, PushError};
 pub use persist::{load_checkpoint, load_params, save_checkpoint, save_params, PersistError};
 pub use trainer::{
-    evaluate_imputation, evaluate_prediction, fit, prepare_split, Forecaster, Imputer, TrainReport,
+    evaluate_imputation, evaluate_prediction, fit, fit_with_observer, prepare_split, Forecaster,
+    Imputer, TrainReport,
 };

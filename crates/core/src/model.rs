@@ -282,6 +282,12 @@ impl RihgcnModel {
         self.session.as_ref().map(|s| s.tape.pool_stats())
     }
 
+    /// Bytes parked in the recycled tape pool's free lists (`None` before
+    /// the first step, like [`training_pool_stats`](Self::training_pool_stats)).
+    pub fn training_pool_free_bytes(&self) -> Option<usize> {
+        self.session.as_ref().map(|s| s.tape.pool_free_bytes())
+    }
+
     /// Mutable access to the parameter store (for loading persisted
     /// parameters).
     pub fn params_mut(&mut self) -> &mut ParamStore {
@@ -311,6 +317,43 @@ impl RihgcnModel {
         }
     }
 
+    /// [`RihgcnModel::forward`] through the recycled session: the tape and
+    /// its buffer pool persist across calls (the same take/reset/put cycle
+    /// training uses), so steady-state inference runs allocation-free.
+    ///
+    /// Bit-identical to `forward` — pooled buffers are fully overwritten
+    /// before use, which `tests/tape_equivalence.rs` pins down — and shares
+    /// the session with training, so interleaving the two is fine. This is
+    /// what the serve engine calls per forecast.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample's shape disagrees with the model.
+    pub fn forward_recycled(&mut self, sample: &WindowSample) -> SampleOutput {
+        let mut sess = match self.session.take() {
+            Some(mut s) => {
+                s.reset(&self.store);
+                s
+            }
+            None => Session::new(&self.store),
+        };
+        let run = self.run_sample(&mut sess, sample);
+        let out = SampleOutput {
+            predictions: run
+                .predictions
+                .iter()
+                .map(|&v| sess.tape.value(v).clone())
+                .collect(),
+            estimates: run
+                .estimates
+                .iter()
+                .map(|&v| sess.tape.value(v).clone())
+                .collect(),
+        };
+        self.session = Some(sess);
+        out
+    }
+
     /// The `(L_c, L_m)` pair — prediction and imputation loss — of one
     /// sample, before the `λ` weighting (used by the Figure-5 λ study).
     pub fn loss_components(&self, sample: &WindowSample) -> (f64, f64) {
@@ -324,6 +367,8 @@ impl RihgcnModel {
 
     /// Builds the full tape for one sample.
     pub(crate) fn run_sample(&self, sess: &mut Session, sample: &WindowSample) -> SampleRun {
+        let history = self.cfg.history;
+        let _span = st_obs::span!("core.forward", history);
         assert_eq!(
             sample.history_len(),
             self.cfg.history,
@@ -568,6 +613,7 @@ impl crate::Forecaster for RihgcnModel {
     }
 
     fn accumulate_gradients(&mut self, sample: &WindowSample) -> f64 {
+        let _span = st_obs::span!("core.train_step");
         // Take/reset/put: the session (tape + buffer pool) persists across
         // steps, so at steady state the pass re-records the graph into
         // recycled buffers instead of reallocating them.
@@ -656,6 +702,29 @@ mod tests {
         assert_eq!(out.predictions[0].shape(), (4, 4));
         assert_eq!(out.estimates[0].shape(), (4, 4));
         assert!(out.predictions.iter().all(Matrix::is_finite));
+    }
+
+    #[test]
+    fn forward_recycled_matches_forward_bitwise() {
+        let (ds, cfg) = tiny_setup();
+        let mut model = RihgcnModel::from_dataset(&ds, cfg);
+        let sampler = WindowSampler::new(4, 2, 1);
+        let samples = [
+            sampler.window_at(&ds, 0),
+            sampler.window_at(&ds, 5),
+            sampler.window_at(&ds, 10),
+        ];
+        // Interleave with a training step so the recycled session has seen
+        // a backward sweep too.
+        let _ = model.accumulate_gradients(&samples[0]);
+        for sample in &samples {
+            let fresh = model.forward(sample);
+            let recycled = model.forward_recycled(sample);
+            assert_eq!(fresh.predictions, recycled.predictions);
+            assert_eq!(fresh.estimates, recycled.estimates);
+        }
+        let stats = model.training_pool_stats().expect("session exists");
+        assert!(stats.hits > 0, "recycled forwards must hit the pool");
     }
 
     #[test]

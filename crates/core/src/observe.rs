@@ -1,0 +1,192 @@
+//! Training observability: per-epoch statistics fed to pluggable sinks.
+//!
+//! [`fit`](crate::fit) reports every epoch to a [`TrainObserver`] instead
+//! of hard-coding an `eprintln!`. The two bundled sinks cover the common
+//! cases — [`StderrPretty`] reproduces the classic human-readable progress
+//! line, [`JsonlObserver`] streams one JSON object per epoch for machine
+//! consumption (the CLI's `--log-format json`) — and callers with other
+//! needs (plots, tensorboard-style files, tests) implement the one-method
+//! trait themselves and pass it to [`fit_with_observer`]
+//! (crate::fit_with_observer).
+//!
+//! Allocation counts come from the process-global counters in
+//! [`st_obs::alloc`]: they read zero unless the running binary installed
+//! [`st_obs::alloc::CountingAlloc`] as its global allocator (the memory
+//! benchmarks do; the CLI does not, to keep production binaries on the
+//! plain system allocator).
+
+use crate::TrainReport;
+use std::io::Write;
+
+/// Everything the trainer knows about one completed epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochStats {
+    /// Zero-based epoch index.
+    pub epoch: usize,
+    /// Mean training loss over the epoch's samples.
+    pub train_loss: f64,
+    /// Mean validation loss (equals `train_loss` when there is no
+    /// validation set).
+    pub val_loss: f64,
+    /// Wall-clock time of the epoch (training + validation), milliseconds.
+    pub wall_ms: f64,
+    /// Learning rate the epoch ran at (after scheduling).
+    pub learning_rate: f64,
+    /// Heap allocations during the epoch — zero unless the binary installed
+    /// the counting allocator.
+    pub allocations: u64,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: u64,
+    /// Whether this epoch improved the best validation loss (and its
+    /// parameters were checkpointed).
+    pub improved: bool,
+}
+
+impl EpochStats {
+    /// The epoch as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"epoch\":{},\"train_loss\":{},\"val_loss\":{},\"wall_ms\":{:.3},\
+             \"learning_rate\":{},\"allocations\":{},\"alloc_bytes\":{},\"improved\":{}}}",
+            self.epoch,
+            self.train_loss,
+            self.val_loss,
+            self.wall_ms,
+            self.learning_rate,
+            self.allocations,
+            self.alloc_bytes,
+            self.improved
+        )
+    }
+}
+
+/// A sink for training progress.
+///
+/// Implementations must not influence training: the trainer calls
+/// [`on_epoch`](TrainObserver::on_epoch) after each epoch's bookkeeping is
+/// done and [`on_complete`](TrainObserver::on_complete) once, after the
+/// best checkpoint has been restored.
+pub trait TrainObserver {
+    /// Called once per completed epoch.
+    fn on_epoch(&mut self, stats: &EpochStats);
+
+    /// Called once when training finishes (early-stopped or exhausted).
+    fn on_complete(&mut self, _report: &TrainReport) {}
+}
+
+/// Discards everything (the default when `TrainConfig::verbose` is off).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl TrainObserver for NullObserver {
+    fn on_epoch(&mut self, _stats: &EpochStats) {}
+}
+
+/// Human-readable progress on stderr: the classic
+/// `epoch   3: train 0.6931  val 0.7012` line.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StderrPretty;
+
+impl TrainObserver for StderrPretty {
+    fn on_epoch(&mut self, s: &EpochStats) {
+        eprintln!(
+            "epoch {:>3}: train {:.4}  val {:.4}",
+            s.epoch, s.train_loss, s.val_loss
+        );
+    }
+}
+
+/// One JSON object per epoch to any [`Write`] sink (JSON Lines).
+///
+/// A final `{"done":true,...}` summary line is written by
+/// [`on_complete`](TrainObserver::on_complete). Write errors are ignored —
+/// observability must never abort training.
+#[derive(Debug)]
+pub struct JsonlObserver<W: Write> {
+    sink: W,
+}
+
+impl<W: Write> JsonlObserver<W> {
+    /// Streams epochs to `sink`.
+    pub fn new(sink: W) -> Self {
+        Self { sink }
+    }
+
+    /// Consumes the observer, returning the sink.
+    pub fn into_inner(self) -> W {
+        self.sink
+    }
+}
+
+impl<W: Write> TrainObserver for JsonlObserver<W> {
+    fn on_epoch(&mut self, stats: &EpochStats) {
+        let _ = writeln!(self.sink, "{}", stats.to_json());
+        let _ = self.sink.flush();
+    }
+
+    fn on_complete(&mut self, report: &TrainReport) {
+        let _ = writeln!(
+            self.sink,
+            "{{\"done\":true,\"epochs\":{},\"best_epoch\":{},\"best_val_loss\":{}}}",
+            report.epochs(),
+            report.best_epoch,
+            report.best_val_loss
+        );
+        let _ = self.sink.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> EpochStats {
+        EpochStats {
+            epoch: 3,
+            train_loss: 0.625,
+            val_loss: 0.75,
+            wall_ms: 12.5,
+            learning_rate: 1e-3,
+            allocations: 0,
+            alloc_bytes: 0,
+            improved: true,
+        }
+    }
+
+    #[test]
+    fn epoch_json_is_valid_and_complete() {
+        let doc = stats().to_json();
+        let parsed = st_obs::json::parse(&doc).expect("valid JSON");
+        assert_eq!(parsed.get("epoch"), Some(&st_obs::json::Json::Num(3.0)));
+        assert_eq!(parsed.get("val_loss"), Some(&st_obs::json::Json::Num(0.75)));
+        assert_eq!(
+            parsed.get("improved"),
+            Some(&st_obs::json::Json::Bool(true))
+        );
+    }
+
+    #[test]
+    fn jsonl_observer_streams_lines() {
+        let mut obs = JsonlObserver::new(Vec::new());
+        obs.on_epoch(&stats());
+        obs.on_epoch(&EpochStats {
+            epoch: 4,
+            improved: false,
+            ..stats()
+        });
+        obs.on_complete(&TrainReport {
+            train_losses: vec![0.7, 0.6],
+            val_losses: vec![0.8, 0.75],
+            best_epoch: 1,
+            best_val_loss: 0.75,
+        });
+        let text = String::from_utf8(obs.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            st_obs::json::parse(line).expect("every line parses");
+        }
+        assert!(lines[2].contains("\"done\":true"));
+        assert!(lines[2].contains("\"best_epoch\":1"));
+    }
+}

@@ -280,16 +280,32 @@ impl OnlineForecaster {
         }
     }
 
-    fn run(&self) -> Option<SampleOutput> {
+    fn run(&mut self) -> Option<SampleOutput> {
         if !self.ready() {
             return None;
         }
-        Some(self.model.forward(&self.build_sample()))
+        let sample = self.build_sample();
+        // Recycled session: the tape's buffer pool persists across
+        // forecasts, so steady-state inference is allocation-free and the
+        // pool stats below reflect live serving traffic.
+        Some(self.model.forward_recycled(&sample))
+    }
+
+    /// Buffer-pool statistics of the recycled inference/training tape, if
+    /// the model has run at least once (`None` before that).
+    pub fn pool_stats(&self) -> Option<st_tensor::PoolStats> {
+        self.model.training_pool_stats()
+    }
+
+    /// Bytes parked in the recycled tape pool's free lists (`None` before
+    /// the model has run).
+    pub fn pool_free_bytes(&self) -> Option<usize> {
+        self.model.training_pool_free_bytes()
     }
 
     /// The `T'`-step forecast in original units, or `None` until a full
     /// window has been pushed.
-    pub fn forecast(&self) -> Option<Vec<Matrix>> {
+    pub fn forecast(&mut self) -> Option<Vec<Matrix>> {
         self.run().map(|out| {
             out.predictions
                 .iter()
@@ -300,7 +316,7 @@ impl OnlineForecaster {
 
     /// The imputed history window in original units (model estimates at
     /// hidden entries, observations elsewhere), or `None` until ready.
-    pub fn imputed_window(&self) -> Option<Vec<Matrix>> {
+    pub fn imputed_window(&mut self) -> Option<Vec<Matrix>> {
         let out = self.run()?;
         Some(
             out.estimates

@@ -1,9 +1,12 @@
 //! Mini-batch training loop with early stopping, plus evaluation helpers.
 
+use crate::observe::{EpochStats, NullObserver, StderrPretty, TrainObserver};
 use crate::TrainConfig;
 use st_data::{DatasetSplit, TrafficDataset, WindowSample, ZScore};
 use st_nn::{Adam, EarlyStopping, ErrorAccum, Metrics, ParamStore, StopDecision};
+use st_obs::alloc::AllocSnapshot;
 use st_tensor::{rng, Matrix};
+use std::time::Instant;
 
 /// A trainable sequence-to-sequence traffic forecaster.
 ///
@@ -60,6 +63,10 @@ impl TrainReport {
 /// patience-based early stopping; the parameters with the best validation
 /// loss are restored at the end (checkpointing).
 ///
+/// Progress goes to a [`StderrPretty`] observer when `tc.verbose` is set
+/// (the classic `epoch N: train … val …` lines), nowhere otherwise; use
+/// [`fit_with_observer`] to route it elsewhere.
+///
 /// # Panics
 ///
 /// Panics if `train` is empty or the configuration is invalid.
@@ -68,6 +75,27 @@ pub fn fit<M: Forecaster>(
     train: &[WindowSample],
     val: &[WindowSample],
     tc: &TrainConfig,
+) -> TrainReport {
+    if tc.verbose {
+        fit_with_observer(model, train, val, tc, &mut StderrPretty)
+    } else {
+        fit_with_observer(model, train, val, tc, &mut NullObserver)
+    }
+}
+
+/// [`fit`] reporting every epoch to `observer` (see
+/// [`TrainObserver`]); `tc.verbose` is ignored — the observer decides what
+/// to surface.
+///
+/// # Panics
+///
+/// Panics if `train` is empty or the configuration is invalid.
+pub fn fit_with_observer<M: Forecaster>(
+    model: &mut M,
+    train: &[WindowSample],
+    val: &[WindowSample],
+    tc: &TrainConfig,
+    observer: &mut dyn TrainObserver,
 ) -> TrainReport {
     tc.validate();
     assert!(!train.is_empty(), "no training samples");
@@ -87,7 +115,11 @@ pub fn fit<M: Forecaster>(
     let mut val_losses = Vec::new();
 
     for epoch in 0..tc.max_epochs {
-        adam.set_learning_rate(tc.lr_schedule.at(tc.learning_rate, epoch));
+        let _span = st_obs::span!("core.epoch", epoch);
+        let epoch_start = Instant::now();
+        let allocs_before = AllocSnapshot::take();
+        let lr = tc.lr_schedule.at(tc.learning_rate, epoch);
+        adam.set_learning_rate(lr);
         shuffle_rng.shuffle(&mut order);
         let mut epoch_loss = 0.0;
         let mut batch_count = 0usize;
@@ -117,26 +149,37 @@ pub fn fit<M: Forecaster>(
             val.iter().map(|s| model.loss(s)).sum::<f64>() / val.len() as f64
         };
         val_losses.push(val_loss);
-        if tc.verbose {
-            eprintln!("epoch {epoch:>3}: train {train_loss:.4}  val {val_loss:.4}");
-        }
 
-        match stopper.update(val_loss) {
-            StopDecision::Improved => best_params = Some(model.params().clone()),
-            StopDecision::Continue => {}
-            StopDecision::Stop => break,
+        let decision = stopper.update(val_loss);
+        if decision == StopDecision::Improved {
+            best_params = Some(model.params().clone());
+        }
+        observer.on_epoch(&EpochStats {
+            epoch,
+            train_loss,
+            val_loss,
+            wall_ms: epoch_start.elapsed().as_secs_f64() * 1e3,
+            learning_rate: lr,
+            allocations: allocs_before.allocations_since(),
+            alloc_bytes: allocs_before.bytes_since(),
+            improved: decision == StopDecision::Improved,
+        });
+        if decision == StopDecision::Stop {
+            break;
         }
     }
 
     if let Some(best) = best_params {
         *model.params_mut() = best;
     }
-    TrainReport {
+    let report = TrainReport {
         train_losses,
         val_losses,
         best_epoch: stopper.best_epoch(),
         best_val_loss: stopper.best(),
-    }
+    };
+    observer.on_complete(&report);
+    report
 }
 
 /// Normalises a dataset split with Z-score statistics fitted on the
@@ -328,6 +371,64 @@ mod tests {
             decayed.last(),
             "aggressive decay must alter later epochs"
         );
+    }
+
+    #[test]
+    fn observer_sees_every_epoch_and_the_report() {
+        struct Recorder {
+            epochs: Vec<EpochStats>,
+            completed: usize,
+        }
+        impl TrainObserver for Recorder {
+            fn on_epoch(&mut self, stats: &EpochStats) {
+                self.epochs.push(stats.clone());
+            }
+            fn on_complete(&mut self, _report: &TrainReport) {
+                self.completed += 1;
+            }
+        }
+
+        let (mut model, train, val, _) = tiny_training_setup();
+        let tc = TrainConfig {
+            max_epochs: 3,
+            batch_size: 4,
+            ..Default::default()
+        };
+        let mut rec = Recorder {
+            epochs: Vec::new(),
+            completed: 0,
+        };
+        let report = fit_with_observer(&mut model, &train, &val, &tc, &mut rec);
+        assert_eq!(rec.epochs.len(), report.epochs());
+        assert_eq!(rec.completed, 1);
+        for (i, e) in rec.epochs.iter().enumerate() {
+            assert_eq!(e.epoch, i);
+            assert_eq!(e.train_loss, report.train_losses[i]);
+            assert_eq!(e.val_loss, report.val_losses[i]);
+            assert!(e.wall_ms > 0.0);
+            assert_eq!(e.learning_rate, tc.learning_rate);
+        }
+        // The first epoch always improves on "no best yet".
+        assert!(rec.epochs[0].improved);
+    }
+
+    #[test]
+    fn observed_training_matches_plain_fit_bitwise() {
+        // The observer must not influence training: identical setups with
+        // and without one produce identical losses.
+        let tc = TrainConfig {
+            max_epochs: 3,
+            batch_size: 4,
+            ..Default::default()
+        };
+        let (mut plain_model, train, val, _) = tiny_training_setup();
+        let plain = fit(&mut plain_model, &train, &val, &tc);
+        let (mut observed_model, ..) = tiny_training_setup();
+        let mut sink = crate::JsonlObserver::new(Vec::new());
+        let observed = fit_with_observer(&mut observed_model, &train, &val, &tc, &mut sink);
+        assert_eq!(plain, observed);
+        let jsonl = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(jsonl.lines().count(), plain.epochs() + 1);
     }
 
     #[test]

@@ -231,6 +231,7 @@ pub fn pairwise_distances(series: &[Vec<Vec<f64>>], measure: SeriesDistance) -> 
     if n < 2 {
         return dist;
     }
+    let _span = st_obs::span!("graph.pairwise_distances", n);
     let pairs: Vec<(usize, usize)> = (0..n)
         .flat_map(|i| (i + 1..n).map(move |j| (i, j)))
         .collect();

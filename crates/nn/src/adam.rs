@@ -105,6 +105,8 @@ impl Adam {
             self.m.len(),
             "parameter set changed under the optimiser"
         );
+        let params = store.len();
+        let _span = st_obs::span!("nn.adam_step", params);
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);

@@ -58,6 +58,7 @@ impl ChebBasis {
         assert!(k >= 1, "chebyshev order must be at least 1");
         let n = scaled.rows();
         assert_eq!(n, scaled.cols(), "scaled laplacian must be square");
+        let _span = st_obs::span!("nn.cheb_basis", n, k);
         let mut matrices = Vec::with_capacity(k);
         matrices.push(Matrix::identity(n));
         if k >= 2 {

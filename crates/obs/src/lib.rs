@@ -1,0 +1,101 @@
+//! Std-only observability spine for the RIHGCN workspace.
+//!
+//! Three pillars, all dependency-free and safe to leave compiled into
+//! release binaries:
+//!
+//! * **Structured tracing** ([`span!`], [`trace`]): RAII span guards
+//!   recording into lock-free per-thread ring buffers. A global registry
+//!   snapshots every thread's ring into a [`trace::TraceSnapshot`], which
+//!   renders as a Chrome `trace_event` JSON file
+//!   ([`trace::chrome_trace_json`]) or an aggregated per-span-name table
+//!   ([`trace::aggregate`] / [`trace::render_table`]).
+//! * **Allocation counting** ([`alloc`]): the counting global allocator
+//!   used by the memory benchmarks and the trainer's per-epoch allocation
+//!   reporting (counters read zero unless a binary installs it).
+//! * **Trace validation** ([`json`], [`trace::validate_chrome_trace`]): a
+//!   minimal JSON parser so CI and tests can check emitted traces without
+//!   external crates.
+//!
+//! # The `ST_OBS` switch
+//!
+//! Tracing is **off by default**. It turns on when the `ST_OBS`
+//! environment variable is `1`/`true`/`on` at the first span, or when a
+//! program calls [`set_enabled`]`(true)` (the `--trace` CLI flag does).
+//! When off, a [`span!`] costs one relaxed atomic load and a branch —
+//! the workspace's overhead bench (`bench_obs`) holds the disabled path
+//! to <2% of training-step wall time.
+//!
+//! Tracing never touches the traced computation: spans only read a
+//! monotonic clock and write to their thread's ring, so enabling it
+//! cannot change a single bit of any result. `bench_obs` asserts training
+//! losses are bit-identical with tracing on and off, and CI runs the
+//! determinism suites under `ST_OBS=1`.
+//!
+//! # Examples
+//!
+//! ```
+//! st_obs::set_enabled(true);
+//! {
+//!     let _outer = st_obs::span!("example.outer");
+//!     let m = 3usize;
+//!     let _inner = st_obs::span!("example.inner", m);
+//! }
+//! let snap = st_obs::trace::snapshot();
+//! assert!(snap.spans.iter().any(|s| s.name == "example.inner"));
+//! let json = st_obs::trace::chrome_trace_json(&snap);
+//! st_obs::trace::validate_chrome_trace(&json).unwrap();
+//! st_obs::set_enabled(false);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod json;
+pub mod trace;
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Tri-state enabled flag: 0 = uninitialised (consult `ST_OBS`),
+/// 1 = off, 2 = on.
+static ENABLED: AtomicU8 = AtomicU8::new(0);
+
+/// Whether tracing is currently enabled.
+///
+/// The fast path — tracing off, environment already consulted — is one
+/// relaxed atomic load and a comparison.
+#[inline]
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => init_from_env(),
+    }
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    let on = std::env::var("ST_OBS")
+        .map(|v| {
+            let v = v.trim();
+            v == "1" || v.eq_ignore_ascii_case("true") || v.eq_ignore_ascii_case("on")
+        })
+        .unwrap_or(false);
+    // Racing initialisers agree (the environment is fixed), so a plain
+    // store is fine; an explicit `set_enabled` may already have won, in
+    // which case keep its value.
+    let _ = ENABLED.compare_exchange(
+        0,
+        if on { 2 } else { 1 },
+        Ordering::Relaxed,
+        Ordering::Relaxed,
+    );
+    ENABLED.load(Ordering::Relaxed) == 2
+}
+
+/// Turns tracing on or off programmatically, overriding `ST_OBS`.
+///
+/// Spans opened while enabled still record on drop even if tracing is
+/// disabled in between (their guard was armed at creation).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}

@@ -49,8 +49,9 @@
 #![warn(missing_docs)]
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
+use std::time::Instant;
 
 /// Programmatic worker-count override; 0 means "not set".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -90,6 +91,92 @@ pub fn num_threads() -> usize {
                     .unwrap_or(1)
             })
     })
+}
+
+/// Parallel regions dispatched to scoped workers.
+static PAR_REGIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Regions that took the serial fallback (1 worker or tiny input).
+static SERIAL_REGIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Tasks (chunks / indices / ranges) dispatched by parallel regions.
+static PAR_TASKS: AtomicU64 = AtomicU64::new(0);
+
+/// Nanoseconds workers spent inside their claim loops.
+static PAR_BUSY_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Wall nanoseconds of parallel regions, from the calling thread.
+static PAR_WALL_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Wall nanoseconds × workers: the time budget the regions could have used.
+static PAR_CAPACITY_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative scheduling statistics for this crate's primitives.
+///
+/// All counters are process-global and updated with relaxed atomics; the
+/// serial fallback costs exactly one `fetch_add` per region, so the
+/// accounting is safe to leave on permanently. Parallel regions also time
+/// their workers, giving the utilization figure the serve `/metrics`
+/// endpoint exports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParStats {
+    /// Regions dispatched to 2+ scoped workers.
+    pub par_regions: u64,
+    /// Regions that ran on the calling thread (1 worker or tiny input).
+    pub serial_regions: u64,
+    /// Tasks (chunks / indices / ranges) handed out by parallel regions.
+    pub tasks: u64,
+    /// Nanoseconds workers spent claiming and running tasks.
+    pub busy_ns: u64,
+    /// Wall nanoseconds of the parallel regions themselves.
+    pub wall_ns: u64,
+    /// `wall_ns × workers`: the compute budget those regions spanned.
+    pub capacity_ns: u64,
+}
+
+impl ParStats {
+    /// Fraction of the parallel regions' compute budget spent busy, in
+    /// `[0, 1]` (0 when no parallel region has run). Low values mean
+    /// workers idled at the claim loop — chunks too coarse or too few.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity_ns == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / self.capacity_ns as f64
+        }
+    }
+}
+
+/// Reads the cumulative [`ParStats`] counters.
+pub fn stats() -> ParStats {
+    ParStats {
+        par_regions: PAR_REGIONS.load(Ordering::Relaxed),
+        serial_regions: SERIAL_REGIONS.load(Ordering::Relaxed),
+        tasks: PAR_TASKS.load(Ordering::Relaxed),
+        busy_ns: PAR_BUSY_NS.load(Ordering::Relaxed),
+        wall_ns: PAR_WALL_NS.load(Ordering::Relaxed),
+        capacity_ns: PAR_CAPACITY_NS.load(Ordering::Relaxed),
+    }
+}
+
+/// Times a parallel region on the calling thread and charges its wall
+/// time and capacity (`wall × workers`) to the global counters.
+fn parallel_region<R>(tasks: usize, workers: usize, body: impl FnOnce() -> R) -> R {
+    PAR_REGIONS.fetch_add(1, Ordering::Relaxed);
+    PAR_TASKS.fetch_add(tasks as u64, Ordering::Relaxed);
+    let start = Instant::now();
+    let out = body();
+    let wall = start.elapsed().as_nanos() as u64;
+    PAR_WALL_NS.fetch_add(wall, Ordering::Relaxed);
+    PAR_CAPACITY_NS.fetch_add(wall * workers as u64, Ordering::Relaxed);
+    out
+}
+
+/// Times one worker's claim loop and charges it to the busy counter.
+fn busy_worker(body: impl FnOnce()) {
+    let start = Instant::now();
+    body();
+    PAR_BUSY_NS.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
 }
 
 /// Structured fan-out: re-export of [`std::thread::scope`].
@@ -134,7 +221,9 @@ where
     }
     let num_chunks = total.div_ceil(chunk_len);
     let workers = num_threads().min(num_chunks);
+    let _span = st_obs::span!("par.chunks_mut", num_chunks, workers);
     if workers <= 1 {
+        SERIAL_REGIONS.fetch_add(1, Ordering::Relaxed);
         for (idx, chunk) in data.chunks_mut(chunk_len).enumerate() {
             f(idx, chunk);
         }
@@ -143,26 +232,32 @@ where
 
     let base = SendPtr(data.as_mut_ptr());
     let next = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| {
-                let base = &base;
-                loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= num_chunks {
-                        break;
-                    }
-                    let start = idx * chunk_len;
-                    let end = (start + chunk_len).min(total);
-                    // SAFETY: the atomic counter hands each chunk index to
-                    // exactly one worker, so the [start, end) ranges carved
-                    // out here never overlap, and `data` outlives the scope.
-                    let chunk =
-                        unsafe { std::slice::from_raw_parts_mut(base.0.add(start), end - start) };
-                    f(idx, chunk);
-                }
-            });
-        }
+    parallel_region(num_chunks, workers, || {
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| {
+                    busy_worker(|| {
+                        let base = &base;
+                        loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            if idx >= num_chunks {
+                                break;
+                            }
+                            let start = idx * chunk_len;
+                            let end = (start + chunk_len).min(total);
+                            // SAFETY: the atomic counter hands each chunk
+                            // index to exactly one worker, so the [start,
+                            // end) ranges carved out here never overlap, and
+                            // `data` outlives the scope.
+                            let chunk = unsafe {
+                                std::slice::from_raw_parts_mut(base.0.add(start), end - start)
+                            };
+                            f(idx, chunk);
+                        }
+                    });
+                });
+            }
+        });
     });
 }
 
@@ -183,6 +278,7 @@ where
         return;
     }
     let num_chunks = total.div_ceil(chunk_len);
+    let _span = st_obs::span!("par.chunks", num_chunks);
     for_each_index(num_chunks, |idx| {
         let start = idx * chunk_len;
         let end = (start + chunk_len).min(total);
@@ -201,23 +297,29 @@ where
     F: Fn(usize) + Sync,
 {
     let workers = num_threads().min(n);
+    let _span = st_obs::span!("par.for_each", n, workers);
     if workers <= 1 {
+        SERIAL_REGIONS.fetch_add(1, Ordering::Relaxed);
         for i in 0..n {
             f(i);
         }
         return;
     }
     let next = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                f(i);
-            });
-        }
+    parallel_region(n, workers, || {
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| {
+                    busy_worker(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        f(i);
+                    });
+                });
+            }
+        });
     });
 }
 
@@ -258,30 +360,37 @@ where
     let range_of = |idx: usize| idx * grain..((idx + 1) * grain).min(n);
 
     let workers = num_threads().min(num_ranges);
+    let _span = st_obs::span!("par.map_reduce", num_ranges, workers);
     let mut partials: Vec<Option<R>> = (0..num_ranges).map(|_| None).collect();
     if workers <= 1 {
+        SERIAL_REGIONS.fetch_add(1, Ordering::Relaxed);
         for (idx, slot) in partials.iter_mut().enumerate() {
             *slot = Some(map(range_of(idx)));
         }
     } else {
         let base = SendPtr(partials.as_mut_ptr());
         let next = AtomicUsize::new(0);
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| {
-                    let base = &base;
-                    loop {
-                        let idx = next.fetch_add(1, Ordering::Relaxed);
-                        if idx >= num_ranges {
-                            break;
-                        }
-                        // SAFETY: each partial slot is written by the single
-                        // worker that claimed its index; `partials` outlives
-                        // the scope and is only read after all joins.
-                        unsafe { *base.0.add(idx) = Some(map(range_of(idx))) };
-                    }
-                });
-            }
+        parallel_region(num_ranges, workers, || {
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| {
+                        busy_worker(|| {
+                            let base = &base;
+                            loop {
+                                let idx = next.fetch_add(1, Ordering::Relaxed);
+                                if idx >= num_ranges {
+                                    break;
+                                }
+                                // SAFETY: each partial slot is written by the
+                                // single worker that claimed its index;
+                                // `partials` outlives the scope and is only
+                                // read after all joins.
+                                unsafe { *base.0.add(idx) = Some(map(range_of(idx))) };
+                            }
+                        });
+                    });
+                }
+            });
         });
     }
 
@@ -456,6 +565,23 @@ mod tests {
             }
         });
         assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn stats_count_serial_and_parallel_regions() {
+        let before = stats();
+        with_forced_threads(1, || for_each_index(8, |_| {}));
+        let mid = stats();
+        assert!(mid.serial_regions > before.serial_regions);
+        with_forced_threads(4, || for_each_index(64, |_| {}));
+        let after = stats();
+        assert!(after.par_regions > mid.par_regions);
+        assert!(after.tasks >= mid.tasks + 64);
+        assert!(after.wall_ns >= mid.wall_ns);
+        // Other tests may bump the global counters concurrently, so only
+        // sanity-check the derived ratio.
+        let u = after.utilization();
+        assert!(u.is_finite() && u >= 0.0, "utilization {u}");
     }
 
     #[test]

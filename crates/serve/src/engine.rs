@@ -11,7 +11,6 @@
 use crate::metrics::Metrics;
 use rihgcn_core::OnlineForecaster;
 use st_tensor::Matrix;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -140,18 +139,24 @@ pub const ENGINE_REPLY_TIMEOUT: Duration = Duration::from_secs(30);
 #[derive(Clone)]
 pub struct EngineHandle {
     tx: SyncSender<EngineRequest>,
+    metrics: Arc<Metrics>,
 }
 
 impl EngineHandle {
     /// Submits a request; fails if the engine has shut down.
     ///
+    /// The queue-depth gauge is incremented here and decremented when the
+    /// engine dequeues the request, so `/metrics` shows live backpressure.
+    ///
     /// # Errors
     ///
     /// Returns an error message when the engine thread is gone.
     pub fn submit(&self, req: EngineRequest) -> Result<(), String> {
-        self.tx
-            .send(req)
-            .map_err(|_| "inference engine has shut down".to_string())
+        self.metrics.queue_enter();
+        self.tx.send(req).map_err(|_| {
+            self.metrics.queue_drop();
+            "inference engine has shut down".to_string()
+        })
     }
 }
 
@@ -166,11 +171,11 @@ struct Engine {
     metrics: Arc<Metrics>,
     forecast_cache: Option<VersionCache>,
     imputed_cache: Option<VersionCache>,
-    tape_runs: Arc<AtomicU64>,
 }
 
 impl Engine {
     fn handle(&mut self, req: EngineRequest) {
+        self.metrics.queue_exit();
         match req {
             EngineRequest::Observe {
                 values,
@@ -178,6 +183,7 @@ impl Engine {
                 slot,
                 reply,
             } => {
+                let _span = st_obs::span!("serve.observe", slot);
                 let result = self
                     .online
                     .try_push(values, mask, slot)
@@ -190,26 +196,27 @@ impl Engine {
                 let _ = reply.send(result);
             }
             EngineRequest::Forecast { reply } => {
+                let _span = st_obs::span!("serve.forecast");
                 let result = Self::steps(
-                    &self.online,
+                    &mut self.online,
                     &mut self.forecast_cache,
                     &self.metrics,
-                    &self.tape_runs,
                     OnlineForecaster::forecast,
                 );
                 let _ = reply.send(result);
             }
             EngineRequest::Imputed { reply } => {
+                let _span = st_obs::span!("serve.imputed");
                 let result = Self::steps(
-                    &self.online,
+                    &mut self.online,
                     &mut self.imputed_cache,
                     &self.metrics,
-                    &self.tape_runs,
                     OnlineForecaster::imputed_window,
                 );
                 let _ = reply.send(result);
             }
             EngineRequest::Health { reply } => {
+                let _span = st_obs::span!("serve.health");
                 let _ = reply.send(WindowState {
                     buffered: self.online.len(),
                     ready: self.online.ready(),
@@ -220,13 +227,13 @@ impl Engine {
     }
 
     /// Serves a per-version result from the cache when the window has not
-    /// advanced, recomputing (one tape run) otherwise.
+    /// advanced, recomputing (one tape run) otherwise. After a run the
+    /// inference pool's statistics are published to the metrics surface.
     fn steps(
-        online: &OnlineForecaster,
+        online: &mut OnlineForecaster,
         cache: &mut Option<VersionCache>,
         metrics: &Metrics,
-        tape_runs: &AtomicU64,
-        compute: impl Fn(&OnlineForecaster) -> Option<Vec<Matrix>>,
+        compute: impl FnOnce(&mut OnlineForecaster) -> Option<Vec<Matrix>>,
     ) -> Result<StepsReply, EngineError> {
         let version = online.window_version();
         if let Some(c) = cache {
@@ -238,11 +245,15 @@ impl Engine {
                 });
             }
         }
-        let steps = compute(online).ok_or(EngineError::NotReady {
-            buffered: online.len(),
-            needed: online.history(),
-        })?;
-        tape_runs.fetch_add(1, Ordering::Relaxed);
+        let steps = {
+            let buffered = online.len();
+            let needed = online.history();
+            compute(online).ok_or(EngineError::NotReady { buffered, needed })?
+        };
+        metrics.tape_run();
+        if let (Some(stats), Some(free)) = (online.pool_stats(), online.pool_free_bytes()) {
+            metrics.set_pool_stats(stats, free as u64);
+        }
         let value = Arc::new(steps);
         *cache = Some(VersionCache {
             version,
@@ -257,25 +268,25 @@ impl Engine {
 
 /// Spawns the engine thread. The returned handle is cloned into every
 /// worker; the thread exits (returning the forecaster) once all handles
-/// are dropped and the queue drains. `tape_runs` counts actual model
-/// evaluations — the loopback test uses it to prove coalescing.
+/// are dropped and the queue drains. `metrics.total_tape_runs()` counts
+/// actual model evaluations — the loopback test uses it to prove
+/// coalescing.
 pub fn spawn(
     online: OnlineForecaster,
     metrics: Arc<Metrics>,
     queue_depth: usize,
-    tape_runs: Arc<AtomicU64>,
 ) -> (EngineHandle, JoinHandle<OnlineForecaster>) {
     let (tx, rx): (SyncSender<EngineRequest>, Receiver<EngineRequest>) =
         std::sync::mpsc::sync_channel(queue_depth.max(1));
+    let engine_metrics = Arc::clone(&metrics);
     let handle = std::thread::Builder::new()
         .name("st-serve-engine".into())
         .spawn(move || {
             let mut engine = Engine {
                 online,
-                metrics,
+                metrics: engine_metrics,
                 forecast_cache: None,
                 imputed_cache: None,
-                tape_runs,
             };
             while let Ok(req) = rx.recv() {
                 engine.handle(req);
@@ -283,7 +294,7 @@ pub fn spawn(
             engine.online
         })
         .expect("spawn engine thread");
-    (EngineHandle { tx }, handle)
+    (EngineHandle { tx, metrics }, handle)
 }
 
 #[cfg(test)]
@@ -340,8 +351,7 @@ mod tests {
     fn engine_serves_and_coalesces() {
         let (online, ds) = setup();
         let metrics = Arc::new(Metrics::new());
-        let tape_runs = Arc::new(AtomicU64::new(0));
-        let (handle, join) = spawn(online, Arc::clone(&metrics), 16, Arc::clone(&tape_runs));
+        let (handle, join) = spawn(online, Arc::clone(&metrics), 16);
 
         // Not ready yet.
         let err = forecast(&handle).unwrap_err();
@@ -356,14 +366,18 @@ mod tests {
         let b = forecast(&handle).unwrap();
         assert_eq!(a.version, b.version);
         assert_eq!(a.steps, b.steps);
-        assert_eq!(tape_runs.load(Ordering::Relaxed), 1, "second call cached");
+        assert_eq!(metrics.total_tape_runs(), 1, "second call cached");
         assert_eq!(metrics.total_cache_hits(), 1);
+
+        // The tape run published the inference pool's statistics.
+        let (pool_hits, pool_misses, _) = metrics.pool_stats();
+        assert!(pool_hits + pool_misses > 0, "pool stats published");
 
         // A new observation invalidates the cache.
         observe(&handle, &ds, 4);
         let c = forecast(&handle).unwrap();
         assert_ne!(c.version, a.version);
-        assert_eq!(tape_runs.load(Ordering::Relaxed), 2);
+        assert_eq!(metrics.total_tape_runs(), 2);
 
         // Bad observation is rejected without killing the engine.
         let (tx, rx) = channel();
@@ -379,6 +393,8 @@ mod tests {
             rx.recv().unwrap().unwrap_err(),
             EngineError::Rejected(_)
         ));
+
+        assert_eq!(metrics.queue_depth(), 0, "every request was dequeued");
 
         drop(handle);
         let online = join.join().unwrap();

@@ -1,8 +1,19 @@
 //! Lock-free service counters rendered in a Prometheus-style text format.
+//!
+//! Every family carries its `# HELP` / `# TYPE` header and histograms come
+//! with the `_sum`/`_count` lines rate/avg queries need. Beyond the
+//! HTTP-side counters, [`Metrics::render`] also exports the engine's queue
+//! depth and tape-run counters, the inference tape's [`MatrixPool`]
+//! (st_tensor::MatrixPool) statistics (published by the engine thread via
+//! [`Metrics::set_pool_stats`]) and the process-wide [`st_par::stats`]
+//! scheduling counters — one scrape shows the whole pipeline.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Routes the service distinguishes in its metrics.
+///
+/// The discriminant doubles as the index into [`ROUTES`] (asserted at
+/// compile time), so per-request recording is O(1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Route {
     /// `POST /observe`
@@ -15,27 +26,40 @@ pub enum Route {
     Healthz,
     /// `GET /metrics`
     Metrics,
+    /// `GET /debug/trace`
+    Trace,
     /// `POST /admin/shutdown`
     Shutdown,
     /// Anything else (404/405 traffic).
     Other,
 }
 
-const ROUTES: [(Route, &str); 7] = [
+const ROUTES: [(Route, &str); 8] = [
     (Route::Observe, "observe"),
     (Route::Forecast, "forecast"),
     (Route::Imputed, "imputed"),
     (Route::Healthz, "healthz"),
     (Route::Metrics, "metrics"),
+    (Route::Trace, "trace"),
     (Route::Shutdown, "shutdown"),
     (Route::Other, "other"),
 ];
 
+// `route_index` relies on ROUTES being listed in discriminant order.
+const _: () = {
+    let mut i = 0;
+    while i < ROUTES.len() {
+        assert!(
+            ROUTES[i].0 as usize == i,
+            "ROUTES must be listed in Route discriminant order"
+        );
+        i += 1;
+    }
+};
+
+#[inline]
 fn route_index(route: Route) -> usize {
-    ROUTES
-        .iter()
-        .position(|(r, _)| *r == route)
-        .expect("every route is listed")
+    route as usize
 }
 
 /// Upper bounds (inclusive, in microseconds) of the latency histogram
@@ -43,16 +67,26 @@ fn route_index(route: Route) -> usize {
 const BUCKET_BOUNDS_US: [u64; 6] = [100, 1_000, 10_000, 100_000, 1_000_000, u64::MAX];
 const BUCKET_LABELS: [&str; 6] = ["100us", "1ms", "10ms", "100ms", "1s", "+inf"];
 
-/// Atomic counters for the service: per-route request counts, error count,
-/// engine cache hits, rejected connections, and a request-latency
-/// histogram. All methods are callable from any worker thread.
+/// Atomic counters for the service: per-route request counts and latency
+/// sums, error count, engine cache hits and queue depth, tape runs,
+/// rejected connections, a request-latency histogram, and gauges mirroring
+/// the inference tape's buffer pool. All methods are callable from any
+/// worker thread.
 #[derive(Debug, Default)]
 pub struct Metrics {
     requests: [AtomicU64; ROUTES.len()],
+    latency_us: [AtomicU64; ROUTES.len()],
     errors: AtomicU64,
     cache_hits: AtomicU64,
     rejected_connections: AtomicU64,
     latency: [AtomicU64; BUCKET_BOUNDS_US.len()],
+    queue_depth: AtomicU64,
+    engine_requests: AtomicU64,
+    tape_runs: AtomicU64,
+    pool_hits: AtomicU64,
+    pool_misses: AtomicU64,
+    pool_released: AtomicU64,
+    pool_free_bytes: AtomicU64,
 }
 
 impl Metrics {
@@ -64,7 +98,9 @@ impl Metrics {
     /// Records one served request: its route, wall latency, and whether the
     /// response was an error (status ≥ 400).
     pub fn record(&self, route: Route, latency_us: u64, error: bool) {
-        self.requests[route_index(route)].fetch_add(1, Ordering::Relaxed);
+        let i = route_index(route);
+        self.requests[i].fetch_add(1, Ordering::Relaxed);
+        self.latency_us[i].fetch_add(latency_us, Ordering::Relaxed);
         if error {
             self.errors.fetch_add(1, Ordering::Relaxed);
         }
@@ -85,6 +121,56 @@ impl Metrics {
         self.rejected_connections.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A request entered the engine queue.
+    pub fn queue_enter(&self) {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The engine dequeued a request.
+    pub fn queue_exit(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.engine_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request left the queue without reaching the engine (the engine
+    /// thread is gone and the send failed).
+    pub fn queue_drop(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Requests currently queued for (or being handled by) the engine.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Counts one actual model evaluation (an engine cache miss).
+    pub fn tape_run(&self) {
+        self.tape_runs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total model evaluations the engine has run.
+    pub fn total_tape_runs(&self) -> u64 {
+        self.tape_runs.load(Ordering::Relaxed)
+    }
+
+    /// Publishes the inference tape's buffer-pool statistics (the engine
+    /// thread calls this after each tape run).
+    pub fn set_pool_stats(&self, stats: st_tensor::PoolStats, free_bytes: u64) {
+        self.pool_hits.store(stats.hits, Ordering::Relaxed);
+        self.pool_misses.store(stats.misses, Ordering::Relaxed);
+        self.pool_released.store(stats.released, Ordering::Relaxed);
+        self.pool_free_bytes.store(free_bytes, Ordering::Relaxed);
+    }
+
+    /// The last published pool statistics, as `(hits, misses, released)`.
+    pub fn pool_stats(&self) -> (u64, u64, u64) {
+        (
+            self.pool_hits.load(Ordering::Relaxed),
+            self.pool_misses.load(Ordering::Relaxed),
+            self.pool_released.load(Ordering::Relaxed),
+        )
+    }
+
     /// Total requests across all routes.
     pub fn total_requests(&self) -> u64 {
         self.requests
@@ -103,28 +189,101 @@ impl Metrics {
         self.cache_hits.load(Ordering::Relaxed)
     }
 
-    /// Renders all counters as `GET /metrics` plain text (cumulative
-    /// histogram buckets, one `st_serve_*` line per counter).
+    /// Renders all counters as `GET /metrics` plain text: one family per
+    /// counter/gauge with `# HELP`/`# TYPE` headers, cumulative histogram
+    /// buckets with `_sum`/`_count`, per-route latency summaries, pool
+    /// gauges and the st-par scheduling counters.
     pub fn render(&self) -> String {
-        let mut out = String::new();
+        let mut out = String::with_capacity(4096);
+        let header = |out: &mut String, name: &str, kind: &str, help: &str| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+        };
+
+        header(
+            &mut out,
+            "st_serve_requests_total",
+            "counter",
+            "Requests served, by route.",
+        );
         for (i, (_, name)) in ROUTES.iter().enumerate() {
             out.push_str(&format!(
                 "st_serve_requests_total{{route=\"{name}\"}} {}\n",
                 self.requests[i].load(Ordering::Relaxed)
             ));
         }
+
+        header(
+            &mut out,
+            "st_serve_errors_total",
+            "counter",
+            "Responses with status >= 400.",
+        );
         out.push_str(&format!(
             "st_serve_errors_total {}\n",
             self.errors.load(Ordering::Relaxed)
         ));
+
+        header(
+            &mut out,
+            "st_serve_cache_hits_total",
+            "counter",
+            "Requests served from the engine's window-version cache.",
+        );
         out.push_str(&format!(
             "st_serve_cache_hits_total {}\n",
             self.cache_hits.load(Ordering::Relaxed)
         ));
+
+        header(
+            &mut out,
+            "st_serve_rejected_connections_total",
+            "counter",
+            "Connections rejected by the max-connections limit.",
+        );
         out.push_str(&format!(
             "st_serve_rejected_connections_total {}\n",
             self.rejected_connections.load(Ordering::Relaxed)
         ));
+
+        header(
+            &mut out,
+            "st_serve_queue_depth",
+            "gauge",
+            "Requests queued for (or being handled by) the engine thread.",
+        );
+        out.push_str(&format!(
+            "st_serve_queue_depth {}\n",
+            self.queue_depth.load(Ordering::Relaxed)
+        ));
+
+        header(
+            &mut out,
+            "st_serve_engine_requests_total",
+            "counter",
+            "Requests the engine thread has dequeued.",
+        );
+        out.push_str(&format!(
+            "st_serve_engine_requests_total {}\n",
+            self.engine_requests.load(Ordering::Relaxed)
+        ));
+
+        header(
+            &mut out,
+            "st_serve_tape_runs_total",
+            "counter",
+            "Model evaluations run by the engine (cache misses).",
+        );
+        out.push_str(&format!(
+            "st_serve_tape_runs_total {}\n",
+            self.tape_runs.load(Ordering::Relaxed)
+        ));
+
+        header(
+            &mut out,
+            "st_serve_latency",
+            "histogram",
+            "Request latency, microsecond buckets.",
+        );
         let mut cumulative = 0u64;
         for (i, label) in BUCKET_LABELS.iter().enumerate() {
             cumulative += self.latency[i].load(Ordering::Relaxed);
@@ -132,6 +291,108 @@ impl Metrics {
                 "st_serve_latency_bucket{{le=\"{label}\"}} {cumulative}\n"
             ));
         }
+        let total_us: u64 = self
+            .latency_us
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum();
+        out.push_str(&format!("st_serve_latency_sum {total_us}\n"));
+        out.push_str(&format!("st_serve_latency_count {cumulative}\n"));
+
+        header(
+            &mut out,
+            "st_serve_route_latency_us",
+            "summary",
+            "Per-route latency sum (microseconds) and request count.",
+        );
+        for (i, (_, name)) in ROUTES.iter().enumerate() {
+            out.push_str(&format!(
+                "st_serve_route_latency_us_sum{{route=\"{name}\"}} {}\n",
+                self.latency_us[i].load(Ordering::Relaxed)
+            ));
+            out.push_str(&format!(
+                "st_serve_route_latency_us_count{{route=\"{name}\"}} {}\n",
+                self.requests[i].load(Ordering::Relaxed)
+            ));
+        }
+
+        header(
+            &mut out,
+            "st_serve_pool_acquires_total",
+            "counter",
+            "Inference tape buffer-pool acquires, by outcome.",
+        );
+        out.push_str(&format!(
+            "st_serve_pool_acquires_total{{outcome=\"hit\"}} {}\n",
+            self.pool_hits.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "st_serve_pool_acquires_total{{outcome=\"miss\"}} {}\n",
+            self.pool_misses.load(Ordering::Relaxed)
+        ));
+
+        header(
+            &mut out,
+            "st_serve_pool_released_total",
+            "counter",
+            "Buffers returned to the inference tape's pool.",
+        );
+        out.push_str(&format!(
+            "st_serve_pool_released_total {}\n",
+            self.pool_released.load(Ordering::Relaxed)
+        ));
+
+        header(
+            &mut out,
+            "st_serve_pool_free_bytes",
+            "gauge",
+            "Bytes held by the inference tape pool's free buffers.",
+        );
+        out.push_str(&format!(
+            "st_serve_pool_free_bytes {}\n",
+            self.pool_free_bytes.load(Ordering::Relaxed)
+        ));
+
+        let par = st_par::stats();
+        header(
+            &mut out,
+            "st_par_regions_total",
+            "counter",
+            "Parallel-primitive regions, by dispatch kind.",
+        );
+        out.push_str(&format!(
+            "st_par_regions_total{{kind=\"parallel\"}} {}\n",
+            par.par_regions
+        ));
+        out.push_str(&format!(
+            "st_par_regions_total{{kind=\"serial\"}} {}\n",
+            par.serial_regions
+        ));
+
+        header(
+            &mut out,
+            "st_par_tasks_total",
+            "counter",
+            "Tasks dispatched by parallel regions.",
+        );
+        out.push_str(&format!("st_par_tasks_total {}\n", par.tasks));
+
+        header(
+            &mut out,
+            "st_par_busy_ns_total",
+            "counter",
+            "Nanoseconds workers spent in claim loops.",
+        );
+        out.push_str(&format!("st_par_busy_ns_total {}\n", par.busy_ns));
+
+        header(
+            &mut out,
+            "st_par_utilization",
+            "gauge",
+            "Worker busy time over parallel-region capacity, 0 to 1.",
+        );
+        out.push_str(&format!("st_par_utilization {:.6}\n", par.utilization()));
+
         out
     }
 }
@@ -161,6 +422,12 @@ mod tests {
         assert!(text.contains("st_serve_latency_bucket{le=\"100us\"} 1"));
         assert!(text.contains("st_serve_latency_bucket{le=\"1ms\"} 2"));
         assert!(text.contains("st_serve_latency_bucket{le=\"+inf\"} 3"));
+        // Histogram _sum/_count complete the family.
+        assert!(text.contains("st_serve_latency_sum 5550"));
+        assert!(text.contains("st_serve_latency_count 3"));
+        // Per-route summaries.
+        assert!(text.contains("st_serve_route_latency_us_sum{route=\"forecast\"} 5050"));
+        assert!(text.contains("st_serve_route_latency_us_count{route=\"forecast\"} 2"));
     }
 
     #[test]
@@ -171,5 +438,63 @@ mod tests {
             .render()
             .contains("st_serve_latency_bucket{le=\"+inf\"} 1"));
         assert!(m.render().contains("st_serve_latency_bucket{le=\"1s\"} 0"));
+    }
+
+    #[test]
+    fn every_family_has_help_and_type() {
+        let text = Metrics::new().render();
+        let mut families = std::collections::BTreeSet::new();
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let name = line
+                .split(|c| c == '{' || c == ' ')
+                .next()
+                .unwrap()
+                .trim_end_matches("_bucket")
+                .trim_end_matches("_sum")
+                .trim_end_matches("_count");
+            families.insert(name.to_string());
+        }
+        assert!(!families.is_empty());
+        for family in &families {
+            assert!(
+                text.contains(&format!("# HELP {family} ")),
+                "missing HELP for {family}"
+            );
+            assert!(
+                text.contains(&format!("# TYPE {family} ")),
+                "missing TYPE for {family}"
+            );
+        }
+    }
+
+    #[test]
+    fn queue_and_engine_counters_track_lifecycle() {
+        let m = Metrics::new();
+        m.queue_enter();
+        m.queue_enter();
+        assert_eq!(m.queue_depth(), 2);
+        m.queue_exit();
+        assert_eq!(m.queue_depth(), 1);
+        m.tape_run();
+        m.set_pool_stats(
+            st_tensor::PoolStats {
+                hits: 90,
+                misses: 10,
+                released: 100,
+            },
+            4096,
+        );
+        assert_eq!(m.total_tape_runs(), 1);
+        assert_eq!(m.pool_stats(), (90, 10, 100));
+        let text = m.render();
+        assert!(text.contains("st_serve_queue_depth 1"));
+        assert!(text.contains("st_serve_engine_requests_total 1"));
+        assert!(text.contains("st_serve_tape_runs_total 1"));
+        assert!(text.contains("st_serve_pool_acquires_total{outcome=\"hit\"} 90"));
+        assert!(text.contains("st_serve_pool_free_bytes 4096"));
+        assert!(text.contains("st_par_utilization "));
     }
 }

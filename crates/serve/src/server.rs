@@ -24,7 +24,7 @@ use crate::wire;
 use rihgcn_core::OnlineForecaster;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -99,7 +99,6 @@ impl ShutdownHandle {
 pub struct Server {
     shared: Arc<Shared>,
     metrics: Arc<Metrics>,
-    tape_runs: Arc<AtomicU64>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     engine: Option<JoinHandle<OnlineForecaster>>,
@@ -125,14 +124,9 @@ impl Server {
             addr,
         });
         let metrics = Arc::new(Metrics::new());
-        let tape_runs = Arc::new(AtomicU64::new(0));
         let info = ModelInfo::of(&online);
-        let (engine_handle, engine_join) = engine::spawn(
-            online,
-            Arc::clone(&metrics),
-            cfg.queue_depth,
-            Arc::clone(&tape_runs),
-        );
+        let (engine_handle, engine_join) =
+            engine::spawn(online, Arc::clone(&metrics), cfg.queue_depth);
 
         let workers_n = if cfg.workers > 0 {
             cfg.workers
@@ -200,7 +194,6 @@ impl Server {
         Ok(Server {
             shared,
             metrics,
-            tape_runs,
             accept: Some(accept),
             workers,
             engine: Some(engine_join),
@@ -219,7 +212,7 @@ impl Server {
 
     /// Number of model evaluations performed so far (cache misses).
     pub fn tape_runs(&self) -> u64 {
-        self.tape_runs.load(Ordering::Relaxed)
+        self.metrics.total_tape_runs()
     }
 
     /// A handle that can trigger graceful shutdown from another thread or
@@ -378,6 +371,12 @@ fn route(req: &Request, engine: &EngineHandle, metrics: &Metrics, info: &ModelIn
             Err(msg) => Outcome::err(Route::Healthz, 500, format!("{msg}\n")),
         },
         ("GET", "/metrics") => Outcome::ok(Route::Metrics, metrics.render()),
+        ("GET", "/debug/trace") => {
+            // Chrome trace_event JSON of every span buffer in the process.
+            // Empty (but well-formed) when tracing is off.
+            let snap = st_obs::trace::snapshot();
+            Outcome::ok(Route::Trace, st_obs::trace::chrome_trace_json(&snap))
+        }
         ("POST", "/observe") => {
             let body = match req.body_text() {
                 Ok(b) => b,
@@ -428,7 +427,8 @@ fn route(req: &Request, engine: &EngineHandle, metrics: &Metrics, info: &ModelIn
         },
         (
             _,
-            "/healthz" | "/metrics" | "/observe" | "/forecast" | "/imputed" | "/admin/shutdown",
+            "/healthz" | "/metrics" | "/debug/trace" | "/observe" | "/forecast" | "/imputed"
+            | "/admin/shutdown",
         ) => Outcome::err(Route::Other, 405, "method not allowed\n".into()),
         _ => Outcome::err(Route::Other, 404, "no such route\n".into()),
     }

@@ -151,6 +151,119 @@ fn http_forecasts_match_in_process_bit_for_bit() {
     assert_eq!(online.window_version(), HISTORY as u64 + 1);
 }
 
+/// Scrapes `/metrics` and `/debug/trace` over real HTTP after a load burst
+/// and checks the text surfaces are internally consistent: every sample
+/// line parses, histogram buckets are cumulative (monotone), the request
+/// total equals the histogram count, and the trace is valid Chrome JSON
+/// with spans from the serve, core and tensor layers.
+#[test]
+fn metrics_and_trace_scrape_over_http() {
+    st_obs::set_enabled(true);
+    let (server, mut client, ds) = start_server();
+
+    // Load burst: fill the window, then mixed traffic on every route.
+    for t in 0..HISTORY {
+        let body = wire::format_observation(t, &ds.values.time_slice(t), &ds.mask.time_slice(t));
+        client.post_ok("/observe", &body).expect("observe");
+    }
+    for _ in 0..3 {
+        client.get_ok("/forecast").expect("forecast");
+    }
+    client.get_ok("/imputed").expect("imputed");
+    client.get_ok("/healthz").expect("healthz");
+    let resp = client.request("GET", "/nope", "").expect("request");
+    assert_eq!(resp.status, 404);
+
+    // The scrape is recorded after its response is rendered, so the text it
+    // returns covers exactly the burst above — not this request itself.
+    let metrics = client.get_ok("/metrics").expect("metrics");
+
+    let mut samples: Vec<(String, f64)> = Vec::new();
+    for line in metrics.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let (name, value) = line.rsplit_once(' ').expect("sample line has a value");
+        let value: f64 = value.parse().unwrap_or_else(|_| {
+            panic!("metric value must be numeric: {line}");
+        });
+        assert!(value.is_finite() && value >= 0.0, "bad sample: {line}");
+        samples.push((name.to_string(), value));
+    }
+
+    let get = |name: &str| -> f64 {
+        samples
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("missing metric {name}"))
+            .1
+    };
+
+    // Histogram buckets are cumulative: monotone non-decreasing in order.
+    let buckets: Vec<f64> = samples
+        .iter()
+        .filter(|(n, _)| n.starts_with("st_serve_latency_bucket"))
+        .map(|&(_, v)| v)
+        .collect();
+    assert_eq!(buckets.len(), 6, "metrics: {metrics}");
+    assert!(
+        buckets.windows(2).all(|w| w[0] <= w[1]),
+        "buckets must be cumulative: {buckets:?}"
+    );
+
+    // The +inf bucket, the histogram count and the per-route request total
+    // all count the same requests.
+    let count = get("st_serve_latency_count");
+    assert_eq!(*buckets.last().unwrap(), count);
+    let requests: f64 = samples
+        .iter()
+        .filter(|(n, _)| n.starts_with("st_serve_requests_total"))
+        .map(|&(_, v)| v)
+        .sum();
+    assert_eq!(requests, count, "metrics: {metrics}");
+    // 4 observes + 3 forecasts + imputed + healthz + the 404.
+    assert_eq!(requests, 10.0, "metrics: {metrics}");
+
+    // Per-route counts mirror the request counters.
+    for route in ["observe", "forecast", "imputed", "healthz"] {
+        assert_eq!(
+            get(&format!(
+                "st_serve_route_latency_us_count{{route=\"{route}\"}}"
+            )),
+            get(&format!("st_serve_requests_total{{route=\"{route}\"}}")),
+            "route {route}"
+        );
+    }
+
+    // Engine-side counters: 2 tape runs (forecast + imputed; repeats hit
+    // the version cache), pool stats published after the runs.
+    assert_eq!(get("st_serve_tape_runs_total"), 2.0);
+    assert_eq!(get("st_serve_cache_hits_total"), 2.0);
+    assert_eq!(get("st_serve_queue_depth"), 0.0);
+    let pool_acquires = get("st_serve_pool_acquires_total{outcome=\"hit\"}")
+        + get("st_serve_pool_acquires_total{outcome=\"miss\"}");
+    assert!(pool_acquires > 0.0, "pool stats published after tape runs");
+
+    // The trace endpoint returns valid Chrome trace JSON with spans from
+    // the serve, core and tensor layers (the engine thread ran the tape).
+    let trace = client.get_ok("/debug/trace").expect("trace");
+    let stats = st_obs::trace::validate_chrome_trace(&trace).expect("valid Chrome trace");
+    assert!(stats.span_events > 0, "trace has spans");
+    for prefix in ["serve.", "core.", "tensor."] {
+        assert!(
+            stats.has_prefix(prefix),
+            "trace must contain {prefix}* spans; names: {:?}",
+            stats.names
+        );
+    }
+    let resp = client.request("POST", "/debug/trace", "").expect("request");
+    assert_eq!(resp.status, 405);
+
+    server.shutdown_handle().shutdown();
+    server.join();
+    st_obs::set_enabled(false);
+}
+
 #[test]
 fn shutdown_handle_stops_an_idle_server() {
     let (server, mut client, _) = start_server();

@@ -454,6 +454,8 @@ impl Matrix {
             "matmul shape mismatch: {}x{} · {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let _span = st_obs::span!("tensor.matmul", m, k, n);
         let flops = self.rows * self.cols * rhs.cols;
         let lc = self.cols;
         Self::rowwise_product(out, flops, |row0, block| {
@@ -585,6 +587,8 @@ impl Matrix {
             "matmul_tn shape mismatch: ({}x{})ᵀ · {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
+        let (m, k, n) = (self.cols, self.rows, rhs.cols);
+        let _span = st_obs::span!("tensor.matmul_tn", m, k, n);
         let flops = self.rows * self.cols * rhs.cols;
         let lc = self.cols;
         Self::rowwise_product(out, flops, |row0, block| {
@@ -644,6 +648,8 @@ impl Matrix {
         if self.cols == 0 {
             return; // empty reduction: out stays zero
         }
+        let (m, k, n) = (self.rows, self.cols, rhs.rows);
+        let _span = st_obs::span!("tensor.matmul_nt", m, k, n);
         let flops = self.rows * self.cols * rhs.rows;
         let lc = self.cols;
         Self::rowwise_product(out, flops, |row0, block| {

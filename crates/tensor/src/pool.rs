@@ -106,6 +106,16 @@ impl MatrixPool {
         self.free.values().map(Vec::len).sum()
     }
 
+    /// Bytes held by the free buffers (element counts × 8, ignoring any
+    /// over-allocated `Vec` capacity). This is what the serve `/metrics`
+    /// pool gauge reports.
+    pub fn free_bytes(&self) -> usize {
+        self.free
+            .iter()
+            .map(|(len, bufs)| len * bufs.len() * std::mem::size_of::<f64>())
+            .sum()
+    }
+
     /// Drops every free buffer (counters are kept).
     pub fn clear(&mut self) {
         self.free.clear();
@@ -171,8 +181,10 @@ mod tests {
         assert_eq!(pool.stats().hit_rate(), 0.5);
         pool.release(Matrix::zeros(3, 3));
         assert_eq!(pool.free_buffers(), 1);
+        assert_eq!(pool.free_bytes(), 9 * 8);
         pool.clear();
         assert_eq!(pool.free_buffers(), 0);
+        assert_eq!(pool.free_bytes(), 0);
     }
 
     #[test]

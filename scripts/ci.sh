@@ -52,6 +52,32 @@ for threads in 1 4; do
     wait "$SERVER_PID"
 done
 
+echo "== determinism under tracing (ST_OBS=1) =="
+# Spans must never change a bit: the determinism suites have to pass with
+# span collection forced on.
+ST_OBS=1 cargo test -q --offline -p rihgcn --test determinism
+ST_OBS=1 ST_NUM_THREADS=4 cargo test -q --offline \
+    -p rihgcn --test thread_determinism
+
+echo "== traced training run (Chrome trace export) =="
+# A short training run with --trace must emit well-formed Chrome
+# trace_event JSON containing spans from every instrumented layer; the
+# in-tree checker validates JSON shape, timestamp monotonicity and the
+# required span-name prefixes. At this model size the par.* spans come
+# from the model-construction fan-outs (steady-state matmuls stay below
+# the parallel threshold), so the ring must be large enough that a full
+# epoch doesn't overwrite them: the run emits ~26k spans, ST_OBS_RING
+# keeps 64k.
+ST_NUM_THREADS=1 ST_OBS_RING=65536 \
+    cargo run -q --release --offline -p rihgcn-cli --bin rihgcn -- \
+    train --data "$SERVE_DIR/data.csv" --out "$SERVE_DIR/traced.params" \
+    --epochs 1 --gcn-dim 4 --lstm-dim 6 --graphs 2 --history 4 --horizon 2 \
+    --trace "$SERVE_DIR/trace.json" --log-format json
+cargo run -q --release --offline -p rihgcn-bench --bin trace_check -- \
+    "$SERVE_DIR/trace.json" \
+    --require tensor. --require autodiff. --require par. \
+    --require core. --require nn.
+
 echo "== bench smoke (serial vs parallel) =="
 # One tiny sample per benchmark: checks the harness runs, records the
 # serial-vs-parallel comparison, and asserts nothing about speedup (that
@@ -64,6 +90,27 @@ echo "== allocation bench (training-step memory profile) =="
 # or missing metrics, or a steady-state allocation reduction below 90%.
 scripts/bench_step.sh --smoke
 test -s BENCH_step.json || { echo "BENCH_step.json missing"; exit 1; }
+
+echo "== observability overhead bench (tracing off < 2%, on = bit-identical) =="
+# bench_obs reruns the bench_step workload twice per thread count: with
+# tracing disabled (step time must stay within 2% of a freshly-recorded
+# matching baseline) and enabled (per-step losses must be bit-identical,
+# and the captured trace must validate with spans from every layer). The
+# binary exits non-zero on any violation.
+for threads in 1 4; do
+    STEP_JSON="$(mktemp)"
+    OBS_JSON="$(mktemp)"
+    ST_NUM_THREADS=$threads cargo run -q --release --offline \
+        -p rihgcn-bench --bin bench_step -- \
+        --smoke --out "$STEP_JSON" >/dev/null
+    ST_NUM_THREADS=$threads cargo run -q --release --offline \
+        -p rihgcn-bench --bin bench_obs -- \
+        --smoke --baseline "$STEP_JSON" --out "$OBS_JSON" >/dev/null
+    grep -q '"bit_identical": true' "$OBS_JSON" || {
+        echo "bench_obs report missing bit_identical=true"; exit 1;
+    }
+    rm -f "$STEP_JSON" "$OBS_JSON"
+done
 
 echo "== kernel scoreboard smoke (GFLOP/s, bit-identity, 1 and 4 threads) =="
 # bench_kernels proves the blocked matmul kernels bit-identical to the

@@ -12,6 +12,8 @@
 //! * [`data`] — synthetic PeMS/Stampede datasets, masking, windowing;
 //! * [`graph`] — adjacency, Laplacians, DTW, interval partitioning;
 //! * [`nn`] — layers and optimiser;
+//! * [`obs`] — zero-dependency observability: structured tracing spans,
+//!   Chrome trace export, allocation counters and a strict JSON parser;
 //! * [`par`] — deterministic std-only data parallelism;
 //! * [`serve`] — the std-only HTTP forecast service (checkpoints,
 //!   micro-batched inference, metrics);
@@ -40,6 +42,7 @@ pub use st_autodiff as autodiff;
 pub use st_data as data;
 pub use st_graph as graph;
 pub use st_nn as nn;
+pub use st_obs as obs;
 pub use st_par as par;
 pub use st_serve as serve;
 pub use st_tensor as tensor;
