@@ -8,11 +8,18 @@
 //! * load mode (default) — fills the window, then `--threads K` clients
 //!   each issue `--requests N` `GET /forecast` calls over keep-alive
 //!   connections and the tool reports throughput and p50/p99 latency.
+//! * multi-tenant mode (`--tenants N`) — discovers the tenant directory
+//!   via `GET /admin/tenants`, fills the first `N` tenants' windows, then
+//!   every client thread samples tenants from a Zipf(`--zipf`)
+//!   distribution (seeded by `--seed`, deterministic per thread) and hits
+//!   `GET /forecast?tenant=`. Reports per-shard p50/p99 plus aggregate
+//!   throughput, and fails unless the per-shard request counters scraped
+//!   from `/metrics` sum to the aggregate engine counter.
 //!
 //! `--shutdown` additionally posts `/admin/shutdown` at the end, so a
 //! scripted server run terminates cleanly. Exits non-zero on any failure.
 
-use st_serve::{wire, HttpClient};
+use st_serve::{shard_of, wire, HttpClient};
 use st_tensor::Matrix;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -23,6 +30,9 @@ struct Args {
     addr: String,
     threads: usize,
     requests: usize,
+    tenants: usize,
+    zipf: f64,
+    seed: u64,
     smoke: bool,
     shutdown: bool,
 }
@@ -32,6 +42,9 @@ fn parse_args() -> Result<Args, String> {
         addr: "127.0.0.1:8100".into(),
         threads: 4,
         requests: 200,
+        tenants: 0,
+        zipf: 1.1,
+        seed: 42,
         smoke: false,
         shutdown: false,
     };
@@ -53,11 +66,27 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--requests: {e}"))?;
             }
+            "--tenants" => {
+                args.tenants = value("--tenants")?
+                    .parse()
+                    .map_err(|e| format!("--tenants: {e}"))?;
+            }
+            "--zipf" => {
+                args.zipf = value("--zipf")?
+                    .parse()
+                    .map_err(|e| format!("--zipf: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
             "--smoke" => args.smoke = true,
             "--shutdown" => args.shutdown = true,
             "--help" | "-h" => {
                 println!(
-                    "loadgen --addr HOST:PORT [--threads K] [--requests N] [--smoke] [--shutdown]"
+                    "loadgen --addr HOST:PORT [--threads K] [--requests N] \
+                     [--tenants N [--zipf S] [--seed S]] [--smoke] [--shutdown]"
                 );
                 std::process::exit(0);
             }
@@ -195,6 +224,8 @@ fn load(addr: &str, threads: usize, requests: usize) -> Result<(), String> {
     if !health.ready {
         fill_window(&mut client, &health)?;
     }
+    // See load_multi_tenant: don't hold a worker with an idle connection.
+    drop(client);
 
     let started = Instant::now();
     let mut workers = Vec::with_capacity(threads);
@@ -229,6 +260,166 @@ fn load(addr: &str, threads: usize, requests: usize) -> Result<(), String> {
     Ok(())
 }
 
+/// Tenant directory parsed from `GET /admin/tenants`
+/// (`shards 2 models 4 max_models 0` header + one `tenant NAME shard S …`
+/// row per resident model, sorted by name).
+struct TenantDir {
+    shards: usize,
+    tenants: Vec<String>,
+}
+
+fn discover_tenants(client: &mut HttpClient) -> Result<TenantDir, String> {
+    let text = client.get_ok("/admin/tenants")?;
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty /admin/tenants response")?;
+    let tokens: Vec<&str> = header.split_whitespace().collect();
+    let shards = match tokens.as_slice() {
+        ["shards", s, ..] => s.parse().map_err(|e| format!("shards: {e}"))?,
+        _ => return Err(format!("bad /admin/tenants header: {header:?}")),
+    };
+    let mut tenants = Vec::new();
+    for line in lines {
+        match line.split_whitespace().collect::<Vec<_>>().as_slice() {
+            ["tenant", name, "shard", ..] => tenants.push((*name).to_string()),
+            [] => {}
+            _ => return Err(format!("bad /admin/tenants row: {line:?}")),
+        }
+    }
+    Ok(TenantDir { shards, tenants })
+}
+
+/// Cumulative distribution of Zipf weights `1/(i+1)^s` over `n` ranks.
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let mut cdf: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-s)).collect();
+    let total: f64 = cdf.iter().sum();
+    let mut acc = 0.0;
+    for w in &mut cdf {
+        acc += *w / total;
+        *w = acc;
+    }
+    cdf
+}
+
+fn sample_rank(cdf: &[f64], u: f64) -> usize {
+    cdf.partition_point(|&c| c < u).min(cdf.len() - 1)
+}
+
+/// Value of the first sample line starting with `name` in a metrics scrape.
+fn metric_value(metrics: &str, name: &str) -> Result<u64, String> {
+    metrics
+        .lines()
+        .find(|l| l.starts_with(name) && !l.starts_with('#'))
+        .and_then(|l| l.rsplit_once(' '))
+        .and_then(|(_, v)| v.parse().ok())
+        .ok_or_else(|| format!("metrics missing {name}"))
+}
+
+fn load_multi_tenant(
+    addr: &str,
+    threads: usize,
+    requests: usize,
+    tenants: usize,
+    zipf: f64,
+    seed: u64,
+) -> Result<(), String> {
+    let mut client =
+        HttpClient::connect(addr, TIMEOUT).map_err(|e| format!("connect {addr}: {e}"))?;
+    let dir = discover_tenants(&mut client)?;
+    if dir.tenants.len() < tenants {
+        return Err(format!(
+            "server has {} tenants, --tenants {tenants} requested",
+            dir.tenants.len()
+        ));
+    }
+    let names: Vec<String> = dir.tenants.into_iter().take(tenants).collect();
+    for name in &names {
+        let health = parse_health(&client.get_ok(&format!("/healthz?tenant={name}"))?)?;
+        if !health.ready {
+            for t in 0..health.history {
+                client.post_ok(&format!("/observe?tenant={name}"), &observation(t, &health))?;
+            }
+        }
+    }
+    // Release the discovery connection: on a small worker pool an idle
+    // keep-alive connection would otherwise hold a worker (until the
+    // server's read timeout 408s it) while the load connections queue.
+    drop(client);
+
+    let cdf = zipf_cdf(names.len(), zipf);
+    let started = Instant::now();
+    let mut workers = Vec::with_capacity(threads);
+    for idx in 0..threads {
+        let addr = addr.to_string();
+        let names = names.clone();
+        let cdf = cdf.clone();
+        let shards = dir.shards;
+        workers.push(std::thread::spawn(
+            move || -> Result<Vec<Vec<u64>>, String> {
+                let mut client =
+                    HttpClient::connect(&addr, TIMEOUT).map_err(|e| format!("connect: {e}"))?;
+                let mut rng = st_tensor::rng(seed + idx as u64 * 7919);
+                let mut per_shard: Vec<Vec<u64>> = vec![Vec::new(); shards];
+                for _ in 0..requests {
+                    let name = &names[sample_rank(&cdf, rng.gen_f64())];
+                    let t0 = Instant::now();
+                    client.get_ok(&format!("/forecast?tenant={name}"))?;
+                    let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                    per_shard[shard_of(name, shards)].push(us);
+                }
+                Ok(per_shard)
+            },
+        ));
+    }
+    let mut per_shard: Vec<Vec<u64>> = vec![Vec::new(); dir.shards];
+    for w in workers {
+        for (shard, latencies) in w
+            .join()
+            .map_err(|_| "client thread panicked")??
+            .into_iter()
+            .enumerate()
+        {
+            per_shard[shard].extend(latencies);
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let total: usize = per_shard.iter().map(Vec::len).sum();
+    println!(
+        "{total} requests over {threads} threads × {tenants} tenants (zipf {zipf}) \
+         in {elapsed:.3}s: {:.0} req/s aggregate",
+        total as f64 / elapsed,
+    );
+    for (shard, latencies) in per_shard.iter_mut().enumerate() {
+        latencies.sort_unstable();
+        println!(
+            "shard {shard}: {} requests, p50 {}us, p99 {}us",
+            latencies.len(),
+            percentile(latencies, 0.50),
+            percentile(latencies, 0.99),
+        );
+    }
+
+    // At quiescence the per-shard request counters must sum exactly to
+    // the aggregate engine counter — the registry's consistency contract.
+    let mut client =
+        HttpClient::connect(addr, TIMEOUT).map_err(|e| format!("connect for metrics: {e}"))?;
+    let metrics = client.get_ok("/metrics")?;
+    let mut shard_sum = 0u64;
+    for shard in 0..dir.shards {
+        shard_sum += metric_value(
+            &metrics,
+            &format!("st_serve_shard_requests_total{{shard=\"{shard}\"}}"),
+        )?;
+    }
+    let engine_total = metric_value(&metrics, "st_serve_engine_requests_total")?;
+    if shard_sum != engine_total {
+        return Err(format!(
+            "per-shard requests sum to {shard_sum} but engine total is {engine_total}"
+        ));
+    }
+    println!("per-shard requests sum {shard_sum} == engine total (consistent)");
+    Ok(())
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -239,6 +430,15 @@ fn main() {
     };
     let result = if args.smoke {
         smoke(&args.addr)
+    } else if args.tenants > 0 {
+        load_multi_tenant(
+            &args.addr,
+            args.threads.max(1),
+            args.requests.max(1),
+            args.tenants,
+            args.zipf,
+            args.seed,
+        )
     } else {
         load(&args.addr, args.threads.max(1), args.requests.max(1))
     };

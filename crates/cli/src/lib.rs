@@ -11,7 +11,10 @@
 //!   classical imputer and write the completed CSV;
 //! * `evaluate` — train and score RIHGCN plus reference baselines;
 //! * `serve` — run the st-serve HTTP forecast service from a
-//!   self-contained checkpoint (`train --checkpoint`).
+//!   self-contained checkpoint (`train --checkpoint`) or a directory of
+//!   checkpoints (`--models DIR`, one tenant per file);
+//! * `checkpoint` — `checkpoint info` prints a checkpoint's shapes,
+//!   config and normalisation stats.
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs) to stay within the
 //! workspace's dependency policy.
@@ -112,18 +115,29 @@ USAGE:
   rihgcn impute   --data data.csv --method last|knn|mf --out filled.csv
   rihgcn inspect  --data data.csv
   rihgcn evaluate --data data.csv [--epochs E] [--graphs M]
-  rihgcn serve    --checkpoint model.ckpt [--addr HOST:PORT]
-                  [--addr-file F] [--workers K] [--max-conns C]
+  rihgcn serve    --checkpoint model.ckpt | --models DIR
+                  [--addr HOST:PORT] [--addr-file F] [--workers K]
+                  [--max-conns C] [--shards S] [--max-models K]
                   [--watch-stdin true] [--log-format none|pretty|json]
+  rihgcn checkpoint info --file model.ckpt
   rihgcn help
 
 `train --checkpoint` writes a self-contained checkpoint (parameters,
 config, normalisation stats and graphs) that `serve` loads without the
-training CSV. `serve` prints `listening on HOST:PORT` (and writes the
-bound address to --addr-file, useful with port 0), then serves
-POST /observe, GET /forecast, GET /imputed, GET /healthz, GET /metrics,
+training CSV; `checkpoint info` prints its shapes, config and stats.
+`serve` prints `listening on HOST:PORT` (and writes the bound address
+to --addr-file, useful with port 0), then serves POST /observe,
+GET /forecast, GET /imputed, GET /healthz, GET /metrics,
 GET /debug/trace and POST /admin/shutdown until shut down; with
 `--watch-stdin true` it also shuts down on stdin EOF.
+
+`serve --models DIR` loads every *.ckpt in DIR as one tenant per file
+(tenant name = file stem); inference routes then take `?tenant=NAME`.
+Tenants are FNV-routed across `--shards S` engine shards, checkpoints
+can be hot-swapped at runtime (POST /admin/load, POST /admin/unload,
+GET /admin/tenants), and `--max-models K` bounds resident models with
+LRU eviction. Per-tenant results stay bit-identical to a dedicated
+single-model server at any shard count.
 
 `train --log-format pretty` streams per-epoch progress to stderr;
 `json` streams one JSON object per epoch (JSON Lines) instead.
@@ -170,6 +184,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "inspect" => cmd_inspect(&opts, out),
         "evaluate" => cmd_evaluate(&opts, out),
         "serve" => cmd_serve(&opts, out),
+        "checkpoint" => cmd_checkpoint(&opts, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
             Ok(())
@@ -309,31 +324,87 @@ fn cmd_train(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Loads the model set for `serve`: one checkpoint as the `default`
+/// tenant, or every `*.ckpt` in a `--models` directory with the file stem
+/// as the tenant name.
+fn load_serve_models(opts: &Options) -> Result<Vec<(String, OnlineForecaster)>, CliError> {
+    let load = |path: &std::path::Path| -> Result<OnlineForecaster, CliError> {
+        let (model, z) = load_checkpoint(BufReader::new(File::open(path)?))?;
+        Ok(OnlineForecaster::new(model, z))
+    };
+    match (opts.get("checkpoint"), opts.get("models")) {
+        (Some(_), Some(_)) => Err("pass either --checkpoint or --models, not both".into()),
+        (Some(path), None) => Ok(vec![(
+            st_serve::DEFAULT_TENANT.to_string(),
+            load(std::path::Path::new(path))?,
+        )]),
+        (None, Some(dir)) => {
+            let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|ext| ext == "ckpt"))
+                .collect();
+            paths.sort();
+            let mut models = Vec::new();
+            for path in paths {
+                let tenant = path
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or_default()
+                    .to_string();
+                if !st_serve::valid_tenant(&tenant) {
+                    return Err(format!(
+                        "checkpoint file {} does not name a valid tenant \
+                         (use [A-Za-z0-9._-]{{1,64}}.ckpt)",
+                        path.display()
+                    )
+                    .into());
+                }
+                models.push((tenant, load(&path)?));
+            }
+            if models.is_empty() {
+                return Err(format!("no *.ckpt files found in {dir}").into());
+            }
+            Ok(models)
+        }
+        (None, None) => Err(
+            "serve requires --checkpoint <file> or --models <dir> (see `train --checkpoint`)"
+                .into(),
+        ),
+    }
+}
+
 fn cmd_serve(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
-    let ckpt_path = opts
-        .get("checkpoint")
-        .ok_or("serve requires --checkpoint <file> (see `train --checkpoint`)")?;
-    let (model, z) = load_checkpoint(BufReader::new(File::open(ckpt_path)?))?;
-    let online = OnlineForecaster::new(model, z);
+    let models = load_serve_models(opts)?;
+    let num_models = models.len();
 
     let cfg = st_serve::ServeConfig {
         addr: opts.get("addr").unwrap_or("127.0.0.1:8100").to_string(),
         workers: opts.get_parsed("workers", 0usize)?,
         max_connections: opts.get_parsed("max-conns", 64usize)?,
+        shards: opts.get_parsed("shards", 1usize)?,
+        max_models: opts.get_parsed("max-models", 0usize)?,
         ..Default::default()
     };
+    let shards = cfg.shards.max(1);
     let json_logs = match opts.get("log-format").unwrap_or("none") {
         "json" => true,
         "none" | "pretty" => false,
         other => return Err(format!("invalid --log-format {other:?} (none|pretty|json)").into()),
     };
-    let server =
-        st_serve::Server::start(online, cfg).map_err(|e| format!("failed to start server: {e}"))?;
+    let server = st_serve::Server::start_with_models(models, cfg)
+        .map_err(|e| format!("failed to start server: {e}"))?;
     let addr = server.local_addr();
     if json_logs {
-        writeln!(out, "{{\"event\":\"listening\",\"addr\":\"{addr}\"}}")?;
+        writeln!(
+            out,
+            "{{\"event\":\"listening\",\"addr\":\"{addr}\",\"shards\":{shards},\"models\":{num_models}}}"
+        )?;
     } else {
-        writeln!(out, "listening on {addr}")?;
+        writeln!(
+            out,
+            "listening on {addr} ({shards} shards, {num_models} models)"
+        )?;
     }
     out.flush()?;
     if let Some(addr_file) = opts.get("addr-file") {
@@ -349,22 +420,99 @@ fn cmd_serve(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
             handle.shutdown();
         });
     }
-    let online = server.join();
+    let drained = server.join();
+    let observations: usize = drained.iter().map(|(_, online)| online.len()).sum();
     if json_logs {
         writeln!(
             out,
-            "{{\"event\":\"stopped\",\"observations\":{},\"window_version\":{}}}",
-            online.len(),
-            online.window_version()
+            "{{\"event\":\"stopped\",\"models\":{},\"observations\":{observations}}}",
+            drained.len()
         )?;
     } else {
         writeln!(
             out,
-            "server stopped after {} observations (window version {})",
-            online.len(),
-            online.window_version()
+            "server stopped after {observations} observations across {} models",
+            drained.len()
+        )?;
+        for (tenant, online) in &drained {
+            writeln!(
+                out,
+                "  tenant {tenant}: {} observations (window version {})",
+                online.len(),
+                online.window_version()
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// `checkpoint info` — print the shapes, config and normalisation stats
+/// of a self-contained checkpoint without loading any dataset.
+fn cmd_checkpoint(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    match opts.positional().first().map(String::as_str) {
+        Some("info") => {}
+        other => {
+            return Err(format!(
+                "unknown checkpoint subcommand {:?} (try `checkpoint info --file model.ckpt`)",
+                other.unwrap_or("")
+            )
+            .into())
+        }
+    }
+    let path = opts
+        .get("file")
+        .or_else(|| opts.positional().get(1).map(String::as_str))
+        .ok_or("checkpoint info requires --file <model.ckpt> (or a positional path)")?;
+    let (model, z) = load_checkpoint(BufReader::new(File::open(path)?))?;
+    let cfg = model.config();
+    writeln!(out, "checkpoint {path}")?;
+    writeln!(
+        out,
+        "nodes {}  features {}  parameters {}",
+        model.num_nodes(),
+        model.num_features(),
+        model.num_parameters()
+    )?;
+    writeln!(
+        out,
+        "history {}  horizon {}  slots_per_day {}",
+        cfg.history,
+        cfg.horizon,
+        model.slots_per_day()
+    )?;
+    writeln!(
+        out,
+        "gcn_dim {}  lstm_dim {}  cheb_k {}  temporal_graphs {}",
+        cfg.gcn_dim,
+        cfg.lstm_dim,
+        cfg.cheb_k,
+        model.temporal_graphs().len()
+    )?;
+    writeln!(
+        out,
+        "lambda {}  tau {}  epsilon {}  seed {}",
+        cfg.lambda, cfg.tau, cfg.epsilon, cfg.seed
+    )?;
+    let geo = model.geo_adjacency();
+    writeln!(out, "geo adjacency {}x{}", geo.rows(), geo.cols())?;
+    for (interval, m) in model.temporal_graphs() {
+        writeln!(
+            out,
+            "temporal graph [{}, {}) {}x{}",
+            interval.start,
+            interval.end,
+            m.rows(),
+            m.cols()
         )?;
     }
+    let join = |v: &[f64]| {
+        v.iter()
+            .map(|x| format!("{x:.4}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    writeln!(out, "zscore mean {}", join(z.mean()))?;
+    writeln!(out, "zscore std {}", join(z.std()))?;
     Ok(())
 }
 
@@ -714,6 +862,149 @@ mod tests {
         assert!(log.contains("listening on"), "log: {log}");
         assert!(log.contains("server stopped"), "log: {log}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_info_and_multi_tenant_serve() {
+        let dir = std::env::temp_dir().join("rihgcn-cli-multitenant");
+        let models_dir = dir.join("models");
+        std::fs::create_dir_all(&models_dir).unwrap();
+        let data = dir.join("data.csv");
+        let ckpt = dir.join("model.ckpt");
+        let addr_file = dir.join("addr.txt");
+
+        let mut buf = Vec::new();
+        run(
+            &args(&[
+                "generate",
+                "--dataset",
+                "pems",
+                "--out",
+                data.to_str().unwrap(),
+                "--nodes",
+                "4",
+                "--days",
+                "1",
+                "--missing-rate",
+                "0.2",
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        run(
+            &args(&[
+                "train",
+                "--data",
+                data.to_str().unwrap(),
+                "--out",
+                dir.join("model.params").to_str().unwrap(),
+                "--checkpoint",
+                ckpt.to_str().unwrap(),
+                "--epochs",
+                "1",
+                "--gcn-dim",
+                "4",
+                "--lstm-dim",
+                "6",
+                "--graphs",
+                "2",
+                "--history",
+                "4",
+                "--horizon",
+                "2",
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+
+        // `checkpoint info` prints shapes, config and zscore stats.
+        let mut buf = Vec::new();
+        run(
+            &args(&["checkpoint", "info", "--file", ckpt.to_str().unwrap()]),
+            &mut buf,
+        )
+        .unwrap();
+        let info = String::from_utf8(buf).unwrap();
+        assert!(info.contains("nodes 4"), "info: {info}");
+        assert!(info.contains("history 4  horizon 2"), "info: {info}");
+        assert!(
+            info.contains("gcn_dim 4  lstm_dim 6  cheb_k"),
+            "info: {info}"
+        );
+        assert!(info.contains("slots_per_day"), "info: {info}");
+        assert!(info.contains("geo adjacency 4x4"), "info: {info}");
+        assert!(info.contains("zscore mean"), "info: {info}");
+        assert!(info.contains("zscore std"), "info: {info}");
+
+        // A subcommand other than `info` is rejected.
+        let mut buf = Vec::new();
+        let err = run(&args(&["checkpoint", "frobnicate"]), &mut buf).unwrap_err();
+        assert!(err.to_string().contains("checkpoint info"), "{err}");
+
+        // Two tenants from the same checkpoint bytes, served sharded.
+        std::fs::copy(&ckpt, models_dir.join("east.ckpt")).unwrap();
+        std::fs::copy(&ckpt, models_dir.join("west.ckpt")).unwrap();
+        let serve_args = args(&[
+            "serve",
+            "--models",
+            models_dir.to_str().unwrap(),
+            "--shards",
+            "2",
+            "--addr",
+            "127.0.0.1:0",
+            "--addr-file",
+            addr_file.to_str().unwrap(),
+            "--workers",
+            "2",
+        ]);
+        let server = std::thread::spawn(move || {
+            let mut buf = Vec::new();
+            run(&serve_args, &mut buf).unwrap();
+            String::from_utf8(buf).unwrap()
+        });
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&addr_file) {
+                let text = text.trim().to_string();
+                if !text.is_empty() {
+                    break text;
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "server never bound");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+
+        let mut client =
+            st_serve::HttpClient::connect(&addr, std::time::Duration::from_secs(10)).unwrap();
+        let listing = client.get_ok("/admin/tenants").unwrap();
+        assert!(listing.starts_with("shards 2 models 2"), "{listing}");
+        for tenant in ["east", "west"] {
+            let expected = format!("tenant {tenant} shard {}", st_serve::shard_of(tenant, 2));
+            assert!(listing.contains(&expected), "{listing}");
+            let health = client.get_ok(&format!("/healthz?tenant={tenant}")).unwrap();
+            assert!(health.contains("nodes 4"), "health: {health}");
+        }
+        client.post_ok("/admin/shutdown", "").unwrap();
+        let log = server.join().unwrap();
+        assert!(
+            log.contains("listening on") && log.contains("(2 shards, 2 models)"),
+            "log: {log}"
+        );
+        assert!(log.contains("server stopped"), "log: {log}");
+        assert!(log.contains("tenant east:"), "log: {log}");
+        assert!(log.contains("tenant west:"), "log: {log}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_rejects_conflicting_model_sources() {
+        let mut buf = Vec::new();
+        let err = run(
+            &args(&["serve", "--checkpoint", "a.ckpt", "--models", "dir"]),
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("not both"), "{err}");
     }
 
     #[test]

@@ -129,6 +129,18 @@ impl OnlineForecaster {
         }
     }
 
+    /// Builds a forecaster straight from a checkpoint-v2 stream: the
+    /// self-contained persist format carries the model, its graphs and the
+    /// ZScore transform, which is everything serving needs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`crate::PersistError`] from the checkpoint reader.
+    pub fn from_checkpoint<R: std::io::BufRead>(r: &mut R) -> Result<Self, crate::PersistError> {
+        let (model, z) = crate::load_checkpoint(r)?;
+        Ok(Self::new(model, z))
+    }
+
     /// Number of observations currently buffered (at most `history`).
     pub fn len(&self) -> usize {
         self.window.len()

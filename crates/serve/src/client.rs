@@ -6,16 +6,26 @@ use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-/// A plain-text HTTP response: status code and body.
+/// A plain-text HTTP response: status code, headers and body.
 #[derive(Debug, Clone)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
+    /// Header `(name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
     /// Response body decoded as UTF-8.
     pub body: String,
 }
 
 impl Response {
+    /// First header with the given name, case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
     /// Asserts the response is a 200, returning the body.
     ///
     /// # Errors
@@ -114,6 +124,7 @@ fn read_response<R: io::BufRead>(r: &mut R) -> Result<Response, HttpError> {
         .map_err(|e| HttpError::Malformed(format!("bad status: {e}")))?;
 
     let mut content_length = 0usize;
+    let mut headers = Vec::new();
     loop {
         let mut header = String::new();
         if r.read_line(&mut header)? == 0 {
@@ -124,12 +135,13 @@ fn read_response<R: io::BufRead>(r: &mut R) -> Result<Response, HttpError> {
             break;
         }
         if let Some((name, value)) = header.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
+            let (name, value) = (name.trim(), value.trim());
+            if name.eq_ignore_ascii_case("content-length") {
                 content_length = value
-                    .trim()
                     .parse()
                     .map_err(|e| HttpError::Malformed(format!("bad content-length: {e}")))?;
             }
+            headers.push((name.to_string(), value.to_string()));
         }
     }
 
@@ -137,7 +149,11 @@ fn read_response<R: io::BufRead>(r: &mut R) -> Result<Response, HttpError> {
     io::Read::read_exact(r, &mut body)?;
     let body = String::from_utf8(body)
         .map_err(|e| HttpError::Malformed(format!("body is not UTF-8: {e}")))?;
-    Ok(Response { status, body })
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
 }
 
 #[cfg(test)]
@@ -152,6 +168,7 @@ mod tests {
         let resp = read_response(&mut BufReader::new(raw.as_bytes())).unwrap();
         assert_eq!(resp.status, 409);
         assert_eq!(resp.body, "nope");
+        assert_eq!(resp.header("connection"), Some("keep-alive"));
         assert!(resp.into_ok().is_err());
     }
 

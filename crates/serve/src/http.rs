@@ -168,6 +168,22 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
+/// Splits a request target into `(path, query)`; the query is empty when
+/// the target carries none.
+pub fn split_target(target: &str) -> (&str, &str) {
+    target.split_once('?').unwrap_or((target, ""))
+}
+
+/// First value of `key` in a query string (`a=1&b=2`). No percent-decoding:
+/// the service's parameter values (tenant names) are restricted to
+/// URL-safe characters.
+pub fn query_param<'q>(query: &'q str, key: &str) -> Option<&'q str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then_some(v)
+    })
+}
+
 /// Writes a complete plain-text response and flushes the writer.
 ///
 /// # Errors
@@ -179,13 +195,41 @@ pub fn write_response<W: Write>(
     body: &str,
     keep_alive: bool,
 ) -> io::Result<()> {
+    write_response_with(
+        w,
+        status,
+        body,
+        keep_alive,
+        "text/plain; charset=utf-8",
+        &[],
+    )
+}
+
+/// Writes a complete response with an explicit content type and extra
+/// headers (e.g. `Allow` on a 405), then flushes the writer.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_response_with<W: Write>(
+    w: &mut W,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+) -> io::Result<()> {
     write!(
         w,
-        "HTTP/1.1 {status} {}\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         reason(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" }
     )?;
+    for (name, value) in extra_headers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
     w.write_all(body.as_bytes())?;
     w.flush()
 }
@@ -260,5 +304,38 @@ mod tests {
         assert!(text.contains("Content-Length: 3\r\n"));
         assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(text.ends_with("\r\n\r\nhi\n"));
+    }
+
+    #[test]
+    fn response_with_extra_headers_and_content_type() {
+        let mut buf = Vec::new();
+        write_response_with(
+            &mut buf,
+            405,
+            "nope\n",
+            true,
+            "application/json",
+            &[("Allow", "POST")],
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Allow: POST\r\n"));
+        assert!(text.ends_with("\r\n\r\nnope\n"));
+    }
+
+    #[test]
+    fn target_and_query_helpers() {
+        assert_eq!(split_target("/forecast"), ("/forecast", ""));
+        assert_eq!(
+            split_target("/forecast?tenant=a&x=1"),
+            ("/forecast", "tenant=a&x=1")
+        );
+        assert_eq!(query_param("tenant=a&x=1", "tenant"), Some("a"));
+        assert_eq!(query_param("tenant=a&x=1", "x"), Some("1"));
+        assert_eq!(query_param("tenant=a", "missing"), None);
+        assert_eq!(query_param("", "tenant"), None);
+        assert_eq!(query_param("flag&tenant=b", "tenant"), Some("b"));
     }
 }

@@ -1,12 +1,13 @@
 //! # st-serve
 //!
-//! A zero-dependency HTTP/1.1 forecast service around
-//! [`rihgcn_core::OnlineForecaster`]: a std `TcpListener` accept loop feeds
-//! a fixed worker pool; all inference funnels through one engine thread
-//! that owns the forecaster, micro-batches requests, and coalesces
-//! identical window-version forecasts onto a single model evaluation.
+//! A zero-dependency HTTP/1.1 forecast service around a **multi-tenant
+//! model registry** of [`rihgcn_core::OnlineForecaster`]s: a std
+//! `TcpListener` accept loop feeds a fixed worker pool; inference funnels
+//! through `N` engine shards, each owning the forecasters of the tenants
+//! FNV-routed to it, micro-batching requests and coalescing identical
+//! window-version forecasts onto a single model evaluation per tenant.
 //!
-//! Routes:
+//! Routes (inference routes take `?tenant=NAME`, defaulting to `default`):
 //!
 //! | route                  | purpose                                          |
 //! |------------------------|--------------------------------------------------|
@@ -14,24 +15,29 @@
 //! | `GET /forecast`        | multi-horizon forecast in original units         |
 //! | `GET /imputed`         | imputed history window                           |
 //! | `GET /healthz`         | model shape + window fill state                  |
-//! | `GET /metrics`         | plain-text counters and latency histogram        |
-//! | `POST /admin/shutdown` | graceful shutdown (drain connections, join)      |
+//! | `GET /metrics`         | counters incl. per-shard / per-tenant families   |
+//! | `POST /admin/load`     | hot-load (or swap) a checkpoint for a tenant     |
+//! | `POST /admin/unload`   | drop a tenant's model                            |
+//! | `GET /admin/tenants`   | tenant directory (shard, shape, counters)        |
+//! | `POST /admin/shutdown` | graceful shutdown (drain every shard, join)      |
 //!
 //! Payload floats use Rust's shortest-round-trip formatting, so forecasts
 //! fetched over HTTP are **bit-identical** to calling the forecaster
-//! in-process.
+//! in-process — per tenant, at any shard count.
 
 #![warn(missing_docs)]
 
 pub mod client;
-pub mod engine;
 pub mod http;
 pub mod metrics;
+pub mod registry;
 pub mod server;
+pub mod shard;
 pub mod wire;
 
 pub use client::{HttpClient, Response};
-pub use engine::{EngineError, ModelInfo, StepsReply};
 pub use metrics::{Metrics, Route};
-pub use server::{ServeConfig, Server, ShutdownHandle};
+pub use registry::{shard_of, valid_tenant, Registry, RegistryConfig, RegistryError};
+pub use server::{ServeConfig, Server, ShutdownHandle, DEFAULT_TENANT};
+pub use shard::{EngineError, ModelInfo, StepsReply, TenantCounters};
 pub use wire::{format_observation, format_steps, parse_observation, parse_steps, Observation};

@@ -30,11 +30,17 @@ pub enum Route {
     Trace,
     /// `POST /admin/shutdown`
     Shutdown,
+    /// `POST /admin/load`
+    AdminLoad,
+    /// `POST /admin/unload`
+    AdminUnload,
+    /// `GET /admin/tenants`
+    AdminTenants,
     /// Anything else (404/405 traffic).
     Other,
 }
 
-const ROUTES: [(Route, &str); 8] = [
+const ROUTES: [(Route, &str); 11] = [
     (Route::Observe, "observe"),
     (Route::Forecast, "forecast"),
     (Route::Imputed, "imputed"),
@@ -42,6 +48,9 @@ const ROUTES: [(Route, &str); 8] = [
     (Route::Metrics, "metrics"),
     (Route::Trace, "trace"),
     (Route::Shutdown, "shutdown"),
+    (Route::AdminLoad, "admin_load"),
+    (Route::AdminUnload, "admin_unload"),
+    (Route::AdminTenants, "admin_tenants"),
     (Route::Other, "other"),
 ];
 
@@ -69,10 +78,10 @@ const BUCKET_LABELS: [&str; 6] = ["100us", "1ms", "10ms", "100ms", "1s", "+inf"]
 
 /// Atomic counters for the service: per-route request counts and latency
 /// sums, error count, engine cache hits and queue depth, tape runs,
-/// rejected connections, a request-latency histogram, and gauges mirroring
-/// the inference tape's buffer pool. All methods are callable from any
-/// worker thread.
-#[derive(Debug, Default)]
+/// rejected connections, a request-latency histogram, per-shard engine
+/// counters, and gauges mirroring the inference tape's buffer pool. All
+/// methods are callable from any worker thread.
+#[derive(Debug)]
 pub struct Metrics {
     requests: [AtomicU64; ROUTES.len()],
     latency_us: [AtomicU64; ROUTES.len()],
@@ -83,16 +92,57 @@ pub struct Metrics {
     queue_depth: AtomicU64,
     engine_requests: AtomicU64,
     tape_runs: AtomicU64,
+    shard_requests: Vec<AtomicU64>,
+    shard_queue_depth: Vec<AtomicU64>,
+    shard_tape_runs: Vec<AtomicU64>,
     pool_hits: AtomicU64,
     pool_misses: AtomicU64,
     pool_released: AtomicU64,
     pool_free_bytes: AtomicU64,
 }
 
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::with_shards(1)
+    }
+}
+
 impl Metrics {
-    /// Fresh zeroed counters.
+    /// Fresh zeroed counters for a single-shard service.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_shards(1)
+    }
+
+    /// Fresh zeroed counters with per-shard families for `shards` engine
+    /// shards (min 1). The aggregate engine counters are always maintained
+    /// alongside, so `sum(shard_requests) == engine_requests` holds at any
+    /// quiescent point.
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        let zeroed = |n: usize| (0..n).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            requests: Default::default(),
+            latency_us: Default::default(),
+            errors: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            rejected_connections: AtomicU64::new(0),
+            latency: Default::default(),
+            queue_depth: AtomicU64::new(0),
+            engine_requests: AtomicU64::new(0),
+            tape_runs: AtomicU64::new(0),
+            shard_requests: zeroed(shards),
+            shard_queue_depth: zeroed(shards),
+            shard_tape_runs: zeroed(shards),
+            pool_hits: AtomicU64::new(0),
+            pool_misses: AtomicU64::new(0),
+            pool_released: AtomicU64::new(0),
+            pool_free_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of engine shards these metrics cover.
+    pub fn num_shards(&self) -> usize {
+        self.shard_requests.len()
     }
 
     /// Records one served request: its route, wall latency, and whether the
@@ -111,7 +161,7 @@ impl Metrics {
         self.latency[bucket].fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Counts a forecast served from the engine's window-version cache.
+    /// Counts a forecast served from a shard's window-version cache.
     pub fn cache_hit(&self) {
         self.cache_hits.fetch_add(1, Ordering::Relaxed);
     }
@@ -121,31 +171,46 @@ impl Metrics {
         self.rejected_connections.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// A request entered the engine queue.
-    pub fn queue_enter(&self) {
+    /// A request entered a shard's queue.
+    pub fn queue_enter(&self, shard: usize) {
         self.queue_depth.fetch_add(1, Ordering::Relaxed);
+        self.shard_queue_depth[shard].fetch_add(1, Ordering::Relaxed);
     }
 
-    /// The engine dequeued a request.
-    pub fn queue_exit(&self) {
+    /// A shard dequeued a request.
+    pub fn queue_exit(&self, shard: usize) {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.shard_queue_depth[shard].fetch_sub(1, Ordering::Relaxed);
         self.engine_requests.fetch_add(1, Ordering::Relaxed);
+        self.shard_requests[shard].fetch_add(1, Ordering::Relaxed);
     }
 
-    /// A request left the queue without reaching the engine (the engine
+    /// A request left a shard's queue without reaching it (the shard
     /// thread is gone and the send failed).
-    pub fn queue_drop(&self) {
+    pub fn queue_drop(&self, shard: usize) {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.shard_queue_depth[shard].fetch_sub(1, Ordering::Relaxed);
     }
 
-    /// Requests currently queued for (or being handled by) the engine.
+    /// Requests currently queued for (or being handled by) any shard.
     pub fn queue_depth(&self) -> u64 {
         self.queue_depth.load(Ordering::Relaxed)
     }
 
-    /// Counts one actual model evaluation (an engine cache miss).
-    pub fn tape_run(&self) {
+    /// Requests one shard has dequeued.
+    pub fn shard_requests(&self, shard: usize) -> u64 {
+        self.shard_requests[shard].load(Ordering::Relaxed)
+    }
+
+    /// Requests the shards have dequeued in total.
+    pub fn total_engine_requests(&self) -> u64 {
+        self.engine_requests.load(Ordering::Relaxed)
+    }
+
+    /// Counts one actual model evaluation (a cache miss) on a shard.
+    pub fn tape_run(&self, shard: usize) {
         self.tape_runs.fetch_add(1, Ordering::Relaxed);
+        self.shard_tape_runs[shard].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total model evaluations the engine has run.
@@ -277,6 +342,45 @@ impl Metrics {
             "st_serve_tape_runs_total {}\n",
             self.tape_runs.load(Ordering::Relaxed)
         ));
+
+        header(
+            &mut out,
+            "st_serve_shard_requests_total",
+            "counter",
+            "Requests dequeued, by engine shard.",
+        );
+        for (i, c) in self.shard_requests.iter().enumerate() {
+            out.push_str(&format!(
+                "st_serve_shard_requests_total{{shard=\"{i}\"}} {}\n",
+                c.load(Ordering::Relaxed)
+            ));
+        }
+
+        header(
+            &mut out,
+            "st_serve_shard_queue_depth",
+            "gauge",
+            "Requests queued for (or being handled by) each shard.",
+        );
+        for (i, c) in self.shard_queue_depth.iter().enumerate() {
+            out.push_str(&format!(
+                "st_serve_shard_queue_depth{{shard=\"{i}\"}} {}\n",
+                c.load(Ordering::Relaxed)
+            ));
+        }
+
+        header(
+            &mut out,
+            "st_serve_shard_tape_runs_total",
+            "counter",
+            "Model evaluations run (cache misses), by engine shard.",
+        );
+        for (i, c) in self.shard_tape_runs.iter().enumerate() {
+            out.push_str(&format!(
+                "st_serve_shard_tape_runs_total{{shard=\"{i}\"}} {}\n",
+                c.load(Ordering::Relaxed)
+            ));
+        }
 
         header(
             &mut out,
@@ -473,12 +577,12 @@ mod tests {
     #[test]
     fn queue_and_engine_counters_track_lifecycle() {
         let m = Metrics::new();
-        m.queue_enter();
-        m.queue_enter();
+        m.queue_enter(0);
+        m.queue_enter(0);
         assert_eq!(m.queue_depth(), 2);
-        m.queue_exit();
+        m.queue_exit(0);
         assert_eq!(m.queue_depth(), 1);
-        m.tape_run();
+        m.tape_run(0);
         m.set_pool_stats(
             st_tensor::PoolStats {
                 hits: 90,
@@ -496,5 +600,29 @@ mod tests {
         assert!(text.contains("st_serve_pool_acquires_total{outcome=\"hit\"} 90"));
         assert!(text.contains("st_serve_pool_free_bytes 4096"));
         assert!(text.contains("st_par_utilization "));
+    }
+
+    #[test]
+    fn shard_counters_sum_to_the_aggregate() {
+        let m = Metrics::with_shards(3);
+        assert_eq!(m.num_shards(), 3);
+        for (shard, requests) in [(0usize, 4u64), (1, 2), (2, 1)] {
+            for _ in 0..requests {
+                m.queue_enter(shard);
+                m.queue_exit(shard);
+            }
+        }
+        m.tape_run(1);
+        m.tape_run(1);
+        m.tape_run(2);
+        let per_shard: u64 = (0..3).map(|s| m.shard_requests(s)).sum();
+        assert_eq!(per_shard, m.total_engine_requests());
+        assert_eq!(m.total_engine_requests(), 7);
+        let text = m.render();
+        assert!(text.contains("st_serve_shard_requests_total{shard=\"0\"} 4"));
+        assert!(text.contains("st_serve_shard_requests_total{shard=\"2\"} 1"));
+        assert!(text.contains("st_serve_shard_queue_depth{shard=\"1\"} 0"));
+        assert!(text.contains("st_serve_shard_tape_runs_total{shard=\"1\"} 2"));
+        assert!(text.contains("st_serve_shard_tape_runs_total{shard=\"0\"} 0"));
     }
 }

@@ -1,0 +1,653 @@
+//! Multi-tenant model registry: routes tenants onto engine shards and
+//! manages the model lifecycle (hot load, explicit unload, LRU eviction).
+//!
+//! The registry owns `N` shard threads (see [`crate::shard`]) and a
+//! directory mapping tenant names to their shard and live counters. Routing
+//! is **deterministic**: [`shard_of`] hashes the tenant name with FNV-1a
+//! (64-bit) and reduces modulo the shard count, so the same tenant always
+//! lands on the same shard for a given `--shards` setting — clients and
+//! load generators can compute the placement themselves.
+//!
+//! ## Load / unload ordering
+//!
+//! Each shard's channel is FIFO. [`Registry::load`] inserts the directory
+//! entry and enqueues the `Load` request **while holding the directory
+//! write lock**, so any request that resolves the tenant afterwards is
+//! enqueued after the `Load` and necessarily observes the new model; a
+//! freshly loaded tenant can never race into a transient 404. The load ack
+//! is awaited *outside* the lock — other shards keep serving while a model
+//! installs, which is what lets `/admin/load` swap one tenant's checkpoint
+//! without stalling in-flight requests elsewhere.
+//!
+//! ## Eviction
+//!
+//! Under a `max_models` cap, loading a **new** tenant first evicts the
+//! least-recently-used one (a lock-protected scan of per-tenant last-used
+//! ticks from a global logical clock). Reloading an existing tenant never
+//! evicts — it replaces in place and bumps the tenant's model version.
+
+use crate::metrics::Metrics;
+use crate::shard::{spawn_shard, ModelInfo, ShardRequest, TenantCounters, ENGINE_REPLY_TIMEOUT};
+use rihgcn_core::OnlineForecaster;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, SyncSender};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+/// Deterministic tenant → shard routing: FNV-1a (64-bit) of the tenant
+/// name, reduced modulo the shard count. Exported so clients and load
+/// generators can compute placements without asking the server.
+pub fn shard_of(tenant: &str, shards: usize) -> usize {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for byte in tenant.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    (hash % shards.max(1) as u64) as usize
+}
+
+/// Whether a tenant name is servable: non-empty, at most 64 bytes, and
+/// restricted to `[A-Za-z0-9._-]` so names embed verbatim in URLs, metric
+/// labels and wire bodies without any escaping.
+pub fn valid_tenant(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+}
+
+/// Registry shape: shard count, model cap and per-shard queue depth.
+#[derive(Debug, Clone, Copy)]
+pub struct RegistryConfig {
+    /// Engine shards to spawn (min 1).
+    pub shards: usize,
+    /// Maximum resident models; 0 means unlimited. Loading a new tenant at
+    /// the cap evicts the least-recently-used one.
+    pub max_models: usize,
+    /// Bounded queue depth per shard.
+    pub queue_depth: usize,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        Self {
+            shards: 1,
+            max_models: 0,
+            queue_depth: 128,
+        }
+    }
+}
+
+/// Registry-side failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// No model is loaded for the tenant.
+    UnknownTenant(String),
+    /// The tenant name fails [`valid_tenant`].
+    InvalidTenant(String),
+    /// The shard threads are gone (server shutting down).
+    ShuttingDown,
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::UnknownTenant(t) => write!(f, "unknown tenant: {t}"),
+            RegistryError::InvalidTenant(t) => write!(
+                f,
+                "invalid tenant name {t:?} (want 1-64 chars of [A-Za-z0-9._-])"
+            ),
+            RegistryError::ShuttingDown => write!(f, "registry is shutting down"),
+        }
+    }
+}
+
+/// What [`Registry::load`] did.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Shard the tenant routes to.
+    pub shard: usize,
+    /// Model version after the load (1 for a first load).
+    pub model_version: u64,
+    /// Whether an existing model was hot-swapped.
+    pub reloaded: bool,
+    /// Tenant evicted to make room, if the cap forced one out.
+    pub evicted: Option<String>,
+}
+
+/// A directory snapshot row for `/admin/tenants` and the metrics render.
+#[derive(Debug, Clone)]
+pub struct TenantStatus {
+    /// Tenant name.
+    pub name: String,
+    /// Shard the tenant routes to.
+    pub shard: usize,
+    /// Static model facts.
+    pub info: ModelInfo,
+    /// Live counters (shared with the shard).
+    pub counters: Arc<TenantCounters>,
+}
+
+/// A resolved tenant, ready to address shard requests.
+#[derive(Clone)]
+pub struct ResolvedTenant {
+    /// Shared tenant key (same allocation as the directory key).
+    pub key: Arc<str>,
+    /// Shard the tenant routes to.
+    pub shard: usize,
+    /// Static model facts.
+    pub info: ModelInfo,
+}
+
+struct TenantMeta {
+    shard: usize,
+    info: ModelInfo,
+    counters: Arc<TenantCounters>,
+    last_used: AtomicU64,
+}
+
+struct RegistryInner {
+    cfg: RegistryConfig,
+    metrics: Arc<Metrics>,
+    senders: Vec<SyncSender<ShardRequest>>,
+    joins: Mutex<Vec<JoinHandle<Vec<(String, OnlineForecaster)>>>>,
+    directory: RwLock<HashMap<Arc<str>, TenantMeta>>,
+    clock: AtomicU64,
+    model_loads: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Cheaply clonable handle to the shard fleet and tenant directory. The
+/// shard threads exit once every `Registry` clone is dropped (their
+/// channel senders go with it) and their queues drain.
+#[derive(Clone)]
+pub struct Registry {
+    inner: Arc<RegistryInner>,
+}
+
+impl Registry {
+    /// Spawns the shard threads and an empty directory.
+    pub fn new(cfg: RegistryConfig, metrics: Arc<Metrics>) -> Self {
+        let shards = cfg.shards.max(1);
+        let mut senders = Vec::with_capacity(shards);
+        let mut joins = Vec::with_capacity(shards);
+        for index in 0..shards {
+            let (tx, join) = spawn_shard(index, Arc::clone(&metrics), cfg.queue_depth);
+            senders.push(tx);
+            joins.push(join);
+        }
+        Self {
+            inner: Arc::new(RegistryInner {
+                cfg,
+                metrics,
+                senders,
+                joins: Mutex::new(joins),
+                directory: RwLock::new(HashMap::new()),
+                clock: AtomicU64::new(0),
+                model_loads: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Number of engine shards.
+    pub fn num_shards(&self) -> usize {
+        self.inner.senders.len()
+    }
+
+    /// The model cap (0 = unlimited).
+    pub fn max_models(&self) -> usize {
+        self.inner.cfg.max_models
+    }
+
+    /// Resident model count.
+    pub fn model_count(&self) -> usize {
+        self.inner.directory.read().expect("directory lock").len()
+    }
+
+    /// The shared metrics sink.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.inner.metrics)
+    }
+
+    /// Total models evicted by the LRU cap.
+    pub fn total_evictions(&self) -> u64 {
+        self.inner.evictions.load(Ordering::Relaxed)
+    }
+
+    fn tick(&self) -> u64 {
+        self.inner.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Looks a tenant up and touches its LRU tick. `None` when no model is
+    /// loaded under the name.
+    pub fn resolve(&self, tenant: &str) -> Option<ResolvedTenant> {
+        let dir = self.inner.directory.read().expect("directory lock");
+        let (key, meta) = dir.get_key_value(tenant)?;
+        meta.last_used.store(self.tick(), Ordering::Relaxed);
+        Some(ResolvedTenant {
+            key: Arc::clone(key),
+            shard: meta.shard,
+            info: meta.info,
+        })
+    }
+
+    /// Submits a request to a shard, maintaining the queue-depth gauge.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message when the shard thread is gone.
+    pub fn submit(&self, shard: usize, req: ShardRequest) -> Result<(), String> {
+        let metrics = &self.inner.metrics;
+        metrics.queue_enter(shard);
+        self.inner.senders[shard].send(req).map_err(|_| {
+            metrics.queue_drop(shard);
+            "inference engine has shut down".to_string()
+        })
+    }
+
+    /// Installs (or hot-swaps) a tenant's forecaster.
+    ///
+    /// The directory entry and the shard's `Load` request are committed
+    /// under the write lock (see the module docs for why); the ack is
+    /// awaited after the lock drops. A reload keeps the tenant's counters
+    /// and bumps its model version; a first load at the `max_models` cap
+    /// evicts the least-recently-used tenant.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::InvalidTenant`] for malformed names,
+    /// [`RegistryError::ShuttingDown`] when the shards are gone.
+    pub fn load(
+        &self,
+        tenant: &str,
+        online: OnlineForecaster,
+    ) -> Result<LoadReport, RegistryError> {
+        if !valid_tenant(tenant) {
+            return Err(RegistryError::InvalidTenant(tenant.to_string()));
+        }
+        let info = ModelInfo::of(&online);
+        let (reply, ack) = channel();
+        let report = {
+            let mut dir = self.inner.directory.write().expect("directory lock");
+            if let Some((key, meta)) = dir.get_key_value(tenant) {
+                let key = Arc::clone(key);
+                let counters = Arc::clone(&meta.counters);
+                let model_version = counters.bump_model_version();
+                meta.last_used.store(self.tick(), Ordering::Relaxed);
+                let shard = meta.shard;
+                dir.get_mut(tenant).expect("entry present").info = info;
+                self.send_locked(
+                    shard,
+                    ShardRequest::Load {
+                        tenant: key,
+                        online: Box::new(online),
+                        counters,
+                        reply,
+                    },
+                )?;
+                LoadReport {
+                    shard,
+                    model_version,
+                    reloaded: true,
+                    evicted: None,
+                }
+            } else {
+                let mut evicted = None;
+                let cap = self.inner.cfg.max_models;
+                if cap > 0 && dir.len() >= cap {
+                    let victim = dir
+                        .iter()
+                        .min_by_key(|(name, meta)| {
+                            (meta.last_used.load(Ordering::Relaxed), Arc::clone(name))
+                        })
+                        .map(|(name, meta)| (Arc::clone(name), meta.shard));
+                    if let Some((name, shard)) = victim {
+                        dir.remove(&name);
+                        let (evict_reply, _evict_ack) = channel();
+                        self.send_locked(
+                            shard,
+                            ShardRequest::Unload {
+                                tenant: Arc::clone(&name),
+                                reply: evict_reply,
+                            },
+                        )?;
+                        self.inner.evictions.fetch_add(1, Ordering::Relaxed);
+                        evicted = Some(name.to_string());
+                    }
+                }
+                let key: Arc<str> = Arc::from(tenant);
+                let counters = Arc::new(TenantCounters::new());
+                let shard = shard_of(tenant, self.num_shards());
+                let meta = TenantMeta {
+                    shard,
+                    info,
+                    counters: Arc::clone(&counters),
+                    last_used: AtomicU64::new(self.tick()),
+                };
+                self.send_locked(
+                    shard,
+                    ShardRequest::Load {
+                        tenant: Arc::clone(&key),
+                        online: Box::new(online),
+                        counters,
+                        reply,
+                    },
+                )?;
+                dir.insert(key, meta);
+                LoadReport {
+                    shard,
+                    model_version: 1,
+                    reloaded: false,
+                    evicted,
+                }
+            }
+        };
+        ack.recv_timeout(ENGINE_REPLY_TIMEOUT)
+            .map_err(|_| RegistryError::ShuttingDown)?;
+        self.inner.model_loads.fetch_add(1, Ordering::Relaxed);
+        Ok(report)
+    }
+
+    /// Drops a tenant's model and directory entry.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::UnknownTenant`] when no model is loaded under the
+    /// name, [`RegistryError::ShuttingDown`] when the shards are gone.
+    pub fn unload(&self, tenant: &str) -> Result<(), RegistryError> {
+        let (reply, ack) = channel();
+        {
+            let mut dir = self.inner.directory.write().expect("directory lock");
+            let (key, meta) = dir
+                .remove_entry(tenant)
+                .ok_or_else(|| RegistryError::UnknownTenant(tenant.to_string()))?;
+            self.send_locked(meta.shard, ShardRequest::Unload { tenant: key, reply })?;
+        }
+        ack.recv_timeout(ENGINE_REPLY_TIMEOUT)
+            .map_err(|_| RegistryError::ShuttingDown)?;
+        Ok(())
+    }
+
+    /// A channel send while holding the directory write lock (FIFO-orders
+    /// the request before anything a later lookup submits).
+    fn send_locked(&self, shard: usize, req: ShardRequest) -> Result<(), RegistryError> {
+        let metrics = &self.inner.metrics;
+        metrics.queue_enter(shard);
+        self.inner.senders[shard].send(req).map_err(|_| {
+            metrics.queue_drop(shard);
+            RegistryError::ShuttingDown
+        })
+    }
+
+    /// Directory snapshot sorted by tenant name.
+    pub fn tenants(&self) -> Vec<TenantStatus> {
+        let dir = self.inner.directory.read().expect("directory lock");
+        let mut rows: Vec<TenantStatus> = dir
+            .iter()
+            .map(|(name, meta)| TenantStatus {
+                name: name.to_string(),
+                shard: meta.shard,
+                info: meta.info,
+                counters: Arc::clone(&meta.counters),
+            })
+            .collect();
+        rows.sort_by(|a, b| a.name.cmp(&b.name));
+        rows
+    }
+
+    /// Renders the shared service metrics plus the registry families:
+    /// model-count gauge, load/eviction counters and per-tenant counters.
+    pub fn render_metrics(&self) -> String {
+        let mut out = self.inner.metrics.render();
+        let header = |out: &mut String, name: &str, kind: &str, help: &str| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+        };
+        let rows = self.tenants();
+
+        header(
+            &mut out,
+            "st_serve_models",
+            "gauge",
+            "Models resident in the registry.",
+        );
+        out.push_str(&format!("st_serve_models {}\n", rows.len()));
+
+        header(
+            &mut out,
+            "st_serve_model_loads_total",
+            "counter",
+            "Checkpoint loads (first loads and hot reloads).",
+        );
+        out.push_str(&format!(
+            "st_serve_model_loads_total {}\n",
+            self.inner.model_loads.load(Ordering::Relaxed)
+        ));
+
+        header(
+            &mut out,
+            "st_serve_evictions_total",
+            "counter",
+            "Models evicted by the LRU max-models cap.",
+        );
+        out.push_str(&format!(
+            "st_serve_evictions_total {}\n",
+            self.inner.evictions.load(Ordering::Relaxed)
+        ));
+
+        header(
+            &mut out,
+            "st_serve_tenant_requests_total",
+            "counter",
+            "Engine requests handled, by tenant.",
+        );
+        for row in &rows {
+            out.push_str(&format!(
+                "st_serve_tenant_requests_total{{tenant=\"{}\"}} {}\n",
+                row.name,
+                row.counters.requests()
+            ));
+        }
+
+        header(
+            &mut out,
+            "st_serve_tenant_observations_total",
+            "counter",
+            "Observations applied, by tenant.",
+        );
+        for row in &rows {
+            out.push_str(&format!(
+                "st_serve_tenant_observations_total{{tenant=\"{}\"}} {}\n",
+                row.name,
+                row.counters.observations()
+            ));
+        }
+
+        header(
+            &mut out,
+            "st_serve_tenant_tape_runs_total",
+            "counter",
+            "Model evaluations run (cache misses), by tenant.",
+        );
+        for row in &rows {
+            out.push_str(&format!(
+                "st_serve_tenant_tape_runs_total{{tenant=\"{}\"}} {}\n",
+                row.name,
+                row.counters.tape_runs()
+            ));
+        }
+
+        header(
+            &mut out,
+            "st_serve_tenant_cache_hits_total",
+            "counter",
+            "Requests served from the window-version cache, by tenant.",
+        );
+        for row in &rows {
+            out.push_str(&format!(
+                "st_serve_tenant_cache_hits_total{{tenant=\"{}\"}} {}\n",
+                row.name,
+                row.counters.cache_hits()
+            ));
+        }
+
+        header(
+            &mut out,
+            "st_serve_tenant_model_version",
+            "gauge",
+            "Model version (1 on first load, +1 per hot reload), by tenant.",
+        );
+        for row in &rows {
+            out.push_str(&format!(
+                "st_serve_tenant_model_version{{tenant=\"{}\"}} {}\n",
+                row.name,
+                row.counters.model_version()
+            ));
+        }
+
+        header(
+            &mut out,
+            "st_serve_tenant_pool_hit_rate",
+            "gauge",
+            "Inference tape buffer-pool hit rate, by tenant, 0 to 1.",
+        );
+        for row in &rows {
+            out.push_str(&format!(
+                "st_serve_tenant_pool_hit_rate{{tenant=\"{}\"}} {:.6}\n",
+                row.name,
+                row.counters.pool_hit_rate()
+            ));
+        }
+
+        out
+    }
+
+    /// Takes the shard join handles; used once by graceful shutdown.
+    pub(crate) fn take_joins(&self) -> Vec<JoinHandle<Vec<(String, OnlineForecaster)>>> {
+        std::mem::take(&mut *self.inner.joins.lock().expect("joins lock"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rihgcn_core::{prepare_split, RihgcnConfig, RihgcnModel};
+    use st_data::{generate_pems, PemsConfig};
+    use st_tensor::rng;
+
+    fn forecaster(seed: u64) -> OnlineForecaster {
+        let ds = generate_pems(&PemsConfig {
+            num_nodes: 4,
+            num_days: 2,
+            ..Default::default()
+        });
+        let ds = ds.with_extra_missing(0.3, &mut rng(seed));
+        let (norm, z) = prepare_split(&ds.split_chronological());
+        let cfg = RihgcnConfig {
+            gcn_dim: 3,
+            lstm_dim: 4,
+            cheb_k: 2,
+            num_temporal_graphs: 2,
+            history: 4,
+            horizon: 2,
+            ..Default::default()
+        };
+        let model = RihgcnModel::from_dataset(&norm.train, cfg);
+        OnlineForecaster::new(model, z)
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        for shards in [1, 2, 3, 8] {
+            for name in ["a", "default", "tenant-42", "x.y_z"] {
+                let s = shard_of(name, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(name, shards), "stable for {name}");
+            }
+        }
+        // FNV-1a actually spreads names across shards.
+        let spread: std::collections::BTreeSet<usize> = (0..32)
+            .map(|i| shard_of(&format!("tenant-{i}"), 4))
+            .collect();
+        assert!(spread.len() > 1, "hash must not collapse to one shard");
+    }
+
+    #[test]
+    fn tenant_name_validation() {
+        assert!(valid_tenant("default"));
+        assert!(valid_tenant("city-12.v2_final"));
+        assert!(!valid_tenant(""));
+        assert!(!valid_tenant("has space"));
+        assert!(!valid_tenant("q?a"));
+        assert!(!valid_tenant(&"x".repeat(65)));
+    }
+
+    #[test]
+    fn load_resolve_unload_lifecycle() {
+        let registry = Registry::new(
+            RegistryConfig {
+                shards: 2,
+                ..Default::default()
+            },
+            Arc::new(Metrics::with_shards(2)),
+        );
+        assert!(registry.resolve("alpha").is_none());
+        assert!(matches!(
+            registry.load("bad name", forecaster(1)),
+            Err(RegistryError::InvalidTenant(_))
+        ));
+
+        let report = registry.load("alpha", forecaster(1)).unwrap();
+        assert_eq!(report.shard, shard_of("alpha", 2));
+        assert_eq!(report.model_version, 1);
+        assert!(!report.reloaded);
+
+        let resolved = registry.resolve("alpha").unwrap();
+        assert_eq!(resolved.shard, report.shard);
+        assert_eq!(resolved.info.nodes, 4);
+
+        // Reload bumps the model version in place.
+        let report = registry.load("alpha", forecaster(2)).unwrap();
+        assert!(report.reloaded);
+        assert_eq!(report.model_version, 2);
+        assert_eq!(registry.model_count(), 1);
+
+        registry.unload("alpha").unwrap();
+        assert!(registry.resolve("alpha").is_none());
+        assert!(matches!(
+            registry.unload("alpha"),
+            Err(RegistryError::UnknownTenant(_))
+        ));
+    }
+
+    #[test]
+    fn lru_eviction_under_cap() {
+        let registry = Registry::new(
+            RegistryConfig {
+                shards: 2,
+                max_models: 2,
+                ..Default::default()
+            },
+            Arc::new(Metrics::with_shards(2)),
+        );
+        registry.load("a", forecaster(1)).unwrap();
+        registry.load("b", forecaster(2)).unwrap();
+        // Touch `a` so `b` is the LRU victim.
+        registry.resolve("a").unwrap();
+        let report = registry.load("c", forecaster(3)).unwrap();
+        assert_eq!(report.evicted.as_deref(), Some("b"));
+        assert_eq!(registry.model_count(), 2);
+        assert!(registry.resolve("b").is_none());
+        assert!(registry.resolve("a").is_some());
+        assert!(registry.resolve("c").is_some());
+        assert_eq!(registry.total_evictions(), 1);
+        // Reloading a resident tenant at the cap evicts nothing.
+        let report = registry.load("a", forecaster(4)).unwrap();
+        assert!(report.reloaded && report.evicted.is_none());
+        assert_eq!(registry.model_count(), 2);
+    }
+}

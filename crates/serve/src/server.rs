@@ -1,25 +1,33 @@
-//! The HTTP front end: accept loop, fixed worker pool, routing, and
+//! The HTTP front end: accept loop, fixed worker pool, tenant routing, and
 //! graceful shutdown.
 //!
 //! ```text
-//! accept thread ──► bounded conn queue ──► worker 0..K ──► engine thread
-//!      │ (max-connections guard)              │  (bounded request queue,
-//!      ▼                                      ▼   micro-batched)
-//!   503 when full                      HTTP parse / route / respond
+//! accept thread ──► bounded conn queue ──► worker 0..K ──► shard 0..S
+//!      │ (max-connections guard)              │  (bounded request queue
+//!      ▼                                      ▼   per shard, micro-batched)
+//!   503 when full                 HTTP parse / tenant resolve / respond
 //! ```
+//!
+//! Inference routes take a `?tenant=` query parameter; requests without one
+//! address the `default` tenant, so a single-model deployment keeps the old
+//! URLs. The registry maps tenants to shards with a deterministic FNV-1a
+//! hash (see [`crate::registry::shard_of`]) and handles the model
+//! lifecycle: `POST /admin/load` installs or hot-swaps a checkpoint,
+//! `POST /admin/unload` drops one, and `GET /admin/tenants` lists the
+//! directory.
 //!
 //! Shutdown is SIGTERM-equivalent without signal handling (std has none):
 //! anything holding a [`ShutdownHandle`] — the `/admin/shutdown` route, a
 //! stdin-EOF watcher, a test — flips the shutdown flag and wakes the
 //! acceptor with a self-connection. The acceptor stops taking connections
-//! and drops the queue; workers drain in-flight connections and exit; the
-//! engine exits once the last worker drops its handle.
+//! and drops the queue; workers drain in-flight connections and exit; each
+//! shard exits once the last registry clone drops its channel sender, and
+//! [`Server::join`] hands back every tenant's forecaster.
 
-use crate::engine::{
-    self, EngineError, EngineHandle, EngineRequest, ModelInfo, ENGINE_REPLY_TIMEOUT,
-};
 use crate::http::{self, HttpError, Request};
 use crate::metrics::{Metrics, Route};
+use crate::registry::{self, Registry, RegistryConfig, RegistryError, ResolvedTenant};
+use crate::shard::{EngineError, ShardRequest, ENGINE_REPLY_TIMEOUT};
 use crate::wire;
 use rihgcn_core::OnlineForecaster;
 use std::io::{self, BufReader, BufWriter};
@@ -29,6 +37,9 @@ use std::sync::mpsc::{channel, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Tenant addressed by requests that carry no `?tenant=` parameter.
+pub const DEFAULT_TENANT: &str = "default";
 
 /// Tunables of the HTTP service.
 #[derive(Debug, Clone)]
@@ -44,10 +55,15 @@ pub struct ServeConfig {
     pub read_timeout: Duration,
     /// Maximum accepted request-body size in bytes.
     pub max_body_bytes: usize,
-    /// Bound of the engine's request queue (backpressure depth).
+    /// Bound of each shard's request queue (backpressure depth).
     pub queue_depth: usize,
     /// Requests served per connection before it is recycled.
     pub max_requests_per_connection: usize,
+    /// Engine shards; tenants route to `shard_of(name, shards)`.
+    pub shards: usize,
+    /// Maximum resident models (0 = unlimited); loading a new tenant at
+    /// the cap evicts the least-recently-used one.
+    pub max_models: usize,
 }
 
 impl Default for ServeConfig {
@@ -60,6 +76,8 @@ impl Default for ServeConfig {
             max_body_bytes: 8 << 20,
             queue_depth: 128,
             max_requests_per_connection: 10_000,
+            shards: 1,
+            max_models: 0,
         }
     }
 }
@@ -89,7 +107,7 @@ pub struct ShutdownHandle(Arc<Shared>);
 
 impl ShutdownHandle {
     /// Requests a graceful shutdown (idempotent): stop accepting, drain
-    /// in-flight connections, stop the engine.
+    /// in-flight connections, stop the shards.
     pub fn shutdown(&self) {
         self.0.trigger_shutdown();
     }
@@ -99,19 +117,34 @@ impl ShutdownHandle {
 pub struct Server {
     shared: Arc<Shared>,
     metrics: Arc<Metrics>,
+    registry: Option<Registry>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    engine: Option<JoinHandle<OnlineForecaster>>,
 }
 
 impl Server {
-    /// Binds the listener, spawns the engine and worker threads, and starts
-    /// accepting connections.
+    /// Starts a single-model service: the forecaster is loaded as the
+    /// [`DEFAULT_TENANT`], so requests without `?tenant=` reach it.
     ///
     /// # Errors
     ///
     /// Returns any error binding the address or spawning threads.
     pub fn start(online: OnlineForecaster, cfg: ServeConfig) -> io::Result<Server> {
+        Self::start_with_models(vec![(DEFAULT_TENANT.to_string(), online)], cfg)
+    }
+
+    /// Binds the listener, spawns the shard and worker threads, loads the
+    /// given `(tenant, forecaster)` models, and starts accepting
+    /// connections.
+    ///
+    /// # Errors
+    ///
+    /// Returns errors binding the address, spawning threads, or loading a
+    /// model under an invalid tenant name.
+    pub fn start_with_models(
+        models: Vec<(String, OnlineForecaster)>,
+        cfg: ServeConfig,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(
             cfg.addr
                 .to_socket_addrs()?
@@ -123,10 +156,21 @@ impl Server {
             shutdown: AtomicBool::new(false),
             addr,
         });
-        let metrics = Arc::new(Metrics::new());
-        let info = ModelInfo::of(&online);
-        let (engine_handle, engine_join) =
-            engine::spawn(online, Arc::clone(&metrics), cfg.queue_depth);
+        let shards = cfg.shards.max(1);
+        let metrics = Arc::new(Metrics::with_shards(shards));
+        let registry = Registry::new(
+            RegistryConfig {
+                shards,
+                max_models: cfg.max_models,
+                queue_depth: cfg.queue_depth,
+            },
+            Arc::clone(&metrics),
+        );
+        for (tenant, online) in models {
+            registry
+                .load(&tenant, online)
+                .map_err(|e| io::Error::other(e.to_string()))?;
+        }
 
         let workers_n = if cfg.workers > 0 {
             cfg.workers
@@ -141,7 +185,7 @@ impl Server {
         let mut workers = Vec::with_capacity(workers_n);
         for i in 0..workers_n {
             let conn_rx = Arc::clone(&conn_rx);
-            let engine_handle = engine_handle.clone();
+            let registry = registry.clone();
             let metrics = Arc::clone(&metrics);
             let shared = Arc::clone(&shared);
             let active = Arc::clone(&active);
@@ -154,7 +198,7 @@ impl Server {
                         // serving it so the other workers keep draining.
                         let stream = conn_rx.lock().expect("conn queue lock").recv();
                         let Ok(stream) = stream else { break };
-                        serve_connection(stream, &engine_handle, &metrics, &shared, &info, &cfg);
+                        serve_connection(stream, &registry, &metrics, &shared, &cfg);
                         active.fetch_sub(1, Ordering::SeqCst);
                     })?,
             );
@@ -194,9 +238,9 @@ impl Server {
         Ok(Server {
             shared,
             metrics,
+            registry: Some(registry),
             accept: Some(accept),
             workers,
-            engine: Some(engine_join),
         })
     }
 
@@ -208,6 +252,13 @@ impl Server {
     /// Live service counters.
     pub fn metrics(&self) -> Arc<Metrics> {
         Arc::clone(&self.metrics)
+    }
+
+    /// A handle to the model registry (tenant directory, load/unload).
+    /// Drop it before calling [`Server::join`] — the shards only exit once
+    /// every registry clone is gone.
+    pub fn registry(&self) -> Registry {
+        self.registry.as_ref().expect("server is running").clone()
     }
 
     /// Number of model evaluations performed so far (cache misses).
@@ -223,23 +274,30 @@ impl Server {
 
     /// Blocks until a shutdown is triggered (by a [`ShutdownHandle`] or the
     /// `/admin/shutdown` route), drains connections, and joins every
-    /// thread. Returns the forecaster with its final window state.
-    pub fn join(mut self) -> OnlineForecaster {
+    /// thread. Returns each resident tenant's forecaster with its final
+    /// window state, sorted by tenant name.
+    pub fn join(mut self) -> Vec<(String, OnlineForecaster)> {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
-        self.engine
-            .take()
-            .expect("join consumes the server once")
-            .join()
-            .expect("engine thread must not panic")
+        let registry = self.registry.take().expect("join consumes the server once");
+        let joins = registry.take_joins();
+        // The last sender clones live in the registry; dropping it lets
+        // every shard drain its queue and exit.
+        drop(registry);
+        let mut drained = Vec::new();
+        for join in joins {
+            drained.extend(join.join().expect("shard thread must not panic"));
+        }
+        drained.sort_by(|a, b| a.0.cmp(&b.0));
+        drained
     }
 
     /// Triggers shutdown and joins; see [`Server::join`].
-    pub fn shutdown(self) -> OnlineForecaster {
+    pub fn shutdown(self) -> Vec<(String, OnlineForecaster)> {
         self.shared.trigger_shutdown();
         self.join()
     }
@@ -248,10 +306,9 @@ impl Server {
 /// Serves one (possibly keep-alive) connection to completion.
 fn serve_connection(
     stream: TcpStream,
-    engine: &EngineHandle,
+    registry: &Registry,
     metrics: &Metrics,
     shared: &Shared,
-    info: &ModelInfo,
     cfg: &ServeConfig,
 ) {
     let _ = stream.set_nodelay(true);
@@ -286,13 +343,26 @@ fn serve_connection(
         };
 
         let started = Instant::now();
-        let outcome = route(&req, engine, metrics, info);
+        let outcome = route(&req, registry);
         let latency_us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
         metrics.record(outcome.route, latency_us, outcome.status >= 400);
 
         let keep_alive =
             !req.wants_close() && !outcome.shutdown_after && !shared.is_shutting_down();
-        if http::write_response(&mut writer, outcome.status, &outcome.body, keep_alive).is_err() {
+        let mut extra: Vec<(&str, &str)> = Vec::new();
+        if let Some(allow) = outcome.allow {
+            extra.push(("Allow", allow));
+        }
+        if http::write_response_with(
+            &mut writer,
+            outcome.status,
+            &outcome.body,
+            keep_alive,
+            outcome.content_type,
+            &extra,
+        )
+        .is_err()
+        {
             break;
         }
         if outcome.shutdown_after {
@@ -304,11 +374,16 @@ fn serve_connection(
     }
 }
 
+const TEXT_PLAIN: &str = "text/plain; charset=utf-8";
+const APPLICATION_JSON: &str = "application/json";
+
 struct Outcome {
     status: u16,
     body: String,
     route: Route,
     shutdown_after: bool,
+    content_type: &'static str,
+    allow: Option<&'static str>,
 }
 
 impl Outcome {
@@ -318,6 +393,8 @@ impl Outcome {
             body,
             route,
             shutdown_after: false,
+            content_type: TEXT_PLAIN,
+            allow: None,
         }
     }
 
@@ -327,50 +404,118 @@ impl Outcome {
             body: msg,
             route,
             shutdown_after: false,
+            content_type: TEXT_PLAIN,
+            allow: None,
+        }
+    }
+
+    /// 404 with a JSON error body: the tenant has no loaded model.
+    fn unknown_tenant(route: Route, tenant: &str) -> Self {
+        Self {
+            status: 404,
+            body: wire::tenant_error_json(tenant),
+            route,
+            shutdown_after: false,
+            content_type: APPLICATION_JSON,
+            allow: None,
+        }
+    }
+
+    /// 405 carrying the `Allow` header for the path's supported method.
+    fn method_not_allowed(allow: &'static str) -> Self {
+        Self {
+            status: 405,
+            body: "method not allowed\n".into(),
+            route: Route::Other,
+            shutdown_after: false,
+            content_type: TEXT_PLAIN,
+            allow: Some(allow),
         }
     }
 }
 
 fn engine_failure(route: Route, e: EngineError) -> Outcome {
-    let status = match e {
-        EngineError::NotReady { .. } => 409,
-        EngineError::Rejected(_) => 400,
-    };
-    Outcome::err(route, status, format!("{e}\n"))
+    match e {
+        EngineError::NotReady { .. } => Outcome::err(route, 409, format!("{e}\n")),
+        EngineError::Rejected(_) => Outcome::err(route, 400, format!("{e}\n")),
+        EngineError::UnknownTenant(tenant) => Outcome::unknown_tenant(route, &tenant),
+    }
 }
 
-/// Sends one engine request and waits for the typed reply.
+/// Sends one shard request and waits for the typed reply.
 fn ask<T: Send + 'static>(
-    engine: &EngineHandle,
-    build: impl FnOnce(std::sync::mpsc::Sender<T>) -> EngineRequest,
+    registry: &Registry,
+    shard: usize,
+    build: impl FnOnce(std::sync::mpsc::Sender<T>) -> ShardRequest,
 ) -> Result<T, String> {
     let (tx, rx) = channel();
-    engine.submit(build(tx))?;
+    registry.submit(shard, build(tx))?;
     rx.recv_timeout(ENGINE_REPLY_TIMEOUT)
         .map_err(|_| "inference engine did not answer in time".to_string())
 }
 
-fn route(req: &Request, engine: &EngineHandle, metrics: &Metrics, info: &ModelInfo) -> Outcome {
-    match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => match ask(engine, |reply| EngineRequest::Health { reply }) {
-            Ok(state) => Outcome::ok(
-                Route::Healthz,
-                format!(
-                    "ok nodes {} features {} history {} horizon {} slots_per_day {} \
-                     buffered {} ready {} version {}\n",
-                    info.nodes,
-                    info.features,
-                    info.history,
-                    info.horizon,
-                    info.slots_per_day,
-                    state.buffered,
-                    state.ready,
-                    state.version
+/// Resolves the request's tenant (`?tenant=`, defaulting to
+/// [`DEFAULT_TENANT`]) against the directory.
+fn resolve_tenant(
+    registry: &Registry,
+    query: &str,
+    route: Route,
+) -> Result<ResolvedTenant, Outcome> {
+    let tenant = http::query_param(query, "tenant").unwrap_or(DEFAULT_TENANT);
+    registry
+        .resolve(tenant)
+        .ok_or_else(|| Outcome::unknown_tenant(route, tenant))
+}
+
+fn route(req: &Request, registry: &Registry) -> Outcome {
+    let (path, query) = http::split_target(&req.path);
+    match (req.method.as_str(), path) {
+        ("GET", "/healthz") => {
+            let resolved = match resolve_tenant(registry, query, Route::Healthz) {
+                Ok(r) => r,
+                // Without an explicit tenant, an empty registry still
+                // reports service-level health instead of a 404.
+                Err(outcome) => {
+                    if http::query_param(query, "tenant").is_none() {
+                        return Outcome::ok(
+                            Route::Healthz,
+                            format!(
+                                "ok shards {} models {}\n",
+                                registry.num_shards(),
+                                registry.model_count()
+                            ),
+                        );
+                    }
+                    return outcome;
+                }
+            };
+            match ask(registry, resolved.shard, |reply| ShardRequest::Health {
+                tenant: Arc::clone(&resolved.key),
+                reply,
+            }) {
+                Ok(Ok(health)) => Outcome::ok(
+                    Route::Healthz,
+                    format!(
+                        "ok nodes {} features {} history {} horizon {} slots_per_day {} \
+                         buffered {} ready {} version {} model_version {} tenant {} shard {}\n",
+                        health.info.nodes,
+                        health.info.features,
+                        health.info.history,
+                        health.info.horizon,
+                        health.info.slots_per_day,
+                        health.state.buffered,
+                        health.state.ready,
+                        health.state.version,
+                        health.model_version,
+                        resolved.key,
+                        resolved.shard,
+                    ),
                 ),
-            ),
-            Err(msg) => Outcome::err(Route::Healthz, 500, format!("{msg}\n")),
-        },
-        ("GET", "/metrics") => Outcome::ok(Route::Metrics, metrics.render()),
+                Ok(Err(e)) => engine_failure(Route::Healthz, e),
+                Err(msg) => Outcome::err(Route::Healthz, 500, format!("{msg}\n")),
+            }
+        }
+        ("GET", "/metrics") => Outcome::ok(Route::Metrics, registry.render_metrics()),
         ("GET", "/debug/trace") => {
             // Chrome trace_event JSON of every span buffer in the process.
             // Empty (but well-formed) when tracing is off.
@@ -382,11 +527,17 @@ fn route(req: &Request, engine: &EngineHandle, metrics: &Metrics, info: &ModelIn
                 Ok(b) => b,
                 Err(msg) => return Outcome::err(Route::Observe, 400, format!("{msg}\n")),
             };
-            let obs = match wire::parse_observation(body, info.nodes, info.features) {
-                Ok(o) => o,
-                Err(msg) => return Outcome::err(Route::Observe, 400, format!("{msg}\n")),
+            let resolved = match resolve_tenant(registry, query, Route::Observe) {
+                Ok(r) => r,
+                Err(outcome) => return outcome,
             };
-            match ask(engine, |reply| EngineRequest::Observe {
+            let obs =
+                match wire::parse_observation(body, resolved.info.nodes, resolved.info.features) {
+                    Ok(o) => o,
+                    Err(msg) => return Outcome::err(Route::Observe, 400, format!("{msg}\n")),
+                };
+            match ask(registry, resolved.shard, |reply| ShardRequest::Observe {
+                tenant: Arc::clone(&resolved.key),
                 values: obs.values,
                 mask: obs.mask,
                 slot: obs.slot,
@@ -403,33 +554,144 @@ fn route(req: &Request, engine: &EngineHandle, metrics: &Metrics, info: &ModelIn
                 Err(msg) => Outcome::err(Route::Observe, 500, format!("{msg}\n")),
             }
         }
-        ("GET", "/forecast") => match ask(engine, |reply| EngineRequest::Forecast { reply }) {
-            Ok(Ok(reply)) => Outcome::ok(
-                Route::Forecast,
-                wire::format_steps(reply.version, &reply.steps),
-            ),
-            Ok(Err(e)) => engine_failure(Route::Forecast, e),
-            Err(msg) => Outcome::err(Route::Forecast, 500, format!("{msg}\n")),
-        },
-        ("GET", "/imputed") => match ask(engine, |reply| EngineRequest::Imputed { reply }) {
-            Ok(Ok(reply)) => Outcome::ok(
-                Route::Imputed,
-                wire::format_steps(reply.version, &reply.steps),
-            ),
-            Ok(Err(e)) => engine_failure(Route::Imputed, e),
-            Err(msg) => Outcome::err(Route::Imputed, 500, format!("{msg}\n")),
-        },
+        ("GET", "/forecast") => {
+            let resolved = match resolve_tenant(registry, query, Route::Forecast) {
+                Ok(r) => r,
+                Err(outcome) => return outcome,
+            };
+            match ask(registry, resolved.shard, |reply| ShardRequest::Forecast {
+                tenant: Arc::clone(&resolved.key),
+                reply,
+            }) {
+                Ok(Ok(reply)) => Outcome::ok(
+                    Route::Forecast,
+                    wire::format_steps(reply.version, &reply.steps),
+                ),
+                Ok(Err(e)) => engine_failure(Route::Forecast, e),
+                Err(msg) => Outcome::err(Route::Forecast, 500, format!("{msg}\n")),
+            }
+        }
+        ("GET", "/imputed") => {
+            let resolved = match resolve_tenant(registry, query, Route::Imputed) {
+                Ok(r) => r,
+                Err(outcome) => return outcome,
+            };
+            match ask(registry, resolved.shard, |reply| ShardRequest::Imputed {
+                tenant: Arc::clone(&resolved.key),
+                reply,
+            }) {
+                Ok(Ok(reply)) => Outcome::ok(
+                    Route::Imputed,
+                    wire::format_steps(reply.version, &reply.steps),
+                ),
+                Ok(Err(e)) => engine_failure(Route::Imputed, e),
+                Err(msg) => Outcome::err(Route::Imputed, 500, format!("{msg}\n")),
+            }
+        }
+        ("POST", "/admin/load") => admin_load(req, registry),
+        ("POST", "/admin/unload") => {
+            let body = match req.body_text() {
+                Ok(b) => b,
+                Err(msg) => return Outcome::err(Route::AdminUnload, 400, format!("{msg}\n")),
+            };
+            let tenant = match wire::parse_admin_unload(body) {
+                Ok(t) => t,
+                Err(msg) => return Outcome::err(Route::AdminUnload, 400, format!("{msg}\n")),
+            };
+            match registry.unload(&tenant) {
+                Ok(()) => Outcome::ok(Route::AdminUnload, format!("ok tenant {tenant} unloaded\n")),
+                Err(RegistryError::UnknownTenant(t)) => {
+                    Outcome::unknown_tenant(Route::AdminUnload, &t)
+                }
+                Err(e) => Outcome::err(Route::AdminUnload, 500, format!("{e}\n")),
+            }
+        }
+        ("GET", "/admin/tenants") => {
+            let rows = registry.tenants();
+            let mut body = format!(
+                "shards {} models {} max_models {}\n",
+                registry.num_shards(),
+                rows.len(),
+                registry.max_models()
+            );
+            for row in &rows {
+                body.push_str(&format!(
+                    "tenant {} shard {} nodes {} features {} history {} horizon {} \
+                     slots_per_day {} model_version {} requests {} tape_runs {}\n",
+                    row.name,
+                    row.shard,
+                    row.info.nodes,
+                    row.info.features,
+                    row.info.history,
+                    row.info.horizon,
+                    row.info.slots_per_day,
+                    row.counters.model_version(),
+                    row.counters.requests(),
+                    row.counters.tape_runs(),
+                ));
+            }
+            Outcome::ok(Route::AdminTenants, body)
+        }
         ("POST", "/admin/shutdown") => Outcome {
             status: 200,
             body: "shutting down\n".into(),
             route: Route::Shutdown,
             shutdown_after: true,
+            content_type: TEXT_PLAIN,
+            allow: None,
         },
+        (_, "/observe" | "/admin/shutdown" | "/admin/load" | "/admin/unload") => {
+            Outcome::method_not_allowed("POST")
+        }
         (
             _,
-            "/healthz" | "/metrics" | "/debug/trace" | "/observe" | "/forecast" | "/imputed"
-            | "/admin/shutdown",
-        ) => Outcome::err(Route::Other, 405, "method not allowed\n".into()),
+            "/healthz" | "/metrics" | "/debug/trace" | "/forecast" | "/imputed" | "/admin/tenants",
+        ) => Outcome::method_not_allowed("GET"),
         _ => Outcome::err(Route::Other, 404, "no such route\n".into()),
+    }
+}
+
+/// `POST /admin/load`: reads a checkpoint-v2 file from the server's
+/// filesystem and installs (or hot-swaps) it under the given tenant.
+fn admin_load(req: &Request, registry: &Registry) -> Outcome {
+    let body = match req.body_text() {
+        Ok(b) => b,
+        Err(msg) => return Outcome::err(Route::AdminLoad, 400, format!("{msg}\n")),
+    };
+    let (tenant, path) = match wire::parse_admin_load(body) {
+        Ok(pair) => pair,
+        Err(msg) => return Outcome::err(Route::AdminLoad, 400, format!("{msg}\n")),
+    };
+    if !registry::valid_tenant(&tenant) {
+        return Outcome::err(
+            Route::AdminLoad,
+            400,
+            format!("invalid tenant name {tenant:?}\n"),
+        );
+    }
+    let file = match std::fs::File::open(&path) {
+        Ok(f) => f,
+        Err(e) => {
+            return Outcome::err(Route::AdminLoad, 400, format!("open {path}: {e}\n"));
+        }
+    };
+    let online = match OnlineForecaster::from_checkpoint(&mut BufReader::new(file)) {
+        Ok(o) => o,
+        Err(e) => {
+            return Outcome::err(Route::AdminLoad, 400, format!("load {path}: {e}\n"));
+        }
+    };
+    match registry.load(&tenant, online) {
+        Ok(report) => Outcome::ok(
+            Route::AdminLoad,
+            format!(
+                "ok tenant {tenant} shard {} model_version {} reloaded {} evicted {}\n",
+                report.shard,
+                report.model_version,
+                report.reloaded,
+                report.evicted.as_deref().unwrap_or("none"),
+            ),
+        ),
+        Err(e) => Outcome::err(Route::AdminLoad, 500, format!("{e}\n")),
     }
 }

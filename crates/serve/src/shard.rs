@@ -1,0 +1,620 @@
+//! Engine shards: each shard is one thread owning the [`OnlineForecaster`]s
+//! of every tenant routed to it.
+//!
+//! A shard generalizes the single-model engine of earlier revisions. All
+//! worker threads funnel work through one bounded channel per shard; the
+//! shard thread applies observations in arrival order and serves forecasts.
+//! Because a tenant's rolling window only changes on its own `/observe`,
+//! every forecast at the same **window version** is identical — each tenant
+//! entry keeps the last computed forecast (and imputed window) per version
+//! and serves repeats from that cache instead of re-running the autodiff
+//! tape. Worker requests that race between two observations coalesce onto
+//! one tape run, exactly as before; tenants never share state, so the
+//! bit-identical determinism contract holds per tenant regardless of what
+//! its shard neighbours do.
+//!
+//! Model lifecycle ([`ShardRequest::Load`] / [`ShardRequest::Unload`]) flows
+//! through the same FIFO channel as inference, which gives the registry a
+//! simple ordering guarantee: a request enqueued after a `Load` observes the
+//! loaded model.
+
+use crate::metrics::Metrics;
+use rihgcn_core::OnlineForecaster;
+use st_tensor::Matrix;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Immutable facts about a served model, captured before the forecaster
+/// moves into its shard thread.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelInfo {
+    /// Graph nodes `N`.
+    pub nodes: usize,
+    /// Features per node `F`.
+    pub features: usize,
+    /// History window length `T`.
+    pub history: usize,
+    /// Forecast horizon `T'`.
+    pub horizon: usize,
+    /// Time-of-day slots per day.
+    pub slots_per_day: usize,
+}
+
+impl ModelInfo {
+    /// Reads the static facts off a forecaster.
+    pub fn of(online: &OnlineForecaster) -> Self {
+        Self {
+            nodes: online.model().num_nodes(),
+            features: online.model().num_features(),
+            history: online.history(),
+            horizon: online.horizon(),
+            slots_per_day: online.model().slots_per_day(),
+        }
+    }
+}
+
+/// Engine-side failure modes, mapped to HTTP statuses by the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The rolling window is not full yet (maps to 409).
+    NotReady {
+        /// Observations currently buffered.
+        buffered: usize,
+        /// Window length required.
+        needed: usize,
+    },
+    /// The observation was rejected by validation (maps to 400).
+    Rejected(String),
+    /// No model is loaded for the tenant (maps to 404).
+    UnknownTenant(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::NotReady { buffered, needed } => {
+                write!(f, "window not full yet ({buffered}/{needed} observations)")
+            }
+            EngineError::Rejected(msg) => write!(f, "observation rejected: {msg}"),
+            EngineError::UnknownTenant(tenant) => write!(f, "unknown tenant: {tenant}"),
+        }
+    }
+}
+
+/// Acknowledgement of an applied observation.
+#[derive(Debug, Clone, Copy)]
+pub struct ObserveAck {
+    /// Window version after the push.
+    pub version: u64,
+    /// Observations buffered after the push.
+    pub buffered: usize,
+    /// Whether a full window is now available.
+    pub ready: bool,
+}
+
+/// A forecast (or imputed window) tied to the window version it was
+/// computed at. The steps are shared, not cloned, across coalesced readers.
+#[derive(Debug, Clone)]
+pub struct StepsReply {
+    /// Window version the steps were computed at.
+    pub version: u64,
+    /// Per-step `N × F` matrices in original units.
+    pub steps: Arc<Vec<Matrix>>,
+}
+
+/// Live window state for `/healthz`.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowState {
+    /// Observations currently buffered.
+    pub buffered: usize,
+    /// Whether a full window is available.
+    pub ready: bool,
+    /// Current window version.
+    pub version: u64,
+}
+
+/// Health snapshot for one tenant: static model facts plus live window
+/// state and the model version (bumped by every hot reload).
+#[derive(Debug, Clone, Copy)]
+pub struct TenantHealth {
+    /// Static model facts.
+    pub info: ModelInfo,
+    /// Live window state.
+    pub state: WindowState,
+    /// Model (checkpoint) version: 1 on first load, +1 per hot reload.
+    pub model_version: u64,
+}
+
+/// Live per-tenant counters, shared between the shard thread (which bumps
+/// them) and the registry directory (which renders them into `/metrics`).
+#[derive(Debug, Default)]
+pub struct TenantCounters {
+    requests: AtomicU64,
+    observations: AtomicU64,
+    tape_runs: AtomicU64,
+    cache_hits: AtomicU64,
+    model_version: AtomicU64,
+    pool_hits: AtomicU64,
+    pool_misses: AtomicU64,
+}
+
+impl TenantCounters {
+    /// Counters for a freshly loaded model (`model_version` starts at 1).
+    pub fn new() -> Self {
+        let c = Self::default();
+        c.model_version.store(1, Ordering::Relaxed);
+        c
+    }
+
+    /// Engine requests handled for this tenant.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Observations applied to this tenant's window.
+    pub fn observations(&self) -> u64 {
+        self.observations.load(Ordering::Relaxed)
+    }
+
+    /// Model evaluations run for this tenant (cache misses).
+    pub fn tape_runs(&self) -> u64 {
+        self.tape_runs.load(Ordering::Relaxed)
+    }
+
+    /// Requests served from this tenant's window-version cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Model (checkpoint) version: 1 on first load, +1 per hot reload.
+    pub fn model_version(&self) -> u64 {
+        self.model_version.load(Ordering::Relaxed)
+    }
+
+    /// Bumps the model version; returns the new value. Called by the
+    /// registry when a hot reload replaces this tenant's checkpoint.
+    pub(crate) fn bump_model_version(&self) -> u64 {
+        self.model_version.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Buffer-pool hit rate of this tenant's inference tape, in `[0, 1]`
+    /// (0 when the tape has not run yet).
+    pub fn pool_hit_rate(&self) -> f64 {
+        let hits = self.pool_hits.load(Ordering::Relaxed);
+        let misses = self.pool_misses.load(Ordering::Relaxed);
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+}
+
+/// One unit of work for a shard thread.
+pub enum ShardRequest {
+    /// Push an observation into a tenant's rolling window.
+    Observe {
+        /// Tenant whose window receives the observation.
+        tenant: Arc<str>,
+        /// `N × F` measurements in original units.
+        values: Matrix,
+        /// `N × F` binary mask.
+        mask: Matrix,
+        /// Time-of-day slot.
+        slot: usize,
+        /// Reply channel.
+        reply: Sender<Result<ObserveAck, EngineError>>,
+    },
+    /// Multi-horizon forecast in original units.
+    Forecast {
+        /// Tenant to forecast for.
+        tenant: Arc<str>,
+        /// Reply channel.
+        reply: Sender<Result<StepsReply, EngineError>>,
+    },
+    /// Imputed history window in original units.
+    Imputed {
+        /// Tenant whose window to impute.
+        tenant: Arc<str>,
+        /// Reply channel.
+        reply: Sender<Result<StepsReply, EngineError>>,
+    },
+    /// Model facts + window state snapshot.
+    Health {
+        /// Tenant to report on.
+        tenant: Arc<str>,
+        /// Reply channel.
+        reply: Sender<Result<TenantHealth, EngineError>>,
+    },
+    /// Install (or hot-swap) a tenant's forecaster. Replaces any previous
+    /// model for the tenant; the rolling window starts empty.
+    Load {
+        /// Tenant to (re)load.
+        tenant: Arc<str>,
+        /// The forecaster, boxed to keep the request small.
+        online: Box<OnlineForecaster>,
+        /// Counters shared with the registry directory.
+        counters: Arc<TenantCounters>,
+        /// Acknowledged once the swap is visible to later requests.
+        reply: Sender<ModelInfo>,
+    },
+    /// Drop a tenant's forecaster (explicit unload or LRU eviction).
+    Unload {
+        /// Tenant to drop.
+        tenant: Arc<str>,
+        /// Acknowledged with `true` if a model was present.
+        reply: Sender<bool>,
+    },
+}
+
+/// How long a worker waits for a shard before reporting a 500.
+pub const ENGINE_REPLY_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Single-slot cache: the last value computed, tagged with its version.
+struct VersionCache {
+    version: u64,
+    value: Arc<Vec<Matrix>>,
+}
+
+/// Everything a shard owns for one tenant.
+struct TenantEntry {
+    online: OnlineForecaster,
+    counters: Arc<TenantCounters>,
+    info: ModelInfo,
+    forecast_cache: Option<VersionCache>,
+    imputed_cache: Option<VersionCache>,
+}
+
+struct Shard {
+    index: usize,
+    metrics: Arc<Metrics>,
+    tenants: HashMap<Arc<str>, TenantEntry>,
+}
+
+impl Shard {
+    fn entry(&mut self, tenant: &Arc<str>) -> Result<&mut TenantEntry, EngineError> {
+        self.tenants
+            .get_mut(tenant)
+            .ok_or_else(|| EngineError::UnknownTenant(tenant.to_string()))
+    }
+
+    fn handle(&mut self, req: ShardRequest) {
+        self.metrics.queue_exit(self.index);
+        match req {
+            ShardRequest::Observe {
+                tenant,
+                values,
+                mask,
+                slot,
+                reply,
+            } => {
+                let _span = st_obs::span!("serve.observe", slot);
+                let result = self.entry(&tenant).and_then(|entry| {
+                    entry.counters.requests.fetch_add(1, Ordering::Relaxed);
+                    entry
+                        .online
+                        .try_push(values, mask, slot)
+                        .map(|()| {
+                            entry.counters.observations.fetch_add(1, Ordering::Relaxed);
+                            ObserveAck {
+                                version: entry.online.window_version(),
+                                buffered: entry.online.len(),
+                                ready: entry.online.ready(),
+                            }
+                        })
+                        .map_err(|e| EngineError::Rejected(e.to_string()))
+                });
+                let _ = reply.send(result);
+            }
+            ShardRequest::Forecast { tenant, reply } => {
+                let _span = st_obs::span!("serve.forecast");
+                let metrics = Arc::clone(&self.metrics);
+                let index = self.index;
+                let result = self.entry(&tenant).and_then(|entry| {
+                    Self::steps(entry, Cache::Forecast, &metrics, index, |o| o.forecast())
+                });
+                let _ = reply.send(result);
+            }
+            ShardRequest::Imputed { tenant, reply } => {
+                let _span = st_obs::span!("serve.imputed");
+                let metrics = Arc::clone(&self.metrics);
+                let index = self.index;
+                let result = self.entry(&tenant).and_then(|entry| {
+                    Self::steps(entry, Cache::Imputed, &metrics, index, |o| {
+                        o.imputed_window()
+                    })
+                });
+                let _ = reply.send(result);
+            }
+            ShardRequest::Health { tenant, reply } => {
+                let _span = st_obs::span!("serve.health");
+                let result = self.entry(&tenant).map(|entry| {
+                    entry.counters.requests.fetch_add(1, Ordering::Relaxed);
+                    TenantHealth {
+                        info: entry.info,
+                        state: WindowState {
+                            buffered: entry.online.len(),
+                            ready: entry.online.ready(),
+                            version: entry.online.window_version(),
+                        },
+                        model_version: entry.counters.model_version(),
+                    }
+                });
+                let _ = reply.send(result);
+            }
+            ShardRequest::Load {
+                tenant,
+                online,
+                counters,
+                reply,
+            } => {
+                let _span = st_obs::span!("serve.load");
+                let info = ModelInfo::of(&online);
+                self.tenants.insert(
+                    tenant,
+                    TenantEntry {
+                        online: *online,
+                        counters,
+                        info,
+                        forecast_cache: None,
+                        imputed_cache: None,
+                    },
+                );
+                let _ = reply.send(info);
+            }
+            ShardRequest::Unload { tenant, reply } => {
+                let _span = st_obs::span!("serve.unload");
+                let _ = reply.send(self.tenants.remove(&tenant).is_some());
+            }
+        }
+    }
+
+    /// Serves a per-version result from the tenant's cache when its window
+    /// has not advanced, recomputing (one tape run) otherwise. After a run
+    /// the tenant's pool statistics are published to both the shared
+    /// metrics gauges and the tenant counters.
+    fn steps(
+        entry: &mut TenantEntry,
+        which: Cache,
+        metrics: &Metrics,
+        shard: usize,
+        compute: impl FnOnce(&mut OnlineForecaster) -> Option<Vec<Matrix>>,
+    ) -> Result<StepsReply, EngineError> {
+        entry.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let version = entry.online.window_version();
+        let cache = match which {
+            Cache::Forecast => &mut entry.forecast_cache,
+            Cache::Imputed => &mut entry.imputed_cache,
+        };
+        if let Some(c) = cache {
+            if c.version == version {
+                metrics.cache_hit();
+                entry.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(StepsReply {
+                    version,
+                    steps: Arc::clone(&c.value),
+                });
+            }
+        }
+        let steps = {
+            let buffered = entry.online.len();
+            let needed = entry.online.history();
+            compute(&mut entry.online).ok_or(EngineError::NotReady { buffered, needed })?
+        };
+        metrics.tape_run(shard);
+        entry.counters.tape_runs.fetch_add(1, Ordering::Relaxed);
+        if let (Some(stats), Some(free)) =
+            (entry.online.pool_stats(), entry.online.pool_free_bytes())
+        {
+            metrics.set_pool_stats(stats, free as u64);
+            entry
+                .counters
+                .pool_hits
+                .store(stats.hits, Ordering::Relaxed);
+            entry
+                .counters
+                .pool_misses
+                .store(stats.misses, Ordering::Relaxed);
+        }
+        let value = Arc::new(steps);
+        let cache = match which {
+            Cache::Forecast => &mut entry.forecast_cache,
+            Cache::Imputed => &mut entry.imputed_cache,
+        };
+        *cache = Some(VersionCache {
+            version,
+            value: Arc::clone(&value),
+        });
+        Ok(StepsReply {
+            version,
+            steps: value,
+        })
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Cache {
+    Forecast,
+    Imputed,
+}
+
+/// Spawns one shard thread. The thread exits once every sender clone is
+/// dropped and the queue drains, returning the tenants it still holds
+/// (sorted by name) so graceful shutdown can hand the forecasters back.
+pub(crate) fn spawn_shard(
+    index: usize,
+    metrics: Arc<Metrics>,
+    queue_depth: usize,
+) -> (
+    SyncSender<ShardRequest>,
+    JoinHandle<Vec<(String, OnlineForecaster)>>,
+) {
+    let (tx, rx): (SyncSender<ShardRequest>, Receiver<ShardRequest>) =
+        std::sync::mpsc::sync_channel(queue_depth.max(1));
+    let handle = std::thread::Builder::new()
+        .name(format!("st-serve-shard-{index}"))
+        .spawn(move || {
+            let mut shard = Shard {
+                index,
+                metrics,
+                tenants: HashMap::new(),
+            };
+            while let Ok(req) = rx.recv() {
+                shard.handle(req);
+            }
+            let mut drained: Vec<(String, OnlineForecaster)> = shard
+                .tenants
+                .into_iter()
+                .map(|(name, entry)| (name.to_string(), entry.online))
+                .collect();
+            drained.sort_by(|a, b| a.0.cmp(&b.0));
+            drained
+        })
+        .expect("spawn shard thread");
+    (tx, handle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rihgcn_core::{prepare_split, RihgcnConfig, RihgcnModel};
+    use st_data::{generate_pems, PemsConfig};
+    use st_tensor::rng;
+    use std::sync::mpsc::channel;
+
+    fn setup() -> (OnlineForecaster, st_data::TrafficDataset) {
+        let ds = generate_pems(&PemsConfig {
+            num_nodes: 4,
+            num_days: 2,
+            ..Default::default()
+        });
+        let ds = ds.with_extra_missing(0.3, &mut rng(3));
+        let (norm, z) = prepare_split(&ds.split_chronological());
+        let cfg = RihgcnConfig {
+            gcn_dim: 3,
+            lstm_dim: 4,
+            cheb_k: 2,
+            num_temporal_graphs: 2,
+            history: 4,
+            horizon: 2,
+            ..Default::default()
+        };
+        let model = RihgcnModel::from_dataset(&norm.train, cfg);
+        (OnlineForecaster::new(model, z), ds)
+    }
+
+    fn load(tx: &SyncSender<ShardRequest>, metrics: &Metrics, tenant: &Arc<str>) {
+        let (online, _) = setup();
+        let (reply, ack) = channel();
+        metrics.queue_enter(0);
+        tx.send(ShardRequest::Load {
+            tenant: Arc::clone(tenant),
+            online: Box::new(online),
+            counters: Arc::new(TenantCounters::new()),
+            reply,
+        })
+        .unwrap();
+        ack.recv().unwrap();
+    }
+
+    fn observe(
+        tx: &SyncSender<ShardRequest>,
+        metrics: &Metrics,
+        tenant: &Arc<str>,
+        ds: &st_data::TrafficDataset,
+        t: usize,
+    ) -> ObserveAck {
+        let (reply, ack) = channel();
+        metrics.queue_enter(0);
+        tx.send(ShardRequest::Observe {
+            tenant: Arc::clone(tenant),
+            values: ds.values.time_slice(t),
+            mask: ds.mask.time_slice(t),
+            slot: t,
+            reply,
+        })
+        .unwrap();
+        ack.recv().unwrap().unwrap()
+    }
+
+    fn forecast(
+        tx: &SyncSender<ShardRequest>,
+        metrics: &Metrics,
+        tenant: &Arc<str>,
+    ) -> Result<StepsReply, EngineError> {
+        let (reply, ack) = channel();
+        metrics.queue_enter(0);
+        tx.send(ShardRequest::Forecast {
+            tenant: Arc::clone(tenant),
+            reply,
+        })
+        .unwrap();
+        ack.recv().unwrap()
+    }
+
+    #[test]
+    fn shard_serves_and_coalesces_per_tenant() {
+        let (_, ds) = setup();
+        let metrics = Arc::new(Metrics::new());
+        let (tx, join) = spawn_shard(0, Arc::clone(&metrics), 16);
+        let a: Arc<str> = Arc::from("alpha");
+        let b: Arc<str> = Arc::from("beta");
+
+        // No model yet → UnknownTenant.
+        let err = forecast(&tx, &metrics, &a).unwrap_err();
+        assert!(matches!(err, EngineError::UnknownTenant(_)));
+
+        load(&tx, &metrics, &a);
+        load(&tx, &metrics, &b);
+
+        // Not ready yet.
+        let err = forecast(&tx, &metrics, &a).unwrap_err();
+        assert!(matches!(err, EngineError::NotReady { buffered: 0, .. }));
+
+        for t in 0..4 {
+            let ack = observe(&tx, &metrics, &a, &ds, t);
+            assert_eq!(ack.version, t as u64 + 1);
+        }
+
+        let first = forecast(&tx, &metrics, &a).unwrap();
+        let second = forecast(&tx, &metrics, &a).unwrap();
+        assert_eq!(first.version, second.version);
+        assert_eq!(first.steps, second.steps);
+        assert_eq!(metrics.total_tape_runs(), 1, "second call cached");
+        assert_eq!(metrics.total_cache_hits(), 1);
+
+        // Tenant b is independent: its window is still empty.
+        let err = forecast(&tx, &metrics, &b).unwrap_err();
+        assert!(matches!(err, EngineError::NotReady { buffered: 0, .. }));
+
+        // A new observation invalidates only tenant a's cache.
+        observe(&tx, &metrics, &a, &ds, 4);
+        let third = forecast(&tx, &metrics, &a).unwrap();
+        assert_ne!(third.version, first.version);
+        assert_eq!(metrics.total_tape_runs(), 2);
+
+        // Unload makes the tenant unknown again.
+        let (reply, ack) = channel();
+        metrics.queue_enter(0);
+        tx.send(ShardRequest::Unload {
+            tenant: Arc::clone(&b),
+            reply,
+        })
+        .unwrap();
+        assert!(ack.recv().unwrap());
+        let err = forecast(&tx, &metrics, &b).unwrap_err();
+        assert!(matches!(err, EngineError::UnknownTenant(_)));
+
+        assert_eq!(metrics.queue_depth(), 0, "every request was dequeued");
+
+        drop(tx);
+        let drained = join.join().unwrap();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].0, "alpha");
+        assert_eq!(drained[0].1.len(), 4);
+    }
+}

@@ -158,6 +158,88 @@ pub fn parse_steps(text: &str) -> Result<(u64, Vec<Matrix>), String> {
     Ok((version, steps))
 }
 
+/// Encodes a `POST /admin/load` body: tenant name plus the checkpoint
+/// path the server should read.
+pub fn format_admin_load(tenant: &str, path: &str) -> String {
+    format!("tenant {tenant}\npath {path}\n")
+}
+
+/// Decodes a [`format_admin_load`] body into `(tenant, path)`. The path is
+/// taken verbatim to the end of its line (it may contain spaces).
+///
+/// # Errors
+///
+/// Returns a human-readable message when either line is missing.
+pub fn parse_admin_load(body: &str) -> Result<(String, String), String> {
+    let mut tenant: Option<&str> = None;
+    let mut path: Option<&str> = None;
+    for line in body.lines() {
+        let line = line.trim_end_matches('\r');
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("tenant ") {
+            tenant = Some(rest.trim());
+        } else if let Some(rest) = line.strip_prefix("path ") {
+            path = Some(rest);
+        } else {
+            return Err(format!("unexpected line {line:?} (tenant/path)"));
+        }
+    }
+    let tenant = tenant.ok_or("missing `tenant` line")?;
+    let path = path.ok_or("missing `path` line")?;
+    Ok((tenant.to_string(), path.to_string()))
+}
+
+/// Encodes a `POST /admin/unload` body.
+pub fn format_admin_unload(tenant: &str) -> String {
+    format!("tenant {tenant}\n")
+}
+
+/// Decodes a [`format_admin_unload`] body.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the tenant line is missing.
+pub fn parse_admin_unload(body: &str) -> Result<String, String> {
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("tenant ") {
+            return Ok(rest.trim().to_string());
+        }
+        return Err(format!("unexpected line {line:?} (tenant)"));
+    }
+    Err("missing `tenant` line".into())
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The JSON error body for requests naming a tenant with no loaded model.
+pub fn tenant_error_json(tenant: &str) -> String {
+    format!(
+        "{{\"error\":\"unknown tenant\",\"tenant\":\"{}\"}}\n",
+        json_escape(tenant)
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,5 +280,30 @@ mod tests {
         assert!(parse_steps("").is_err());
         assert!(parse_steps("version 1\n").is_err());
         assert!(parse_steps("version 1\nsteps 1 nodes 2 features 2\n1.0 2.0\n").is_err());
+    }
+
+    #[test]
+    fn admin_bodies_round_trip() {
+        let body = format_admin_load("city-7", "/tmp/models/city 7.ckpt");
+        let (tenant, path) = parse_admin_load(&body).unwrap();
+        assert_eq!(tenant, "city-7");
+        assert_eq!(path, "/tmp/models/city 7.ckpt");
+        assert_eq!(
+            parse_admin_unload(&format_admin_unload("city-7")).unwrap(),
+            "city-7"
+        );
+        assert!(parse_admin_load("tenant x\n").is_err());
+        assert!(parse_admin_load("path /p\n").is_err());
+        assert!(parse_admin_unload("").is_err());
+        assert!(parse_admin_unload("bogus\n").is_err());
+    }
+
+    #[test]
+    fn tenant_error_json_is_escaped() {
+        assert_eq!(
+            tenant_error_json("plain"),
+            "{\"error\":\"unknown tenant\",\"tenant\":\"plain\"}\n"
+        );
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     }
 }

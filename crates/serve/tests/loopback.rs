@@ -117,7 +117,8 @@ fn http_forecasts_match_in_process_bit_for_bit() {
     assert_eq!(version, HISTORY as u64 + 1);
     assert_eq!(steps, oracle.forecast().expect("oracle forecast"));
 
-    // Error paths: malformed observation, unknown route, wrong method.
+    // Error paths: malformed observation, unknown route, wrong method
+    // (with the Allow header), unknown tenant (404 + JSON body).
     let resp = client
         .request("POST", "/observe", "slot 0\nvalues 1 2\nmask 1 1\n")
         .expect("request");
@@ -126,11 +127,27 @@ fn http_forecasts_match_in_process_bit_for_bit() {
     assert_eq!(resp.status, 404);
     let resp = client.request("DELETE", "/forecast", "").expect("request");
     assert_eq!(resp.status, 405);
+    assert_eq!(resp.header("allow"), Some("GET"), "Allow on 405");
+    let resp = client
+        .request("GET", "/admin/shutdown", "")
+        .expect("request");
+    assert_eq!(resp.status, 405);
+    assert_eq!(resp.header("allow"), Some("POST"), "Allow on 405");
+    let resp = client
+        .request("GET", "/forecast?tenant=ghost", "")
+        .expect("request");
+    assert_eq!(resp.status, 404, "body: {}", resp.body);
+    assert_eq!(resp.header("content-type"), Some("application/json"));
+    assert_eq!(
+        resp.body,
+        "{\"error\":\"unknown tenant\",\"tenant\":\"ghost\"}\n"
+    );
 
-    // Metrics reflect the traffic.
+    // Metrics reflect the traffic, including the per-tenant families
+    // (the ghost-tenant 404 above counts as a forecast-route request).
     let metrics = client.get_ok("/metrics").expect("metrics");
     assert!(
-        metrics.contains("st_serve_requests_total{route=\"forecast\"} 5"),
+        metrics.contains("st_serve_requests_total{route=\"forecast\"} 6"),
         "metrics: {metrics}"
     );
     assert!(
@@ -141,12 +158,24 @@ fn http_forecasts_match_in_process_bit_for_bit() {
         metrics.contains("st_serve_errors_total"),
         "metrics: {metrics}"
     );
+    assert!(metrics.contains("st_serve_models 1"), "metrics: {metrics}");
+    assert!(
+        metrics.contains("st_serve_tenant_cache_hits_total{tenant=\"default\"} 2"),
+        "metrics: {metrics}"
+    );
+    assert!(
+        metrics.contains("st_serve_tenant_model_version{tenant=\"default\"} 1"),
+        "metrics: {metrics}"
+    );
 
     // Graceful shutdown over HTTP; the server drains and joins cleanly,
-    // returning the forecaster with the full window state.
+    // returning the default tenant's forecaster with its window state.
     let bye = client.post_ok("/admin/shutdown", "").expect("shutdown");
     assert!(bye.contains("shutting down"), "bye: {bye}");
-    let online = server.join();
+    let mut drained = server.join();
+    assert_eq!(drained.len(), 1, "one resident model");
+    let (tenant, online) = drained.remove(0);
+    assert_eq!(tenant, st_serve::DEFAULT_TENANT);
     assert_eq!(online.len(), HISTORY, "rolling window stays capped");
     assert_eq!(online.window_version(), HISTORY as u64 + 1);
 }
@@ -269,6 +298,9 @@ fn shutdown_handle_stops_an_idle_server() {
     let (server, mut client, _) = start_server();
     client.get_ok("/healthz").expect("healthz");
     server.shutdown_handle().shutdown();
-    let online = server.join();
+    let mut drained = server.join();
+    assert_eq!(drained.len(), 1);
+    let (tenant, online) = drained.remove(0);
+    assert_eq!(tenant, st_serve::DEFAULT_TENANT);
     assert_eq!(online.len(), 0);
 }

@@ -52,6 +52,49 @@ for threads in 1 4; do
     wait "$SERVER_PID"
 done
 
+echo "== multi-tenant serve (2 shards, 8 tenants, zipf load) =="
+# A second checkpoint trained on differently-seeded data gives the
+# registry two distinct models; eight tenant files alternate between the
+# two. loadgen discovers the tenants over /admin/tenants, drives
+# zipf-distributed traffic from every client thread, reports per-shard
+# p50/p99 plus aggregate throughput, and fails unless the per-shard
+# request counters scraped from /metrics sum to the engine total.
+cargo run -q --release --offline -p rihgcn-cli --bin rihgcn -- \
+    generate --dataset pems --out "$SERVE_DIR/data2.csv" \
+    --nodes 4 --days 1 --missing-rate 0.2 --seed 9
+cargo run -q --release --offline -p rihgcn-cli --bin rihgcn -- \
+    train --data "$SERVE_DIR/data2.csv" --out "$SERVE_DIR/model2.params" \
+    --checkpoint "$SERVE_DIR/model2.ckpt" --epochs 1 \
+    --gcn-dim 4 --lstm-dim 6 --graphs 2 --history 4 --horizon 2
+cargo run -q --release --offline -p rihgcn-cli --bin rihgcn -- \
+    checkpoint info --file "$SERVE_DIR/model2.ckpt"
+mkdir -p "$SERVE_DIR/models"
+for i in 0 1 2 3 4 5 6 7; do
+    src="$SERVE_DIR/model.ckpt"
+    [ $((i % 2)) -eq 1 ] && src="$SERVE_DIR/model2.ckpt"
+    cp "$src" "$SERVE_DIR/models/t$i.ckpt"
+done
+for threads in 1 4; do
+    echo "-- multi-tenant load (ST_NUM_THREADS=$threads) --"
+    rm -f "$SERVE_DIR/addr.txt"
+    ST_NUM_THREADS=$threads cargo run -q --release --offline \
+        -p rihgcn-cli --bin rihgcn -- \
+        serve --models "$SERVE_DIR/models" --shards 2 \
+        --addr 127.0.0.1:0 --addr-file "$SERVE_DIR/addr.txt" &
+    SERVER_PID=$!
+    for _ in $(seq 1 100); do
+        [ -s "$SERVE_DIR/addr.txt" ] && break
+        kill -0 "$SERVER_PID" 2>/dev/null || { echo "server died"; exit 1; }
+        sleep 0.1
+    done
+    [ -s "$SERVE_DIR/addr.txt" ] || { echo "server never bound"; exit 1; }
+    ST_NUM_THREADS=$threads cargo run -q --release --offline \
+        -p rihgcn-bench --bin loadgen -- \
+        --addr "$(cat "$SERVE_DIR/addr.txt")" \
+        --tenants 8 --zipf 1.1 --requests 50 --shutdown
+    wait "$SERVER_PID"
+done
+
 echo "== determinism under tracing (ST_OBS=1) =="
 # Spans must never change a bit: the determinism suites have to pass with
 # span collection forced on.
