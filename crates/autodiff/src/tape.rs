@@ -57,6 +57,10 @@ enum Op {
     Mean(usize),
     SoftmaxRows(usize),
     ScaleVar { x: usize, s: usize },
+    ToWide { x: usize, blocks: usize },
+    ToStacked { x: usize, blocks: usize },
+    ScaleBlocks { x: usize, s: usize },
+    MeanBlocks { x: usize, blocks: usize },
     Transpose(usize),
     Exp(usize),
     Ln(usize),
@@ -168,6 +172,17 @@ impl Tape {
     /// Records an all-zero constant in a pooled buffer.
     pub fn constant_zeros(&mut self, rows: usize, cols: usize) -> Var {
         let v = self.pool.acquire_zeroed(rows, cols);
+        self.push(v, Op::Leaf, false)
+    }
+
+    /// Records a `rows × 1` constant column filled from `f(row)`, in a
+    /// pooled buffer (no per-call heap allocation at steady state). Used
+    /// for the per-block scalars of [`Tape::scale_blocks`].
+    pub fn constant_col_with(&mut self, rows: usize, mut f: impl FnMut(usize) -> f64) -> Var {
+        let mut v = self.pool.acquire(rows, 1);
+        for r in 0..rows {
+            v[(r, 0)] = f(r);
+        }
         self.push(v, Op::Leaf, false)
     }
 
@@ -458,6 +473,123 @@ impl Tape {
         self.nodes[x.0].value.map_into(&mut v, |x| x * sv);
         let ng = self.binary_needs(x, s);
         self.push(v, Op::ScaleVar { x: x.0, s: s.0 }, ng)
+    }
+
+    // ----- batched-layout ops -----------------------------------------
+    //
+    // A batch of B same-shaped windows lives on the tape as one
+    // row-stacked `(B·N) × F` node (block `b` = rows `[b·N, (b+1)·N)`).
+    // Every row-local op applied to the stack is bit-identical to running
+    // the B windows separately; the ops below cover the parts that are
+    // not row-local: the layout permutation that widens the stack for a
+    // graph propagation `T @ X`, and per-block scalar scaling / reduction.
+
+    /// Row-stacked `(B·N) × F` batch → wide `N × (B·F)` layout:
+    /// `out[(i, b·F + j)] = x[(b·N + i, j)]`. A pure f64 permutation (one
+    /// memcpy per `(block, row)` pair), so forward and backward are exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is zero or does not divide `x`'s row count.
+    pub fn to_wide(&mut self, x: Var, blocks: usize) -> Var {
+        let (rows, cols) = self.nodes[x.0].value.shape();
+        assert!(
+            blocks > 0 && rows % blocks == 0,
+            "to_wide: blocks {blocks} does not divide {rows} rows"
+        );
+        let mut v = self.pool.acquire(rows / blocks, blocks * cols);
+        self.nodes[x.0].value.wide_from_stacked_into(blocks, &mut v);
+        let ng = self.nodes[x.0].needs_grad;
+        self.push(v, Op::ToWide { x: x.0, blocks }, ng)
+    }
+
+    /// Inverse of [`Tape::to_wide`]: wide `N × (B·F)` → row-stacked
+    /// `(B·N) × F`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is zero or does not divide `x`'s column count.
+    pub fn to_stacked(&mut self, x: Var, blocks: usize) -> Var {
+        let (rows, cols) = self.nodes[x.0].value.shape();
+        assert!(
+            blocks > 0 && cols % blocks == 0,
+            "to_stacked: blocks {blocks} does not divide {cols} cols"
+        );
+        let mut v = self.pool.acquire(blocks * rows, cols / blocks);
+        self.nodes[x.0].value.stacked_from_wide_into(blocks, &mut v);
+        let ng = self.nodes[x.0].needs_grad;
+        self.push(v, Op::ToStacked { x: x.0, blocks }, ng)
+    }
+
+    /// Scales each row block of the stacked batch `x` by its own scalar:
+    /// block `b` of the `(B·N) × F` input is multiplied by `s[(b, 0)]`.
+    ///
+    /// This is [`Tape::scale_var`] applied per block — the same single f64
+    /// multiply per element, so block `b` of the output is bit-identical
+    /// to `scale_var(window_b, s_b)` on an unbatched tape. Gradients flow
+    /// into both `x` and `s` (per-block fused dot, matching `scale_var`'s
+    /// backward element order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not `B × 1` or `B` does not divide `x`'s rows.
+    pub fn scale_blocks(&mut self, x: Var, s: Var) -> Var {
+        let (b, sc) = self.nodes[s.0].value.shape();
+        assert_eq!(sc, 1, "scale_blocks scalars must be Bx1");
+        let (rows, cols) = self.nodes[x.0].value.shape();
+        assert!(
+            b > 0 && rows % b == 0,
+            "scale_blocks: {b} blocks do not divide {rows} rows"
+        );
+        let n = rows / b;
+        let mut v = self.pool.acquire(rows, cols);
+        {
+            let sv = &self.nodes[s.0].value;
+            let xv = &self.nodes[x.0].value;
+            for blk in 0..b {
+                let f = sv[(blk, 0)];
+                let span = blk * n * cols..(blk + 1) * n * cols;
+                for (o, &xi) in v.as_mut_slice()[span.clone()]
+                    .iter_mut()
+                    .zip(&xv.as_slice()[span])
+                {
+                    *o = xi * f;
+                }
+            }
+        }
+        let ng = self.binary_needs(x, s);
+        self.push(v, Op::ScaleBlocks { x: x.0, s: s.0 }, ng)
+    }
+
+    /// Per-block mean of the stacked batch `x` as a `B × 1` node:
+    /// `out[(b, 0)] = mean(block b)`.
+    ///
+    /// Block rows are contiguous in the stacked layout, so each block's
+    /// summation runs in the same element order as [`Tape::mean`] on the
+    /// unbatched window — the reduction is bit-identical per block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty or `blocks` does not divide its row count.
+    pub fn mean_blocks(&mut self, x: Var, blocks: usize) -> Var {
+        let (rows, cols) = self.nodes[x.0].value.shape();
+        assert!(
+            !self.nodes[x.0].value.is_empty(),
+            "mean_blocks of empty matrix"
+        );
+        assert!(
+            blocks > 0 && rows % blocks == 0,
+            "mean_blocks: blocks {blocks} does not divide {rows} rows"
+        );
+        let n = rows / blocks;
+        let mut v = self.pool.acquire(blocks, 1);
+        for blk in 0..blocks {
+            let span = &self.nodes[x.0].value.as_slice()[blk * n * cols..(blk + 1) * n * cols];
+            let s: f64 = span.iter().sum();
+            v[(blk, 0)] = s / (n * cols) as f64;
+        }
+        let ng = self.nodes[x.0].needs_grad;
+        self.push(v, Op::MeanBlocks { x: x.0, blocks }, ng)
     }
 
     /// Transpose of `x`.
@@ -760,6 +892,61 @@ impl Tape {
                         acc_owned(nodes, sweep, pool, s, gs);
                     }
                 }
+                Op::ToWide { x, blocks } => {
+                    // Inverse permutation: wide gradient → stacked layout.
+                    let mut gx = pool.acquire(blocks * g.rows(), g.cols() / blocks);
+                    g.stacked_from_wide_into(blocks, &mut gx);
+                    acc_owned(nodes, sweep, pool, x, gx);
+                }
+                Op::ToStacked { x, blocks } => {
+                    let mut gx = pool.acquire(g.rows() / blocks, blocks * g.cols());
+                    g.wide_from_stacked_into(blocks, &mut gx);
+                    acc_owned(nodes, sweep, pool, x, gx);
+                }
+                Op::ScaleBlocks { x, s } => {
+                    let b = nodes[s].value.rows();
+                    let n = g.rows() / b;
+                    let cols = g.cols();
+                    if nodes[x].needs_grad {
+                        let mut gx = pool.acquire(g.rows(), cols);
+                        for blk in 0..b {
+                            let f = nodes[s].value[(blk, 0)];
+                            let span = blk * n * cols..(blk + 1) * n * cols;
+                            for (o, &gi) in gx.as_mut_slice()[span.clone()]
+                                .iter_mut()
+                                .zip(&g.as_slice()[span])
+                            {
+                                *o = gi * f;
+                            }
+                        }
+                        acc_owned(nodes, sweep, pool, x, gx);
+                    }
+                    if nodes[s].needs_grad {
+                        // Per-block fused g ⊙ x dot in the same element
+                        // order as ScaleVar's backward on one window.
+                        let mut gs = pool.acquire(b, 1);
+                        for blk in 0..b {
+                            let span = blk * n * cols..(blk + 1) * n * cols;
+                            let dot: f64 = g.as_slice()[span.clone()]
+                                .iter()
+                                .zip(&nodes[x].value.as_slice()[span])
+                                .map(|(&gi, &xi)| gi * xi)
+                                .sum();
+                            gs[(blk, 0)] = dot;
+                        }
+                        acc_owned(nodes, sweep, pool, s, gs);
+                    }
+                }
+                Op::MeanBlocks { x, blocks } => {
+                    let (r, c) = nodes[x].value.shape();
+                    let n = r / blocks;
+                    let mut ga = pool.acquire(r, c);
+                    for blk in 0..blocks {
+                        let s = g[(blk, 0)] / (n * c) as f64;
+                        ga.as_mut_slice()[blk * n * c..(blk + 1) * n * c].fill(s);
+                    }
+                    acc_owned(nodes, sweep, pool, x, ga);
+                }
                 Op::Transpose(x) => {
                     let mut gx = pool.acquire(g.cols(), g.rows());
                     g.transpose_into(&mut gx);
@@ -880,6 +1067,10 @@ impl Tape {
             Op::Mean(a) => ("mean", vec![*a]),
             Op::SoftmaxRows(a) => ("softmax", vec![*a]),
             Op::ScaleVar { x, s } => ("scale_var", vec![*x, *s]),
+            Op::ToWide { x, .. } => ("to_wide", vec![*x]),
+            Op::ToStacked { x, .. } => ("to_stacked", vec![*x]),
+            Op::ScaleBlocks { x, s } => ("scale_blocks", vec![*x, *s]),
+            Op::MeanBlocks { x, .. } => ("mean_blocks", vec![*x]),
             Op::Transpose(a) => ("transpose", vec![*a]),
             Op::Exp(a) => ("exp", vec![*a]),
             Op::Ln(a) => ("ln", vec![*a]),

@@ -44,8 +44,10 @@ struct Shape {
 }
 
 /// Shapes taken from the RIHGCN forward/backward pass: the bench_step
-/// smoke model (8 nodes), the hidden-dim GCN products, and PeMS-scale
-/// (207 nodes) Chebyshev propagation and imputation blocks.
+/// smoke model (8 nodes), the hidden-dim GCN products, PeMS-scale
+/// (207 nodes) Chebyshev propagation and imputation blocks, and the
+/// widened `(N, B·F)` right operands the batched forecast path feeds the
+/// same kernels (`batch_*`, B ∈ {1, 4, 16}).
 const SHAPES: &[Shape] = &[
     Shape {
         name: "step_8x8x16",
@@ -74,6 +76,27 @@ const SHAPES: &[Shape] = &[
         k: 76,
         n: 64,
         model: true,
+    },
+    Shape {
+        name: "batch1_207x76x64",
+        m: 207,
+        k: 76,
+        n: 64,
+        model: false,
+    },
+    Shape {
+        name: "batch4_207x76x256",
+        m: 207,
+        k: 76,
+        n: 256,
+        model: false,
+    },
+    Shape {
+        name: "batch16_207x76x1024",
+        m: 207,
+        k: 76,
+        n: 1024,
+        model: false,
     },
 ];
 

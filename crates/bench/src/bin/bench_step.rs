@@ -100,6 +100,7 @@ fn main() {
     let mut allocs = Vec::with_capacity(args.steps);
     let mut bytes = Vec::with_capacity(args.steps);
     let mut times = Vec::with_capacity(args.steps);
+    let mut stats_after_step1 = None;
     for step in 0..args.steps {
         model.params_mut().zero_grads();
         let snap = AllocSnapshot::take();
@@ -111,6 +112,9 @@ fn main() {
         allocs.push(snap.allocations_since());
         bytes.push(snap.bytes_since());
         assert!(loss.is_finite(), "training loss diverged at step {step}");
+        if step == 0 {
+            stats_after_step1 = model.training_pool_stats();
+        }
     }
 
     let steady = allocs.len() - 1;
@@ -120,10 +124,17 @@ fn main() {
     let bytes_per_step = bytes[1..].iter().sum::<u64>() as f64 / steady as f64;
     let time_per_step_ms = times[1..].iter().sum::<f64>() / steady as f64;
     let alloc_reduction = 1.0 - allocs_per_step / allocs_step1.max(1) as f64;
-    let pool_hit_rate = model
-        .training_pool_stats()
-        .map(|s| s.hit_rate())
-        .unwrap_or(f64::NAN);
+    // Steady-state hit rate over steps ≥ 2 only — the same delta the
+    // alloc_regression gate measures — so the cold pool of step 1 doesn't
+    // drag the reported rate with short (smoke) step counts.
+    let pool_hit_rate = match (stats_after_step1, model.training_pool_stats()) {
+        (Some(s1), Some(sf)) => {
+            let hits = sf.hits - s1.hits;
+            let misses = sf.misses - s1.misses;
+            hits as f64 / (hits + misses).max(1) as f64
+        }
+        _ => f64::NAN,
+    };
 
     let json = format!(
         "{{\n  \"bench\": \"rihgcn_training_step\",\n  \"smoke\": {},\n  \"threads\": {},\n  \"steps\": {},\n  \"time_per_step_ms\": {},\n  \"allocs_step1\": {},\n  \"bytes_step1\": {},\n  \"allocs_per_step\": {},\n  \"bytes_per_step\": {},\n  \"alloc_reduction\": {},\n  \"pool_hit_rate\": {}\n}}\n",

@@ -118,7 +118,9 @@ USAGE:
   rihgcn serve    --checkpoint model.ckpt | --models DIR
                   [--addr HOST:PORT] [--addr-file F] [--workers K]
                   [--max-conns C] [--shards S] [--max-models K]
-                  [--watch-stdin true] [--log-format none|pretty|json]
+                  [--max-batch B] [--batch-linger-us U]
+                  [--watch-stdin true]
+                  [--log-format none|pretty|json]
   rihgcn checkpoint info --file model.ckpt
   rihgcn help
 
@@ -136,8 +138,13 @@ GET /debug/trace and POST /admin/shutdown until shut down; with
 Tenants are FNV-routed across `--shards S` engine shards, checkpoints
 can be hot-swapped at runtime (POST /admin/load, POST /admin/unload,
 GET /admin/tenants), and `--max-models K` bounds resident models with
-LRU eviction. Per-tenant results stay bit-identical to a dedicated
-single-model server at any shard count.
+LRU eviction. Under a saturated queue each shard answers up to
+`--max-batch B` (default 16) distinct windows of one tenant from a
+single batched tape run; `--max-batch 1` disables batching, and
+`--batch-linger-us U` (default 0) lets a shard hold parked forecasts up
+to U microseconds at queue-empty to fill a batch. Per-tenant results
+stay bit-identical to a dedicated single-model server at any shard
+count, batch bound and linger.
 
 `train --log-format pretty` streams per-epoch progress to stderr;
 `json` streams one JSON object per epoch (JSON Lines) instead.
@@ -384,6 +391,8 @@ fn cmd_serve(opts: &Options, out: &mut dyn Write) -> Result<(), CliError> {
         max_connections: opts.get_parsed("max-conns", 64usize)?,
         shards: opts.get_parsed("shards", 1usize)?,
         max_models: opts.get_parsed("max-models", 0usize)?,
+        max_batch: opts.get_parsed("max-batch", 16usize)?,
+        batch_linger: std::time::Duration::from_micros(opts.get_parsed("batch-linger-us", 0u64)?),
         ..Default::default()
     };
     let shards = cfg.shards.max(1);

@@ -65,6 +65,102 @@ pub struct SampleOutput {
     pub estimates: Vec<Matrix>,
 }
 
+/// A batch of `B` inference windows stacked for one tape run.
+///
+/// Per history step `t`, `inputs[t]` and `masks[t]` hold the `B` windows'
+/// `N × F` matrices row-stacked into one `(B·N) × F` block — window `b`
+/// occupies rows `[b·N, (b+1)·N)` — and `slots[t][b]` is window `b`'s
+/// time-of-day slot at that step. Row-stacking is the canonical batched
+/// layout because every row-local model op (elementwise arithmetic, the
+/// LSTM and head right-multiplies, per-row softmax) applied to the stack
+/// is bit-identical per block to the unbatched run; the graph-convolution
+/// left-multiplies `T_k(L̃) · X` — the only column-local ops — run in the
+/// wide `N × (B·F)` permutation of the same data (see
+/// [`st_nn::HgcnBlock::forward_batched`]), so one packed-panel matmul
+/// covers all `B` windows.
+#[derive(Debug, Clone)]
+pub struct BatchedWindow {
+    inputs: Vec<Matrix>,
+    masks: Vec<Matrix>,
+    slots: Vec<Vec<usize>>,
+    batch: usize,
+}
+
+impl BatchedWindow {
+    /// Stacks `B` same-shaped window samples (only their history parts —
+    /// inputs, masks and slots; targets are inference-irrelevant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or the histories disagree in length or
+    /// shape.
+    pub fn from_samples(samples: &[&WindowSample]) -> Self {
+        assert!(!samples.is_empty(), "batch needs at least one window");
+        let t_len = samples[0].history_len();
+        let shape = samples[0].inputs[0].shape();
+        for s in samples {
+            assert_eq!(s.history_len(), t_len, "batch history length mismatch");
+            assert_eq!(s.inputs[0].shape(), shape, "batch window shape mismatch");
+        }
+        let mut inputs = Vec::with_capacity(t_len);
+        let mut masks = Vec::with_capacity(t_len);
+        let mut slots = Vec::with_capacity(t_len);
+        for t in 0..t_len {
+            let step_inputs: Vec<&Matrix> = samples.iter().map(|s| &s.inputs[t]).collect();
+            let step_masks: Vec<&Matrix> = samples.iter().map(|s| &s.masks[t]).collect();
+            inputs.push(Matrix::stack_rows(&step_inputs));
+            masks.push(Matrix::stack_rows(&step_masks));
+            slots.push(samples.iter().map(|s| s.slots[t]).collect());
+        }
+        Self {
+            inputs,
+            masks,
+            slots,
+            batch: samples.len(),
+        }
+    }
+
+    /// Assembles a batch from already-stacked step blocks — the
+    /// allocation-lean spine of the serving path, which normalises
+    /// snapshot entries straight into the `(B·N) × F` stacks instead of
+    /// materialising `B` per-window samples first.
+    pub(crate) fn from_parts(
+        inputs: Vec<Matrix>,
+        masks: Vec<Matrix>,
+        slots: Vec<Vec<usize>>,
+        batch: usize,
+    ) -> Self {
+        debug_assert!(batch > 0, "batch needs at least one window");
+        debug_assert_eq!(inputs.len(), masks.len());
+        debug_assert_eq!(inputs.len(), slots.len());
+        Self {
+            inputs,
+            masks,
+            slots,
+            batch,
+        }
+    }
+
+    /// Number of windows `B` in the batch.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// History length `T` of every window.
+    pub fn history_len(&self) -> usize {
+        self.inputs.len()
+    }
+}
+
+/// Tape nodes of one batched forward pass: per-step stacked predictions
+/// and estimates, sliced into per-window outputs after the run.
+pub(crate) struct BatchedRun {
+    /// Horizon predictions, one stacked `(B·N) × D` tape node per step.
+    pub(crate) predictions: Vec<Var>,
+    /// Per-step imputation estimates (average of directions), stacked.
+    pub(crate) estimates: Vec<Var>,
+}
+
 /// The Recurrent-Imputation Heterogeneous GCN traffic forecaster.
 ///
 /// Build one with [`RihgcnModel::from_dataset`], train with
@@ -354,6 +450,117 @@ impl RihgcnModel {
         out
     }
 
+    /// Runs the model on one sample through the recycled session and hands
+    /// the live tape to `f` instead of cloning every output matrix.
+    ///
+    /// This is the zero-copy spine of [`RihgcnModel::forward_recycled`]:
+    /// callers that only need to *read* predictions or estimates (e.g. to
+    /// denormalise them straight into a response buffer) borrow the tape
+    /// values in place, skipping the per-call `Vec<Matrix>` clone.
+    pub(crate) fn with_recycled_run<R>(
+        &mut self,
+        sample: &WindowSample,
+        f: impl FnOnce(&Session, &SampleRun) -> R,
+    ) -> R {
+        let mut sess = match self.session.take() {
+            Some(mut s) => {
+                s.reset(&self.store);
+                s
+            }
+            None => Session::new(&self.store),
+        };
+        let run = self.run_sample(&mut sess, sample);
+        let out = f(&sess, &run);
+        self.session = Some(sess);
+        out
+    }
+
+    /// Runs one batched pass through the recycled session and hands the
+    /// live tape to `f` — the batched analogue of
+    /// [`RihgcnModel::with_recycled_run`]. Serving reads predictions off
+    /// the stacked tape values in place (denormalising block `b` straight
+    /// into the response), never materialising per-window
+    /// [`SampleOutput`]s or the unused imputation estimates.
+    pub(crate) fn with_batched_recycled_run<R>(
+        &mut self,
+        batch: &BatchedWindow,
+        f: impl FnOnce(&Session, &BatchedRun) -> R,
+    ) -> R {
+        let mut sess = match self.session.take() {
+            Some(mut s) => {
+                s.reset(&self.store);
+                s
+            }
+            None => Session::new(&self.store),
+        };
+        let run = self.run_batched(&mut sess, batch);
+        let out = f(&sess, &run);
+        self.session = Some(sess);
+        out
+    }
+
+    /// Runs the model once over a batch of `B` windows, returning each
+    /// window's detached [`SampleOutput`] (normalised space).
+    ///
+    /// One tape run covers the whole batch: the imputation recurrence, the
+    /// graph convolutions (one packed-panel matmul per Chebyshev term over
+    /// the wide `N × (B·F)` layout) and the prediction head all execute
+    /// once over the stacked blocks; per-window outputs are row-sliced off
+    /// the final tape values. Output `b` is bit-identical to
+    /// `forward(window_b)` at every `ST_NUM_THREADS` — see DESIGN §13 for
+    /// the argument, and `tests/batched_equivalence.rs` for the pin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch's shape disagrees with the model.
+    pub fn forward_batched(&self, batch: &BatchedWindow) -> Vec<SampleOutput> {
+        let mut sess = Session::new(&self.store);
+        let run = self.run_batched(&mut sess, batch);
+        self.split_batched(&sess, &run, batch.batch)
+    }
+
+    /// [`RihgcnModel::forward_batched`] through the recycled session, the
+    /// same take/reset/put cycle as [`RihgcnModel::forward_recycled`]:
+    /// steady-state batched inference reuses the tape's buffer pool. This
+    /// is what an engine shard calls per drained batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch's shape disagrees with the model.
+    pub fn forward_batched_recycled(&mut self, batch: &BatchedWindow) -> Vec<SampleOutput> {
+        let mut sess = match self.session.take() {
+            Some(mut s) => {
+                s.reset(&self.store);
+                s
+            }
+            None => Session::new(&self.store),
+        };
+        let run = self.run_batched(&mut sess, batch);
+        let out = self.split_batched(&sess, &run, batch.batch);
+        self.session = Some(sess);
+        out
+    }
+
+    /// Slices the stacked tape values of a batched run into per-window
+    /// outputs (window `b` = rows `[b·N, (b+1)·N)` of every node).
+    fn split_batched(&self, sess: &Session, run: &BatchedRun, batch: usize) -> Vec<SampleOutput> {
+        let n = self.num_nodes;
+        (0..batch)
+            .map(|b| SampleOutput {
+                predictions: run
+                    .predictions
+                    .iter()
+                    .map(|&v| sess.tape.value(v).slice_rows(b * n, (b + 1) * n))
+                    .collect(),
+                estimates: run
+                    .estimates
+                    .iter()
+                    .map(|&v| sess.tape.value(v).slice_rows(b * n, (b + 1) * n))
+                    .collect(),
+            })
+            .collect()
+    }
+
     /// The `(L_c, L_m)` pair — prediction and imputation loss — of one
     /// sample, before the `λ` weighting (used by the Figure-5 λ study).
     pub fn loss_components(&self, sample: &WindowSample) -> (f64, f64) {
@@ -537,6 +744,159 @@ impl RihgcnModel {
             let x_bar = sess.tape.add(obs, est_part);
 
             let s = self.hgcn.forward(sess, &self.store, sample.slots[t], x_bar);
+            let lstm_in = sess.tape.concat_cols(s, mask_c);
+            state = cells.lstm.step(sess, &self.store, lstm_in, &state);
+            let z_t = sess.tape.concat_cols(s, state.h);
+            z[t] = Some(z_t);
+            est_prev = cells.est_head.forward(sess, &self.store, z_t);
+        }
+
+        DirectionRun {
+            z: z.into_iter()
+                .map(|v| v.expect("all steps visited"))
+                .collect(),
+            estimates: estimates
+                .into_iter()
+                .map(|v| v.expect("all steps visited"))
+                .collect(),
+        }
+    }
+
+    /// Builds the inference tape for a batch of windows.
+    ///
+    /// Mirrors [`RihgcnModel::run_sample`] op for op on the row-stacked
+    /// blocks, minus the loss terms (serving batches carry zero targets, so
+    /// the losses are never read). Every op is either row-local — bit-equal
+    /// per block by construction — or one of the batched ops whose per-block
+    /// bit-identity the tape pins (`to_wide`/`to_stacked` permutations,
+    /// `scale_blocks`, `mean_blocks`).
+    fn run_batched(&self, sess: &mut Session, batch: &BatchedWindow) -> BatchedRun {
+        let t_len = self.cfg.history;
+        let _span = st_obs::span!("core.forward_batched", t_len);
+        assert_eq!(batch.history_len(), t_len, "history length mismatch");
+        assert_eq!(
+            batch.inputs[0].shape(),
+            (batch.batch * self.num_nodes, self.num_features),
+            "batch shape mismatch"
+        );
+
+        let b = batch.batch;
+        let fwd_run = self.run_direction_batched(sess, batch, &self.fwd, false);
+        let bwd_run = self
+            .bwd
+            .as_ref()
+            .map(|cells| self.run_direction_batched(sess, batch, cells, true));
+
+        let mut estimates: Vec<Var> = Vec::with_capacity(t_len);
+        for t in 0..t_len {
+            let est = match &bwd_run {
+                Some(back) => {
+                    let s = sess.tape.add(fwd_run.estimates[t], back.estimates[t]);
+                    sess.tape.scale(s, 0.5)
+                }
+                None => fwd_run.estimates[t],
+            };
+            estimates.push(est);
+        }
+
+        let z_bi: Vec<Var> = (0..t_len)
+            .map(|t| match &bwd_run {
+                Some(back) => sess.tape.concat_cols(fwd_run.z[t], back.z[t]),
+                None => fwd_run.z[t],
+            })
+            .collect();
+        let head_in = match self.cfg.head {
+            PredictionHead::Concat => {
+                let mut wide: Option<Var> = None;
+                for &z_t in &z_bi {
+                    wide = Some(match wide {
+                        Some(w) => sess.tape.concat_cols(w, z_t),
+                        None => z_t,
+                    });
+                }
+                wide.expect("history is non-empty")
+            }
+            PredictionHead::Attention => {
+                // Per-window attention: scores land in a `B × T` matrix
+                // (row b = window b's score vector), the per-row softmax
+                // matches the unbatched `1 × T` softmax row for row, and
+                // `scale_blocks` applies each window's α_t to its block.
+                let va = sess.var(
+                    &self.store,
+                    self.attention.expect("attention head allocates its vector"),
+                );
+                let mut scores: Option<Var> = None;
+                for &z_t in &z_bi {
+                    let proj = sess.tape.matmul(z_t, va);
+                    let score = sess.tape.mean_blocks(proj, b);
+                    scores = Some(match scores {
+                        Some(acc) => sess.tape.concat_cols(acc, score),
+                        None => score,
+                    });
+                }
+                let alphas = sess
+                    .tape
+                    .softmax_rows(scores.expect("history is non-empty"));
+                let mut context: Option<Var> = None;
+                for (t, &z_t) in z_bi.iter().enumerate() {
+                    let a_t = sess.tape.slice_cols(alphas, t, t + 1);
+                    let weighted = sess.tape.scale_blocks(z_t, a_t);
+                    context = Some(match context {
+                        Some(acc) => sess.tape.add(acc, weighted),
+                        None => weighted,
+                    });
+                }
+                context.expect("history is non-empty")
+            }
+        };
+        let pred_flat = self.pred_head.forward(sess, &self.store, head_in);
+
+        let d = self.num_features;
+        let predictions = (0..self.cfg.horizon)
+            .map(|h| sess.tape.slice_cols(pred_flat, h * d, (h + 1) * d))
+            .collect();
+        BatchedRun {
+            predictions,
+            estimates,
+        }
+    }
+
+    /// One direction of the recurrent imputation over the stacked batch:
+    /// [`RihgcnModel::run_direction`] with `B·N` rows per step. The LSTM,
+    /// estimation head and complement arithmetic are all row-local; the
+    /// HGCN runs its batched variant.
+    fn run_direction_batched(
+        &self,
+        sess: &mut Session,
+        batch: &BatchedWindow,
+        cells: &DirectionCells,
+        reverse: bool,
+    ) -> DirectionRun {
+        let t_len = self.cfg.history;
+        let rows = batch.batch * self.num_nodes;
+        let order: Vec<usize> = if reverse {
+            (0..t_len).rev().collect()
+        } else {
+            (0..t_len).collect()
+        };
+
+        let mut z: Vec<Option<Var>> = vec![None; t_len];
+        let mut estimates: Vec<Option<Var>> = vec![None; t_len];
+        let mut est_prev = sess.constant_zeros(rows, self.num_features);
+        let mut state = cells.lstm.zero_state(sess, rows);
+
+        for &t in &order {
+            estimates[t] = Some(est_prev);
+            let obs = sess.constant_ref(&batch.inputs[t]);
+            let mask_c = sess.constant_ref(&batch.masks[t]);
+            let neg_mask = sess.tape.scale(mask_c, -1.0);
+            let inv_mask = sess.tape.add_scalar(neg_mask, 1.0);
+            let est_part = sess.tape.mul(inv_mask, est_prev);
+            let x_bar = sess.tape.add(obs, est_part);
+
+            let s = self
+                .hgcn
+                .forward_batched(sess, &self.store, &batch.slots[t], x_bar);
             let lstm_in = sess.tape.concat_cols(s, mask_c);
             state = cells.lstm.step(sess, &self.store, lstm_in, &state);
             let z_t = sess.tape.concat_cols(s, state.h);

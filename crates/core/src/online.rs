@@ -8,12 +8,13 @@
 //! forecast or the imputed recent history at any time, all in original
 //! data units.
 
-use crate::{RihgcnModel, SampleOutput};
+use crate::{BatchedWindow, RihgcnModel};
 use st_data::{WindowSample, ZScore};
 use st_tensor::Matrix;
 use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// Error returned by [`OnlineForecaster::try_push`] when an observation is
 /// rejected before it can poison the rolling window.
@@ -108,10 +109,35 @@ impl Error for PushError {}
 pub struct OnlineForecaster {
     model: RihgcnModel,
     z: ZScore,
-    window: VecDeque<(Matrix, Matrix, usize)>, // (raw values, mask, slot)
+    // (raw values, mask, slot) per buffered timestamp. Entries are
+    // `Arc`-shared so a `WindowSnapshot` — the frozen view a deferred
+    // batch member forecasts from — clones `history` pointers, not
+    // `history` matrices.
+    window: VecDeque<Arc<(Matrix, Matrix, usize)>>,
     history: usize,
     horizon: usize,
     version: u64,
+}
+
+/// An immutable snapshot of a full observation window at one version.
+///
+/// Taken with [`OnlineForecaster::snapshot`] and consumed by
+/// [`OnlineForecaster::forecast_batch`]: an engine shard snapshots the
+/// window when it defers a forecast into a forming batch, so observations
+/// that land while the batch accumulates cannot change what the deferred
+/// request sees. Snapshots share the underlying matrices with the live
+/// window via `Arc` (taking one is O(history) pointer clones).
+#[derive(Debug, Clone)]
+pub struct WindowSnapshot {
+    entries: Vec<Arc<(Matrix, Matrix, usize)>>,
+    version: u64,
+}
+
+impl WindowSnapshot {
+    /// The window version this snapshot was taken at.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
 }
 
 impl OnlineForecaster {
@@ -252,7 +278,7 @@ impl OnlineForecaster {
         if self.window.len() == self.history {
             self.window.pop_front();
         }
-        self.window.push_back((clean, mask, slot));
+        self.window.push_back(Arc::new((clean, mask, slot)));
         self.version += 1;
         Ok(())
     }
@@ -263,14 +289,30 @@ impl OnlineForecaster {
         self.version += 1;
     }
 
-    fn build_sample(&self) -> WindowSample {
+    /// Freezes the current (full) window for a deferred batched forecast;
+    /// `None` until [`OnlineForecaster::ready`].
+    pub fn snapshot(&self) -> Option<WindowSnapshot> {
+        if !self.ready() {
+            return None;
+        }
+        Some(WindowSnapshot {
+            entries: self.window.iter().cloned().collect(),
+            version: self.version,
+        })
+    }
+
+    /// Normalises one frozen entry list into a model sample — the same
+    /// transform for the live window and for snapshots, so a snapshot taken
+    /// at version `v` forecasts bit-identically to a live call at `v`.
+    fn sample_from_entries(&self, entries: &[Arc<(Matrix, Matrix, usize)>]) -> WindowSample {
         let n = self.model.num_nodes();
         let d = self.model.num_features();
-        let mut inputs = Vec::with_capacity(self.history);
-        let mut masks = Vec::with_capacity(self.history);
-        let mut truths = Vec::with_capacity(self.history);
-        let mut slots = Vec::with_capacity(self.history);
-        for (raw, mask, slot) in &self.window {
+        let mut inputs = Vec::with_capacity(entries.len());
+        let mut masks = Vec::with_capacity(entries.len());
+        let mut truths = Vec::with_capacity(entries.len());
+        let mut slots = Vec::with_capacity(entries.len());
+        for entry in entries {
+            let (raw, mask, slot) = &**entry;
             let norm = self.z.apply_matrix(raw);
             inputs.push(norm.hadamard(mask));
             truths.push(norm);
@@ -292,15 +334,9 @@ impl OnlineForecaster {
         }
     }
 
-    fn run(&mut self) -> Option<SampleOutput> {
-        if !self.ready() {
-            return None;
-        }
-        let sample = self.build_sample();
-        // Recycled session: the tape's buffer pool persists across
-        // forecasts, so steady-state inference is allocation-free and the
-        // pool stats below reflect live serving traffic.
-        Some(self.model.forward_recycled(&sample))
+    fn build_sample(&self) -> WindowSample {
+        let entries: Vec<Arc<(Matrix, Matrix, usize)>> = self.window.iter().cloned().collect();
+        self.sample_from_entries(&entries)
     }
 
     /// Buffer-pool statistics of the recycled inference/training tape, if
@@ -317,11 +353,90 @@ impl OnlineForecaster {
 
     /// The `T'`-step forecast in original units, or `None` until a full
     /// window has been pushed.
+    ///
+    /// Runs through the recycled session (steady-state inference is
+    /// allocation-free on the tape side) and denormalises the predictions
+    /// straight off the live tape — no intermediate `Vec<Matrix>` clone of
+    /// the normalised outputs.
     pub fn forecast(&mut self) -> Option<Vec<Matrix>> {
-        self.run().map(|out| {
-            out.predictions
+        if !self.ready() {
+            return None;
+        }
+        let sample = self.build_sample();
+        let z = &self.z;
+        Some(self.model.with_recycled_run(&sample, |sess, run| {
+            run.predictions
                 .iter()
-                .map(|p| self.z.invert_matrix(p))
+                .map(|&v| z.invert_matrix(sess.tape.value(v)))
+                .collect()
+        }))
+    }
+
+    /// Forecasts `B` frozen windows in one batched tape run, returning each
+    /// snapshot's `T'`-step forecast in original units, in input order.
+    ///
+    /// Entry `b` is bit-identical to what [`OnlineForecaster::forecast`]
+    /// returned (or would have returned) at snapshot `b`'s version: the
+    /// normalisation is byte-for-byte the live path's, and the batched
+    /// forward is bit-identical per block to the single-window forward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snapshots` is empty.
+    pub fn forecast_batch(&mut self, snapshots: &[WindowSnapshot]) -> Vec<Vec<Matrix>> {
+        assert!(!snapshots.is_empty(), "forecast_batch needs ≥ 1 snapshot");
+        let n = self.model.num_nodes();
+        let d = self.model.num_features();
+        let b = snapshots.len();
+        let t_len = self.history;
+        let mean = self.z.mean();
+        let std = self.z.std();
+        // Normalise straight into the stacked step blocks: two `(B·N) × D`
+        // allocations per step instead of `3B` per-window intermediates
+        // plus a stacking copy. The elementwise chain is the live path's
+        // `apply_matrix` → `hadamard` verbatim, so the bits match.
+        let mut inputs = Vec::with_capacity(t_len);
+        let mut masks = Vec::with_capacity(t_len);
+        let mut slots = Vec::with_capacity(t_len);
+        for t in 0..t_len {
+            let mut input = Matrix::zeros(b * n, d);
+            let mut mask_s = Matrix::zeros(b * n, d);
+            let mut step_slots = Vec::with_capacity(b);
+            for (w, snap) in snapshots.iter().enumerate() {
+                assert_eq!(snap.entries.len(), t_len, "snapshot history mismatch");
+                let (raw, mask, slot) = &*snap.entries[t];
+                for i in 0..n {
+                    for j in 0..d {
+                        let norm = (raw[(i, j)] - mean[j]) / std[j];
+                        input[(w * n + i, j)] = norm * mask[(i, j)];
+                        mask_s[(w * n + i, j)] = mask[(i, j)];
+                    }
+                }
+                step_slots.push(*slot);
+            }
+            inputs.push(input);
+            masks.push(mask_s);
+            slots.push(step_slots);
+        }
+        let batch = BatchedWindow::from_parts(inputs, masks, slots, b);
+        let z = &self.z;
+        // Denormalise block `b` of each stacked prediction in place off the
+        // live tape — the same `v·σ + μ` per element as `invert_matrix` on
+        // a row slice, minus the slice — and never touch the (unused)
+        // imputation estimates.
+        self.model.with_batched_recycled_run(&batch, |sess, run| {
+            (0..b)
+                .map(|w| {
+                    run.predictions
+                        .iter()
+                        .map(|&v| {
+                            let stacked = sess.tape.value(v);
+                            Matrix::from_fn(n, d, |i, j| {
+                                stacked[(w * n + i, j)] * z.std()[j] + z.mean()[j]
+                            })
+                        })
+                        .collect()
+                })
                 .collect()
         })
     }
@@ -329,21 +444,27 @@ impl OnlineForecaster {
     /// The imputed history window in original units (model estimates at
     /// hidden entries, observations elsewhere), or `None` until ready.
     pub fn imputed_window(&mut self) -> Option<Vec<Matrix>> {
-        let out = self.run()?;
-        Some(
-            out.estimates
+        if !self.ready() {
+            return None;
+        }
+        let sample = self.build_sample();
+        let z = &self.z;
+        let window = &self.window;
+        Some(self.model.with_recycled_run(&sample, |sess, run| {
+            run.estimates
                 .iter()
-                .zip(self.window.iter())
-                .map(|(est, (raw, mask, _))| {
+                .zip(window.iter())
+                .map(|(&est, entry)| {
+                    let (raw, mask, _) = &**entry;
                     // Complement in raw units: keep observations, fill holes
                     // with the (denormalised) model estimate.
-                    let est_raw = self.z.invert_matrix(est);
+                    let est_raw = z.invert_matrix(sess.tape.value(est));
                     let holes = est_raw.zip_map(mask, |e, m| e * (1.0 - m));
                     let observed = raw.hadamard(mask);
                     &holes + &observed
                 })
-                .collect(),
-        )
+                .collect()
+        }))
     }
 }
 

@@ -280,6 +280,75 @@ impl ChebGcn {
             Activation::Identity => pre,
         }
     }
+
+    /// [`ChebGcn::forward_with_basis`] over a batch of `blocks` windows.
+    ///
+    /// `x_stacked` is the row-stacked `(B·N) × in_dim` batch and `x_wide`
+    /// its wide `N × (B·in_dim)` permutation (shared by every branch of an
+    /// [`crate::HgcnBlock`], so the caller computes it once via
+    /// `sess.tape.to_wide`). Each basis term runs as ONE packed-panel
+    /// matmul `T_k(L̃) · x_wide` over all windows, then permutes back to
+    /// the stacked layout; the weight products, bias and activation are
+    /// row-local on the stack. Block `b` of the output is bit-identical to
+    /// `forward_with_basis` on window `b` alone: matmul accumulates per
+    /// output element in ascending `k` independent of the operand width,
+    /// and the layout permutations are exact f64 moves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the basis order is below `K` or shapes are inconsistent.
+    pub fn forward_with_basis_batched(
+        &self,
+        sess: &mut Session,
+        store: &ParamStore,
+        basis: &ChebBasis,
+        x_stacked: Var,
+        x_wide: Var,
+        blocks: usize,
+    ) -> Var {
+        assert!(
+            basis.order() >= self.k,
+            "basis order {} below layer order {}",
+            basis.order(),
+            self.k
+        );
+        let n = basis.num_nodes();
+        assert_eq!(
+            sess.tape.value(x_stacked).shape(),
+            (blocks * n, self.in_dim),
+            "stacked batch must be (B·N) × in_dim"
+        );
+        assert_eq!(
+            sess.tape.value(x_wide).shape(),
+            (n, blocks * self.in_dim),
+            "wide batch must be N × (B·in_dim)"
+        );
+
+        let mut acc: Option<Var> = None;
+        for (order, &wid) in self.weights.iter().enumerate() {
+            let term = if order == 0 {
+                x_stacked
+            } else {
+                let t = sess.constant_ref(&basis.matrices()[order]);
+                let propagated = sess.tape.matmul(t, x_wide);
+                sess.tape.to_stacked(propagated, blocks)
+            };
+            let w = sess.var(store, wid);
+            let contribution = sess.tape.matmul(term, w);
+            acc = Some(match acc {
+                Some(a) => sess.tape.add(a, contribution),
+                None => contribution,
+            });
+        }
+        let b = sess.var(store, self.bias);
+        let pre = acc.expect("k >= 1 guarantees at least one term");
+        let pre = sess.tape.add_bias(pre, b);
+        match self.activation {
+            Activation::Relu => sess.tape.relu(pre),
+            Activation::Tanh => sess.tape.tanh(pre),
+            Activation::Identity => pre,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -210,6 +210,62 @@ impl HgcnBlock {
         let gated = sess.tape.scale_var(temporal_out, gate);
         sess.tape.concat_cols(geo_out, gated)
     }
+
+    /// [`HgcnBlock::forward`] over a batch of `slots.len()` windows.
+    ///
+    /// `x` is the row-stacked `(B·N) × in_dim` batch; window `b` occupies
+    /// rows `[b·N, (b+1)·N)` and was observed at time-of-day `slots[b]`.
+    /// The wide `N × (B·in_dim)` permutation is computed once here and
+    /// shared by the geographic convolution and every temporal branch, so
+    /// each Chebyshev propagation is a single packed-panel matmul over all
+    /// windows. Per-window interval weights enter as a `B × 1` constant
+    /// through `scale_blocks` — the same one-multiply-per-element scaling
+    /// the unbatched path applies per window — and the learnable gate is
+    /// one scalar shared by every window, exactly as in the single path.
+    /// Block `b` of the output is bit-identical to
+    /// `forward(sess, store, slots[b], window_b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is empty or `x` is not `(B·N) × in_dim`.
+    pub fn forward_batched(
+        &self,
+        sess: &mut Session,
+        store: &ParamStore,
+        slots: &[usize],
+        x: Var,
+    ) -> Var {
+        let b = slots.len();
+        assert!(b > 0, "batched forward needs at least one window");
+        assert_eq!(
+            sess.tape.value(x).rows(),
+            b * self.num_nodes,
+            "input must have one row per (window, node) pair"
+        );
+        let x_wide = sess.tape.to_wide(x, b);
+        let geo_out =
+            self.geo
+                .forward_with_basis_batched(sess, store, &self.geo_basis, x, x_wide, b);
+        if self.temporal.is_empty() {
+            return geo_out;
+        }
+        let mut acc: Option<Var> = None;
+        for (branch, (gcn, basis)) in self.temporal.iter().zip(&self.temporal_bases).enumerate() {
+            let out = gcn.forward_with_basis_batched(sess, store, basis, x, x_wide, b);
+            let s = sess
+                .tape
+                .constant_col_with(b, |w| self.weights_for_slot_cached(slots[w])[branch]);
+            let weighted = sess.tape.scale_blocks(out, s);
+            acc = Some(match acc {
+                Some(a) => sess.tape.add(a, weighted),
+                None => weighted,
+            });
+        }
+        let temporal_out = acc.expect("temporal branch list is non-empty");
+        let gate = sess.var(store, self.gate.expect("gate exists with temporal graphs"));
+        let gated = sess.tape.scale_var(temporal_out, gate);
+        sess.tape.concat_cols(geo_out, gated)
+    }
 }
 
 #[cfg(test)]

@@ -76,6 +76,11 @@ fn route_index(route: Route) -> usize {
 const BUCKET_BOUNDS_US: [u64; 6] = [100, 1_000, 10_000, 100_000, 1_000_000, u64::MAX];
 const BUCKET_LABELS: [&str; 6] = ["100us", "1ms", "10ms", "100ms", "1s", "+inf"];
 
+/// Upper bounds (inclusive) of the batched-forecast size histogram; the
+/// last bucket is unbounded so `--max-batch` above 16 still lands somewhere.
+const BATCH_BUCKET_BOUNDS: [u64; 6] = [1, 2, 4, 8, 16, u64::MAX];
+const BATCH_BUCKET_LABELS: [&str; 6] = ["1", "2", "4", "8", "16", "+inf"];
+
 /// Atomic counters for the service: per-route request counts and latency
 /// sums, error count, engine cache hits and queue depth, tape runs,
 /// rejected connections, a request-latency histogram, per-shard engine
@@ -95,6 +100,8 @@ pub struct Metrics {
     shard_requests: Vec<AtomicU64>,
     shard_queue_depth: Vec<AtomicU64>,
     shard_tape_runs: Vec<AtomicU64>,
+    batch_size: [AtomicU64; BATCH_BUCKET_BOUNDS.len()],
+    batch_size_sum: AtomicU64,
     pool_hits: AtomicU64,
     pool_misses: AtomicU64,
     pool_released: AtomicU64,
@@ -133,6 +140,8 @@ impl Metrics {
             shard_requests: zeroed(shards),
             shard_queue_depth: zeroed(shards),
             shard_tape_runs: zeroed(shards),
+            batch_size: Default::default(),
+            batch_size_sum: AtomicU64::new(0),
             pool_hits: AtomicU64::new(0),
             pool_misses: AtomicU64::new(0),
             pool_released: AtomicU64::new(0),
@@ -216,6 +225,31 @@ impl Metrics {
     /// Total model evaluations the engine has run.
     pub fn total_tape_runs(&self) -> u64 {
         self.tape_runs.load(Ordering::Relaxed)
+    }
+
+    /// Records one batched forecast run answering `size` distinct windows.
+    pub fn record_batch(&self, size: u64) {
+        let bucket = BATCH_BUCKET_BOUNDS
+            .iter()
+            .position(|&b| size <= b)
+            .expect("last bound is u64::MAX");
+        self.batch_size[bucket].fetch_add(1, Ordering::Relaxed);
+        self.batch_size_sum.fetch_add(size, Ordering::Relaxed);
+    }
+
+    /// Batched forecast runs recorded so far.
+    pub fn total_batches(&self) -> u64 {
+        self.batch_size
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Windows answered across all batched forecast runs. Strictly greater
+    /// than [`Metrics::total_batches`] iff at least one batch grouped more
+    /// than one window.
+    pub fn total_batched_windows(&self) -> u64 {
+        self.batch_size_sum.load(Ordering::Relaxed)
     }
 
     /// Publishes the inference tape's buffer-pool statistics (the engine
@@ -381,6 +415,25 @@ impl Metrics {
                 c.load(Ordering::Relaxed)
             ));
         }
+
+        header(
+            &mut out,
+            "st_serve_batch_size",
+            "histogram",
+            "Distinct windows answered per batched forecast run.",
+        );
+        let mut batch_cumulative = 0u64;
+        for (i, label) in BATCH_BUCKET_LABELS.iter().enumerate() {
+            batch_cumulative += self.batch_size[i].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "st_serve_batch_size_bucket{{le=\"{label}\"}} {batch_cumulative}\n"
+            ));
+        }
+        out.push_str(&format!(
+            "st_serve_batch_size_sum {}\n",
+            self.batch_size_sum.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!("st_serve_batch_size_count {batch_cumulative}\n"));
 
         header(
             &mut out,
@@ -600,6 +653,26 @@ mod tests {
         assert!(text.contains("st_serve_pool_acquires_total{outcome=\"hit\"} 90"));
         assert!(text.contains("st_serve_pool_free_bytes 4096"));
         assert!(text.contains("st_par_utilization "));
+    }
+
+    #[test]
+    fn batch_size_histogram_is_cumulative() {
+        let m = Metrics::new();
+        m.record_batch(1);
+        m.record_batch(1);
+        m.record_batch(3);
+        m.record_batch(16);
+        m.record_batch(40);
+        assert_eq!(m.total_batches(), 5);
+        assert_eq!(m.total_batched_windows(), 61);
+        let text = m.render();
+        assert!(text.contains("st_serve_batch_size_bucket{le=\"1\"} 2"));
+        assert!(text.contains("st_serve_batch_size_bucket{le=\"2\"} 2"));
+        assert!(text.contains("st_serve_batch_size_bucket{le=\"4\"} 3"));
+        assert!(text.contains("st_serve_batch_size_bucket{le=\"16\"} 4"));
+        assert!(text.contains("st_serve_batch_size_bucket{le=\"+inf\"} 5"));
+        assert!(text.contains("st_serve_batch_size_sum 61"));
+        assert!(text.contains("st_serve_batch_size_count 5"));
     }
 
     #[test]

@@ -34,6 +34,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, SyncSender};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Deterministic tenant → shard routing: FNV-1a (64-bit) of the tenant
 /// name, reduced modulo the shard count. Exported so clients and load
@@ -70,6 +71,15 @@ pub struct RegistryConfig {
     pub max_models: usize,
     /// Bounded queue depth per shard.
     pub queue_depth: usize,
+    /// Maximum distinct windows a shard answers from one batched forecast
+    /// run when draining a saturated queue (min 1; 1 disables batching).
+    pub max_batch: usize,
+    /// How long a drain cycle may hold parked forecasts once its queue
+    /// goes empty, waiting for more arrivals to fill a batch. Zero (the
+    /// default) flushes immediately at queue-empty; a small linger trades
+    /// up to that much added latency for fuller batches when producers
+    /// and the drain race (see [`crate::shard`]).
+    pub batch_linger: Duration,
 }
 
 impl Default for RegistryConfig {
@@ -78,6 +88,8 @@ impl Default for RegistryConfig {
             shards: 1,
             max_models: 0,
             queue_depth: 128,
+            max_batch: 16,
+            batch_linger: Duration::ZERO,
         }
     }
 }
@@ -176,7 +188,13 @@ impl Registry {
         let mut senders = Vec::with_capacity(shards);
         let mut joins = Vec::with_capacity(shards);
         for index in 0..shards {
-            let (tx, join) = spawn_shard(index, Arc::clone(&metrics), cfg.queue_depth);
+            let (tx, join) = spawn_shard(
+                index,
+                Arc::clone(&metrics),
+                cfg.queue_depth,
+                cfg.max_batch,
+                cfg.batch_linger,
+            );
             senders.push(tx);
             joins.push(join);
         }

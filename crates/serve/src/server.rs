@@ -64,6 +64,13 @@ pub struct ServeConfig {
     /// Maximum resident models (0 = unlimited); loading a new tenant at
     /// the cap evicts the least-recently-used one.
     pub max_models: usize,
+    /// Maximum distinct windows a shard answers from one batched forecast
+    /// run when draining a saturated queue (min 1; 1 disables batching).
+    pub max_batch: usize,
+    /// How long a shard may hold parked forecasts at queue-empty waiting
+    /// to fill a batch (see [`RegistryConfig::batch_linger`]). Zero, the
+    /// default, flushes immediately.
+    pub batch_linger: Duration,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +85,8 @@ impl Default for ServeConfig {
             max_requests_per_connection: 10_000,
             shards: 1,
             max_models: 0,
+            max_batch: 16,
+            batch_linger: Duration::ZERO,
         }
     }
 }
@@ -163,6 +172,8 @@ impl Server {
                 shards,
                 max_models: cfg.max_models,
                 queue_depth: cfg.queue_depth,
+                max_batch: cfg.max_batch,
+                batch_linger: cfg.batch_linger,
             },
             Arc::clone(&metrics),
         );

@@ -13,20 +13,38 @@
 //! bit-identical determinism contract holds per tenant regardless of what
 //! its shard neighbours do.
 //!
+//! # Batched draining
+//!
+//! Instead of answering one request per `recv`, the shard thread drains
+//! whatever else is already queued (`try_recv`) before blocking again.
+//! Observations, health probes, imputations and lifecycle requests are
+//! still applied inline at their dequeue position, but forecast misses are
+//! *deferred*: the tenant's window is frozen into a [`WindowSnapshot`]
+//! (so later observations in the same drain can't move it) and parked in a
+//! per-tenant pending batch. When the queue runs dry — or a tenant
+//! accumulates `max_batch` distinct window versions — the shard answers
+//! every parked forecast of that tenant from **one** batched tape run
+//! ([`OnlineForecaster::forecast_batch`]), which is bit-identical to
+//! running them sequentially (see `tests/batched_equivalence.rs`).
+//! Forecasts for the *same* version coalesce onto one batch member, and
+//! the per-version cache still answers repeats without any run at all.
+//!
 //! Model lifecycle ([`ShardRequest::Load`] / [`ShardRequest::Unload`]) flows
 //! through the same FIFO channel as inference, which gives the registry a
 //! simple ordering guarantee: a request enqueued after a `Load` observes the
-//! loaded model.
+//! loaded model. To keep the complementary guarantee — a forecast enqueued
+//! *before* a `Load`/`Unload` observes the old model — the shard flushes the
+//! tenant's pending batch before swapping or dropping its forecaster.
 
 use crate::metrics::Metrics;
-use rihgcn_core::OnlineForecaster;
+use rihgcn_core::{OnlineForecaster, WindowSnapshot};
 use st_tensor::Matrix;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Immutable facts about a served model, captured before the forecaster
 /// moves into its shard thread.
@@ -269,13 +287,35 @@ struct TenantEntry {
     imputed_cache: Option<VersionCache>,
 }
 
+/// Forecast readers parked for one window version: a single batch member
+/// whose result fans out to every coalesced reply channel.
+struct PendingGroup {
+    snapshot: WindowSnapshot,
+    replies: Vec<Sender<Result<StepsReply, EngineError>>>,
+}
+
+/// All forecasts parked for one tenant during the current drain, one group
+/// per distinct window version (groups are appended as the window advances,
+/// so versions are strictly increasing).
+struct PendingBatch {
+    tenant: Arc<str>,
+    groups: Vec<PendingGroup>,
+}
+
 struct Shard {
     index: usize,
     metrics: Arc<Metrics>,
     tenants: HashMap<Arc<str>, TenantEntry>,
+    pending: Vec<PendingBatch>,
+    max_batch: usize,
 }
 
 impl Shard {
+    /// Whether any tenant has parked forecasts awaiting a batched run.
+    fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
     fn entry(&mut self, tenant: &Arc<str>) -> Result<&mut TenantEntry, EngineError> {
         self.tenants
             .get_mut(tenant)
@@ -312,22 +352,15 @@ impl Shard {
             }
             ShardRequest::Forecast { tenant, reply } => {
                 let _span = st_obs::span!("serve.forecast");
-                let metrics = Arc::clone(&self.metrics);
-                let index = self.index;
-                let result = self.entry(&tenant).and_then(|entry| {
-                    Self::steps(entry, Cache::Forecast, &metrics, index, |o| o.forecast())
-                });
-                let _ = reply.send(result);
+                self.admit_forecast(tenant, reply);
             }
             ShardRequest::Imputed { tenant, reply } => {
                 let _span = st_obs::span!("serve.imputed");
                 let metrics = Arc::clone(&self.metrics);
                 let index = self.index;
-                let result = self.entry(&tenant).and_then(|entry| {
-                    Self::steps(entry, Cache::Imputed, &metrics, index, |o| {
-                        o.imputed_window()
-                    })
-                });
+                let result = self
+                    .entry(&tenant)
+                    .and_then(|entry| Self::imputed_steps(entry, &metrics, index));
                 let _ = reply.send(result);
             }
             ShardRequest::Health { tenant, reply } => {
@@ -353,6 +386,8 @@ impl Shard {
                 reply,
             } => {
                 let _span = st_obs::span!("serve.load");
+                // Forecasts parked before this Load must see the old model.
+                self.flush_tenant(&tenant);
                 let info = ModelInfo::of(&online);
                 self.tenants.insert(
                     tenant,
@@ -368,29 +403,163 @@ impl Shard {
             }
             ShardRequest::Unload { tenant, reply } => {
                 let _span = st_obs::span!("serve.unload");
+                self.flush_tenant(&tenant);
                 let _ = reply.send(self.tenants.remove(&tenant).is_some());
             }
         }
     }
 
-    /// Serves a per-version result from the tenant's cache when its window
-    /// has not advanced, recomputing (one tape run) otherwise. After a run
-    /// the tenant's pool statistics are published to both the shared
-    /// metrics gauges and the tenant counters.
-    fn steps(
+    /// Answers (or parks) one forecast request. The fast paths reply
+    /// immediately: unknown tenant, per-version cache hit, window not
+    /// ready. A miss freezes the window into a snapshot and joins the
+    /// tenant's pending batch — coalescing with any parked group of the
+    /// same version — which [`Shard::run_batch`] later answers in one
+    /// batched tape run. A tenant whose batch reaches `max_batch` distinct
+    /// versions is flushed immediately so drains can't defer it forever.
+    fn admit_forecast(&mut self, tenant: Arc<str>, reply: Sender<Result<StepsReply, EngineError>>) {
+        let Some(entry) = self.tenants.get_mut(&tenant) else {
+            let _ = reply.send(Err(EngineError::UnknownTenant(tenant.to_string())));
+            return;
+        };
+        entry.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let version = entry.online.window_version();
+        if let Some(c) = &entry.forecast_cache {
+            if c.version == version {
+                self.metrics.cache_hit();
+                entry.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                let _ = reply.send(Ok(StepsReply {
+                    version,
+                    steps: Arc::clone(&c.value),
+                }));
+                return;
+            }
+        }
+        let batch_index = match self.pending.iter().position(|b| b.tenant == tenant) {
+            Some(i) => i,
+            None => {
+                self.pending.push(PendingBatch {
+                    tenant: Arc::clone(&tenant),
+                    groups: Vec::new(),
+                });
+                self.pending.len() - 1
+            }
+        };
+        let batch = &mut self.pending[batch_index];
+        if let Some(group) = batch
+            .groups
+            .iter_mut()
+            .find(|g| g.snapshot.version() == version)
+        {
+            // Same window version as a parked member: coalesce. The reader
+            // shares the batch member's result, so like a cache hit it
+            // costs no tape run of its own.
+            self.metrics.cache_hit();
+            entry.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            group.replies.push(reply);
+            return;
+        }
+        match entry.online.snapshot() {
+            None => {
+                let buffered = entry.online.len();
+                let needed = entry.online.history();
+                let _ = reply.send(Err(EngineError::NotReady { buffered, needed }));
+                if batch.groups.is_empty() {
+                    self.pending.swap_remove(batch_index);
+                }
+            }
+            Some(snapshot) => {
+                batch.groups.push(PendingGroup {
+                    snapshot,
+                    replies: vec![reply],
+                });
+                if batch.groups.len() >= self.max_batch {
+                    let full = self.pending.swap_remove(batch_index);
+                    self.run_batch(full);
+                }
+            }
+        }
+    }
+
+    /// Flushes the pending batch (if any) of one tenant.
+    fn flush_tenant(&mut self, tenant: &Arc<str>) {
+        if let Some(i) = self.pending.iter().position(|b| &b.tenant == tenant) {
+            let batch = self.pending.swap_remove(i);
+            self.run_batch(batch);
+        }
+    }
+
+    /// Flushes every pending batch. Called when the queue runs dry so no
+    /// parked forecast ever waits on future traffic.
+    fn flush_all(&mut self) {
+        for batch in std::mem::take(&mut self.pending) {
+            self.run_batch(batch);
+        }
+    }
+
+    /// Answers every parked forecast of one tenant from a single batched
+    /// tape run, fans results out to all coalesced readers, refreshes the
+    /// per-version cache with the newest member and records the batch size.
+    fn run_batch(&mut self, batch: PendingBatch) {
+        let Some(entry) = self.tenants.get_mut(&batch.tenant) else {
+            for group in batch.groups {
+                for reply in group.replies {
+                    let _ = reply.send(Err(EngineError::UnknownTenant(batch.tenant.to_string())));
+                }
+            }
+            return;
+        };
+        let _span = st_obs::span!("serve.forecast_batch");
+        let (snapshots, replies): (Vec<WindowSnapshot>, Vec<_>) = batch
+            .groups
+            .into_iter()
+            .map(|g| (g.snapshot, g.replies))
+            .unzip();
+        let results = entry.online.forecast_batch(&snapshots);
+        self.metrics.tape_run(self.index);
+        self.metrics.record_batch(snapshots.len() as u64);
+        entry.counters.tape_runs.fetch_add(1, Ordering::Relaxed);
+        if let (Some(stats), Some(free)) =
+            (entry.online.pool_stats(), entry.online.pool_free_bytes())
+        {
+            entry
+                .counters
+                .pool_hits
+                .store(stats.hits, Ordering::Relaxed);
+            entry
+                .counters
+                .pool_misses
+                .store(stats.misses, Ordering::Relaxed);
+            self.metrics.set_pool_stats(stats, free as u64);
+        }
+        for ((snapshot, group_replies), steps) in snapshots.iter().zip(replies).zip(results) {
+            let version = snapshot.version();
+            let value = Arc::new(steps);
+            for reply in group_replies {
+                let _ = reply.send(Ok(StepsReply {
+                    version,
+                    steps: Arc::clone(&value),
+                }));
+            }
+            // Groups arrive in version order, so the cache ends up holding
+            // the newest member — exactly what the next request will ask for.
+            entry.forecast_cache = Some(VersionCache { version, value });
+        }
+    }
+
+    /// Serves the imputed window from the tenant's per-version cache when
+    /// its window has not advanced, recomputing (one tape run) otherwise.
+    /// After a run the tenant's pool statistics are published to both the
+    /// shared metrics gauges and the tenant counters. Imputations stay on
+    /// the inline path: they are rare next to forecasts and always reflect
+    /// the live window at their dequeue position.
+    fn imputed_steps(
         entry: &mut TenantEntry,
-        which: Cache,
         metrics: &Metrics,
         shard: usize,
-        compute: impl FnOnce(&mut OnlineForecaster) -> Option<Vec<Matrix>>,
     ) -> Result<StepsReply, EngineError> {
         entry.counters.requests.fetch_add(1, Ordering::Relaxed);
         let version = entry.online.window_version();
-        let cache = match which {
-            Cache::Forecast => &mut entry.forecast_cache,
-            Cache::Imputed => &mut entry.imputed_cache,
-        };
-        if let Some(c) = cache {
+        if let Some(c) = &entry.imputed_cache {
             if c.version == version {
                 metrics.cache_hit();
                 entry.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -403,7 +572,10 @@ impl Shard {
         let steps = {
             let buffered = entry.online.len();
             let needed = entry.online.history();
-            compute(&mut entry.online).ok_or(EngineError::NotReady { buffered, needed })?
+            entry
+                .online
+                .imputed_window()
+                .ok_or(EngineError::NotReady { buffered, needed })?
         };
         metrics.tape_run(shard);
         entry.counters.tape_runs.fetch_add(1, Ordering::Relaxed);
@@ -421,11 +593,7 @@ impl Shard {
                 .store(stats.misses, Ordering::Relaxed);
         }
         let value = Arc::new(steps);
-        let cache = match which {
-            Cache::Forecast => &mut entry.forecast_cache,
-            Cache::Imputed => &mut entry.imputed_cache,
-        };
-        *cache = Some(VersionCache {
+        entry.imputed_cache = Some(VersionCache {
             version,
             value: Arc::clone(&value),
         });
@@ -436,19 +604,31 @@ impl Shard {
     }
 }
 
-#[derive(Clone, Copy)]
-enum Cache {
-    Forecast,
-    Imputed,
-}
-
 /// Spawns one shard thread. The thread exits once every sender clone is
 /// dropped and the queue drains, returning the tenants it still holds
 /// (sorted by name) so graceful shutdown can hand the forecasters back.
+///
+/// The loop blocks on `recv` only when nothing is pending: after the first
+/// request it drains everything already queued with `try_recv`, then
+/// flushes the forecast batches the drain accumulated. Under light load
+/// the drain finds nothing and behaves exactly like the old
+/// one-request-at-a-time loop (every batch has size 1); under a saturated
+/// queue, up to `max_batch` distinct windows per tenant share one run.
+///
+/// A non-zero `batch_linger` softens the flush-at-queue-empty rule: when
+/// the drain finds the queue empty but holds parked forecasts, it keeps
+/// receiving for up to that long (one deadline per drain cycle, so the
+/// wait is bounded no matter how steadily requests trickle in) before
+/// flushing. That fills batches even when producers and the drain race —
+/// e.g. a single submitter on a small host that the drain keeps catching
+/// up with — at the cost of up to `batch_linger` added latency for the
+/// parked requests. Zero preserves the strict flush-at-empty behaviour.
 pub(crate) fn spawn_shard(
     index: usize,
     metrics: Arc<Metrics>,
     queue_depth: usize,
+    max_batch: usize,
+    batch_linger: Duration,
 ) -> (
     SyncSender<ShardRequest>,
     JoinHandle<Vec<(String, OnlineForecaster)>>,
@@ -462,9 +642,35 @@ pub(crate) fn spawn_shard(
                 index,
                 metrics,
                 tenants: HashMap::new(),
+                pending: Vec::new(),
+                max_batch: max_batch.max(1),
             };
             while let Ok(req) = rx.recv() {
                 shard.handle(req);
+                let mut deadline: Option<Instant> = None;
+                loop {
+                    match rx.try_recv() {
+                        Ok(req) => {
+                            shard.handle(req);
+                            continue;
+                        }
+                        Err(TryRecvError::Disconnected) => break,
+                        Err(TryRecvError::Empty) => {}
+                    }
+                    if batch_linger.is_zero() || !shard.has_pending() {
+                        break;
+                    }
+                    let due = *deadline.get_or_insert_with(|| Instant::now() + batch_linger);
+                    let now = Instant::now();
+                    if now >= due {
+                        break;
+                    }
+                    match rx.recv_timeout(due - now) {
+                        Ok(req) => shard.handle(req),
+                        Err(_) => break,
+                    }
+                }
+                shard.flush_all();
             }
             let mut drained: Vec<(String, OnlineForecaster)> = shard
                 .tenants
@@ -560,7 +766,7 @@ mod tests {
     fn shard_serves_and_coalesces_per_tenant() {
         let (_, ds) = setup();
         let metrics = Arc::new(Metrics::new());
-        let (tx, join) = spawn_shard(0, Arc::clone(&metrics), 16);
+        let (tx, join) = spawn_shard(0, Arc::clone(&metrics), 16, 16, Duration::ZERO);
         let a: Arc<str> = Arc::from("alpha");
         let b: Arc<str> = Arc::from("beta");
 
@@ -616,5 +822,46 @@ mod tests {
         assert_eq!(drained.len(), 1);
         assert_eq!(drained[0].0, "alpha");
         assert_eq!(drained[0].1.len(), 4);
+    }
+
+    #[test]
+    fn batch_linger_holds_then_flushes_identically() {
+        let (_, ds) = setup();
+
+        // Zero-linger reference shard.
+        let metrics0 = Arc::new(Metrics::new());
+        let (tx0, join0) = spawn_shard(0, Arc::clone(&metrics0), 16, 16, Duration::ZERO);
+        let a: Arc<str> = Arc::from("alpha");
+        load(&tx0, &metrics0, &a);
+        for t in 0..4 {
+            observe(&tx0, &metrics0, &a, &ds, t);
+        }
+        let reference = forecast(&tx0, &metrics0, &a).unwrap();
+        drop(tx0);
+        join0.join().unwrap();
+
+        // A lone forecast miss parks; with no further arrivals it is the
+        // linger deadline, not queue-empty, that flushes it — the wait is
+        // bounded below by the linger and the reply is bit-identical.
+        let linger = Duration::from_millis(5);
+        let metrics = Arc::new(Metrics::new());
+        let (tx, join) = spawn_shard(0, Arc::clone(&metrics), 16, 16, linger);
+        load(&tx, &metrics, &a);
+        for t in 0..4 {
+            observe(&tx, &metrics, &a, &ds, t);
+        }
+        let started = Instant::now();
+        let lingered = forecast(&tx, &metrics, &a).unwrap();
+        assert!(
+            started.elapsed() >= linger,
+            "parked forecast flushed before the linger deadline"
+        );
+        assert_eq!(lingered.version, reference.version);
+        assert_eq!(lingered.steps, reference.steps);
+        assert_eq!(metrics.total_batches(), 1);
+        assert_eq!(metrics.total_batched_windows(), 1);
+
+        drop(tx);
+        join.join().unwrap();
     }
 }

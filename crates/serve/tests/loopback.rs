@@ -293,6 +293,130 @@ fn metrics_and_trace_scrape_over_http() {
     st_obs::set_enabled(false);
 }
 
+/// K threads hammer `/forecast` on one tenant while observations keep
+/// advancing the window, so the shard's drain loop groups forecasts of
+/// distinct window versions into batched tape runs. Every response must
+/// still be bit-identical to a sequential in-process oracle replaying the
+/// same observation stream, and the scraped `st_serve_batch_size`
+/// histogram must have recorded at least one batch of more than one
+/// window.
+#[test]
+fn concurrent_burst_is_bit_identical_and_batches() {
+    const THREADS: usize = 6;
+    const FORECASTS_PER_THREAD: usize = 30;
+    const OBSERVATIONS_PER_ROUND: usize = 60;
+    const MAX_ROUNDS: usize = 5;
+
+    let (online, ds) = forecaster();
+    let server = Server::start(
+        online,
+        ServeConfig {
+            workers: THREADS + 2,
+            // On a loaded single-CPU host the burst can trickle into the
+            // shard one request at a time; a linger lets real batches
+            // form anyway (results must stay bit-identical either way).
+            batch_linger: Duration::from_millis(2),
+            ..Default::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let mut client =
+        HttpClient::connect(&addr, Duration::from_secs(10)).expect("connect to server");
+    let (mut oracle, _) = forecaster();
+
+    // Fill the window; mirror every push into the oracle.
+    for t in 0..HISTORY {
+        let body = wire::format_observation(t, &ds.values.time_slice(t), &ds.mask.time_slice(t));
+        client.post_ok("/observe", &body).expect("observe");
+        oracle.push(ds.values.time_slice(t), ds.mask.time_slice(t), t);
+    }
+    // Oracle forecast per window version, computed sequentially: index v
+    // holds the forecast after v observations.
+    let mut expected: Vec<Option<Vec<st_tensor::Matrix>>> = vec![None; HISTORY];
+    expected.push(Some(oracle.forecast().expect("oracle ready")));
+
+    let mut next_slot = HISTORY;
+    let mut batched = false;
+    for _round in 0..MAX_ROUNDS {
+        // Forecast threads fire continuously on their own connections...
+        let readers: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let mut client = HttpClient::connect(&addr, Duration::from_secs(10))
+                        .expect("connect reader");
+                    (0..FORECASTS_PER_THREAD)
+                        .map(|_| {
+                            let text = client.get_ok("/forecast").expect("burst forecast");
+                            wire::parse_steps(&text).expect("parse burst forecast")
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        // ...while this thread keeps advancing the window, creating the
+        // distinct versions that let the drain form real batches.
+        for _ in 0..OBSERVATIONS_PER_ROUND {
+            let t = next_slot;
+            next_slot += 1;
+            let body =
+                wire::format_observation(t, &ds.values.time_slice(t), &ds.mask.time_slice(t));
+            client.post_ok("/observe", &body).expect("burst observe");
+            oracle.push(ds.values.time_slice(t), ds.mask.time_slice(t), t);
+            expected.push(Some(oracle.forecast().expect("oracle forecast")));
+        }
+
+        for reader in readers {
+            for (version, steps) in reader.join().expect("reader thread") {
+                let want = expected[version as usize]
+                    .as_ref()
+                    .expect("response version was produced by an observation");
+                assert_eq!(
+                    &steps, want,
+                    "burst response at version {version} must match the sequential oracle"
+                );
+            }
+        }
+
+        let metrics = server.metrics();
+        if metrics.total_batched_windows() > metrics.total_batches() {
+            batched = true;
+            break;
+        }
+    }
+    assert!(
+        batched,
+        "a saturated single-tenant queue must form at least one batch > 1"
+    );
+
+    // The batch-size histogram is visible on the scrape, cumulative, and
+    // agrees with the in-process counters.
+    let metrics_text = client.get_ok("/metrics").expect("metrics");
+    let get = |name: &str| -> f64 {
+        metrics_text
+            .lines()
+            .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+            .and_then(|l| l.rsplit_once(' '))
+            .unwrap_or_else(|| panic!("missing metric {name}"))
+            .1
+            .parse()
+            .expect("numeric metric")
+    };
+    let le_one = get("st_serve_batch_size_bucket{le=\"1\"}");
+    let count = get("st_serve_batch_size_count");
+    let sum = get("st_serve_batch_size_sum");
+    assert!(count > 0.0, "batched runs were recorded");
+    assert!(
+        le_one < count,
+        "at least one batch grouped more than one window (le1={le_one}, count={count})"
+    );
+    assert!(sum > count, "sum counts windows, count counts runs");
+
+    server.shutdown_handle().shutdown();
+    server.join();
+}
+
 #[test]
 fn shutdown_handle_stops_an_idle_server() {
     let (server, mut client, _) = start_server();

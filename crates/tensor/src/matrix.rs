@@ -1018,6 +1018,150 @@ impl Matrix {
         }
     }
 
+    /// Rows `[start, end)` written into `out`, fully overwriting it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or `out` is not
+    /// `(end - start) × self.cols()`.
+    pub fn slice_rows_into(&self, start: usize, end: usize, out: &mut Matrix) {
+        assert!(
+            start <= end && end <= self.rows,
+            "slice_rows range out of bounds"
+        );
+        assert_eq!(
+            out.shape(),
+            (end - start, self.cols),
+            "slice_rows_into output shape mismatch"
+        );
+        out.data
+            .copy_from_slice(&self.data[start * self.cols..end * self.cols]);
+    }
+
+    /// Vertically stacks `blocks` same-shaped matrices into one
+    /// `(B·rows) × cols` matrix: block `b` occupies rows
+    /// `[b·rows, (b+1)·rows)`. This is the canonical "row-stacked" batched
+    /// layout: every row-local kernel (elementwise ops, right-multiplies by
+    /// a shared weight, per-row softmax) applied to the stack is bit-equal
+    /// to applying it to each block separately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is empty or the shapes differ.
+    pub fn stack_rows(blocks: &[&Matrix]) -> Matrix {
+        assert!(!blocks.is_empty(), "stack_rows needs at least one block");
+        let (rows, cols) = blocks[0].shape();
+        let mut out = Matrix::zeros(blocks.len() * rows, cols);
+        Matrix::stack_rows_into(blocks, &mut out);
+        out
+    }
+
+    /// [`Matrix::stack_rows`] written into `out`, fully overwriting it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is empty, the block shapes differ, or `out` is
+    /// not `(B·rows) × cols`.
+    pub fn stack_rows_into(blocks: &[&Matrix], out: &mut Matrix) {
+        assert!(!blocks.is_empty(), "stack_rows needs at least one block");
+        let (rows, cols) = blocks[0].shape();
+        assert_eq!(
+            out.shape(),
+            (blocks.len() * rows, cols),
+            "stack_rows_into output shape mismatch"
+        );
+        for (b, block) in blocks.iter().enumerate() {
+            assert_eq!(block.shape(), (rows, cols), "stack_rows shape mismatch");
+            out.data[b * rows * cols..(b + 1) * rows * cols].copy_from_slice(&block.data);
+        }
+    }
+
+    /// Row-stacked `(B·N) × F` batch → wide `N × (B·F)` layout:
+    /// `out[(i, b·F + j)] = self[(b·N + i, j)]`. Pure f64 moves (one
+    /// `memcpy` per `(block, row)` pair), so the permutation is exact.
+    ///
+    /// The wide layout puts every window side by side column-wise, which
+    /// lets a graph propagation `T @ X` over all B windows run as a single
+    /// packed-panel matmul over the widened right-hand side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is zero or does not divide `self.rows()`, or if
+    /// `out` is not `(rows/B) × (B·cols)`.
+    pub fn wide_from_stacked_into(&self, blocks: usize, out: &mut Matrix) {
+        assert!(
+            blocks > 0 && self.rows % blocks == 0,
+            "wide_from_stacked: blocks {blocks} does not divide {} rows",
+            self.rows
+        );
+        let n = self.rows / blocks;
+        let f = self.cols;
+        assert_eq!(
+            out.shape(),
+            (n, blocks * f),
+            "wide_from_stacked_into output shape mismatch"
+        );
+        let wide = blocks * f;
+        for b in 0..blocks {
+            for i in 0..n {
+                let src = &self.data[(b * n + i) * f..(b * n + i + 1) * f];
+                out.data[i * wide + b * f..i * wide + (b + 1) * f].copy_from_slice(src);
+            }
+        }
+    }
+
+    /// Owning wrapper around [`Matrix::wide_from_stacked_into`].
+    pub fn wide_from_stacked(&self, blocks: usize) -> Matrix {
+        assert!(
+            blocks > 0 && self.rows % blocks == 0,
+            "wide_from_stacked: blocks {blocks} does not divide {} rows",
+            self.rows
+        );
+        let mut out = Matrix::zeros(self.rows / blocks, blocks * self.cols);
+        self.wide_from_stacked_into(blocks, &mut out);
+        out
+    }
+
+    /// Inverse of [`Matrix::wide_from_stacked_into`]: wide `N × (B·F)` →
+    /// row-stacked `(B·N) × F`, `out[(b·N + i, j)] = self[(i, b·F + j)]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is zero or does not divide `self.cols()`, or if
+    /// `out` is not `(B·rows) × (cols/B)`.
+    pub fn stacked_from_wide_into(&self, blocks: usize, out: &mut Matrix) {
+        assert!(
+            blocks > 0 && self.cols % blocks == 0,
+            "stacked_from_wide: blocks {blocks} does not divide {} cols",
+            self.cols
+        );
+        let n = self.rows;
+        let f = self.cols / blocks;
+        assert_eq!(
+            out.shape(),
+            (blocks * n, f),
+            "stacked_from_wide_into output shape mismatch"
+        );
+        for b in 0..blocks {
+            for i in 0..n {
+                let src = &self.data[i * self.cols + b * f..i * self.cols + (b + 1) * f];
+                out.data[(b * n + i) * f..(b * n + i + 1) * f].copy_from_slice(src);
+            }
+        }
+    }
+
+    /// Owning wrapper around [`Matrix::stacked_from_wide_into`].
+    pub fn stacked_from_wide(&self, blocks: usize) -> Matrix {
+        assert!(
+            blocks > 0 && self.cols % blocks == 0,
+            "stacked_from_wide: blocks {blocks} does not divide {} cols",
+            self.cols
+        );
+        let mut out = Matrix::zeros(blocks * self.rows, self.cols / blocks);
+        self.stacked_from_wide_into(blocks, &mut out);
+        out
+    }
+
     /// Whether all elements are finite (no NaN / ±∞).
     pub fn is_finite(&self) -> bool {
         self.data.iter().all(|x| x.is_finite())

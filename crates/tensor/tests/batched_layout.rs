@@ -1,0 +1,192 @@
+//! st-check properties for the batched-layout helpers behind
+//! `forward_batched`: `stack_rows`/`slice_rows` (row-stacking B windows)
+//! and `wide_from_stacked`/`stacked_from_wide` (the `(B·N, F)` ↔
+//! `(N, B·F)` permutation the graph convolutions run in).
+//!
+//! Two things must hold for batched inference to be bitwise-exact:
+//!
+//! 1. the layout moves are *pure permutations* — round-tripping through
+//!    any of them reproduces the original bits, and each output element is
+//!    one original element, never an arithmetic combination;
+//! 2. a left-multiply against the wide layout computes each window's
+//!    column block with exactly the bits of the per-window product, at
+//!    every worker count — this is where the batched ChebGcn gets its
+//!    bit-identity from.
+//!
+//! Shapes are adversarial on both axes: `B = 1`, register-tile remainders
+//! around `MR`/`NR`, and `N` past the `KC` reduction-panel boundary.
+
+use st_check::{prop_assert, prop_assert_eq, Check};
+use st_tensor::{Matrix, KC, MR, NR};
+
+#[derive(Debug, Clone)]
+struct Case {
+    blocks: usize,
+    rows: usize,
+    cols: usize,
+    seed: u64,
+}
+
+fn gen_rows(g: &mut st_check::Gen) -> usize {
+    // The graph-conv left-multiply reduces over N, so push N across the
+    // register tiles and the KC panel edge; keep the huge case rare.
+    match g.usize_in(0, 6) {
+        0 => 1,
+        1 => MR,
+        2 => MR * 2 - 1,
+        3 => NR + 1,
+        4 => KC + 1,
+        _ => g.usize_in(1, 40),
+    }
+}
+
+fn gen_cols(g: &mut st_check::Gen) -> usize {
+    match g.usize_in(0, 4) {
+        0 => 1,
+        1 => NR,
+        2 => NR * 3 - 1,
+        _ => g.usize_in(1, 24),
+    }
+}
+
+fn gen_matrix(seed: u64, r: usize, c: usize) -> Matrix {
+    let mut rng = st_tensor::rng(seed);
+    Matrix::from_fn(r, c, |i, j| {
+        if (i + 2 * j) % 5 == 0 {
+            0.0
+        } else {
+            (rng.gen_f64() - 0.5) * 10f64.powi((rng.next_u64() % 11) as i32 - 5)
+        }
+    })
+}
+
+fn bits_eq(a: &Matrix, b: &Matrix) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+#[test]
+fn layout_moves_are_exact_permutations() {
+    Check::new("batched_layout_permutations")
+        .cases(60)
+        .run_with_shrink(
+            |g| Case {
+                blocks: *g.choose(&[1usize, 2, 3, 4, 16]),
+                rows: gen_rows(g),
+                cols: gen_cols(g),
+                seed: g.u64_in(0, u64::MAX - 1),
+            },
+            |_| Vec::new(),
+            |case| {
+                let &Case {
+                    blocks,
+                    rows,
+                    cols,
+                    seed,
+                } = case;
+                let windows: Vec<Matrix> = (0..blocks)
+                    .map(|b| gen_matrix(seed ^ (b as u64) << 17, rows, cols))
+                    .collect();
+                let refs: Vec<&Matrix> = windows.iter().collect();
+
+                // stack_rows ∘ slice_rows = identity, block by block, and
+                // the `_into` variant fully overwrites a poisoned buffer.
+                let stacked = Matrix::stack_rows(&refs);
+                prop_assert_eq!(stacked.shape(), (blocks * rows, cols));
+                let mut stacked_into = Matrix::filled(blocks * rows, cols, f64::NAN);
+                Matrix::stack_rows_into(&refs, &mut stacked_into);
+                prop_assert!(bits_eq(&stacked, &stacked_into), "stack_rows_into differs");
+                for (b, w) in windows.iter().enumerate() {
+                    let slice = stacked.slice_rows(b * rows, (b + 1) * rows);
+                    prop_assert!(bits_eq(&slice, w), "slice_rows lost block {b}");
+                    let mut out = Matrix::filled(rows, cols, f64::NAN);
+                    stacked.slice_rows_into(b * rows, (b + 1) * rows, &mut out);
+                    prop_assert!(bits_eq(&out, w), "slice_rows_into lost block {b}");
+                }
+
+                // wide ↔ stacked are mutually inverse permutations: block b
+                // of the wide form is window b verbatim.
+                let wide = stacked.wide_from_stacked(blocks);
+                prop_assert_eq!(wide.shape(), (rows, blocks * cols));
+                for (b, w) in windows.iter().enumerate() {
+                    for i in 0..rows {
+                        for j in 0..cols {
+                            prop_assert!(
+                                wide[(i, b * cols + j)].to_bits() == w[(i, j)].to_bits(),
+                                "wide block {b} misplaced ({i},{j})"
+                            );
+                        }
+                    }
+                }
+                let back = wide.stacked_from_wide(blocks);
+                prop_assert!(bits_eq(&back, &stacked), "wide→stacked not inverse");
+                let mut wide_into = Matrix::filled(rows, blocks * cols, f64::NAN);
+                stacked.wide_from_stacked_into(blocks, &mut wide_into);
+                prop_assert!(bits_eq(&wide_into, &wide), "wide_from_stacked_into differs");
+                let mut back_into = Matrix::filled(blocks * rows, cols, f64::NAN);
+                wide.stacked_from_wide_into(blocks, &mut back_into);
+                prop_assert!(
+                    bits_eq(&back_into, &stacked),
+                    "stacked_from_wide_into differs"
+                );
+                Ok(())
+            },
+        );
+}
+
+#[test]
+fn wide_left_multiply_matches_per_window_products_at_any_thread_count() {
+    let saved = st_tensor::parallel_threshold();
+    st_tensor::set_parallel_threshold(1);
+
+    let result = std::panic::catch_unwind(|| {
+        Check::new("wide_left_multiply_per_window")
+            .cases(30)
+            .run_with_shrink(
+                |g| Case {
+                    blocks: *g.choose(&[1usize, 2, 3, 4, 16]),
+                    rows: gen_rows(g),
+                    cols: gen_cols(g),
+                    seed: g.u64_in(0, u64::MAX - 1),
+                },
+                |_| Vec::new(),
+                |case| {
+                    let &Case {
+                        blocks,
+                        rows,
+                        cols,
+                        seed,
+                    } = case;
+                    let lap = gen_matrix(seed ^ 0xA5A5, rows, rows);
+                    let windows: Vec<Matrix> = (0..blocks)
+                        .map(|b| gen_matrix(seed ^ (b as u64) << 17, rows, cols))
+                        .collect();
+                    let refs: Vec<&Matrix> = windows.iter().collect();
+                    let wide = Matrix::stack_rows(&refs).wide_from_stacked(blocks);
+
+                    for threads in [1usize, 2, 4] {
+                        st_par::set_num_threads(threads);
+                        let product = lap.matmul(&wide).stacked_from_wide(blocks);
+                        for (b, w) in windows.iter().enumerate() {
+                            let got = product.slice_rows(b * rows, (b + 1) * rows);
+                            let want = lap.matmul(w);
+                            prop_assert!(
+                                bits_eq(&got, &want),
+                                "window {b} of L·wide differs from L·X_b at {threads} threads"
+                            );
+                        }
+                    }
+                    Ok(())
+                },
+            );
+    });
+
+    st_par::set_num_threads(0);
+    st_tensor::set_parallel_threshold(saved);
+    if let Err(panic) = result {
+        std::panic::resume_unwind(panic);
+    }
+}

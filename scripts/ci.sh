@@ -178,6 +178,23 @@ for threads in 1 4; do
     rm -f "$KERNELS_JSON"
 done
 
+echo "== batched-forecast bench (>=2x RPS on a saturated queue) =="
+# loadgen --bench-batch saturates a single-shard in-process engine with
+# observe -> forecast pairs at max_batch 1 and 16 (best of three runs
+# each), checks the per-shard metrics consistency gate, and exits
+# non-zero unless batching delivers at least 2x the unbatched forecast
+# throughput. The last run's report is kept as BENCH_batch.json.
+for threads in 1 4; do
+    echo "-- bench-batch (ST_NUM_THREADS=$threads) --"
+    ST_NUM_THREADS=$threads cargo run -q --release --offline \
+        -p rihgcn-bench --bin loadgen -- \
+        --bench-batch --threads 16 --requests 40 --out BENCH_batch.json
+done
+test -s BENCH_batch.json || { echo "BENCH_batch.json missing"; exit 1; }
+grep -q '"speedup"' BENCH_batch.json || {
+    echo "BENCH_batch.json missing speedup"; exit 1;
+}
+
 echo "== formatting =="
 cargo fmt --check
 

@@ -1,0 +1,133 @@
+//! Bitwise contract of batched inference: forecasting `B` windows in one
+//! tape run must equal `B` sequential single-window forwards bit for bit,
+//! at every worker count and for both prediction heads.
+//!
+//! Why this can hold exactly (DESIGN §13): the batch lives row-stacked as
+//! `(B·N) × F`, where every row-local op (elementwise arithmetic, the
+//! LSTM/head right-multiplies against shared weights, per-row softmax) is
+//! per-block bit-equal by construction; the only column-local ops — the
+//! Chebyshev propagations `T_k(L̃) · X` — run in the wide `N × (B·F)`
+//! permutation, and the blocked matmul accumulates each output element in
+//! ascending `k` independent of operand width (pinned blocked ≡ naive in
+//! `crates/tensor/tests/kernel_properties.rs`). The layout permutations
+//! themselves are exact f64 moves.
+//!
+//! The parallel threshold is forced to 1 so the banded parallel kernels
+//! actually run at this tiny model size; 1, 2 and 4 workers all must agree
+//! (2 puts band boundaries elsewhere than 4 — see `thread_determinism.rs`).
+
+use rihgcn::core::{
+    prepare_split, BatchedWindow, PredictionHead, RihgcnConfig, RihgcnModel, SampleOutput,
+};
+use rihgcn::data::{generate_pems, PemsConfig, WindowSample, WindowSampler};
+use rihgcn::tensor::{rng, set_parallel_threshold, Matrix};
+
+fn assert_bits_eq(a: &Matrix, b: &Matrix, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        assert!(
+            x.to_bits() == y.to_bits(),
+            "{what}: element {i} diverged ({x} vs {y})"
+        );
+    }
+}
+
+fn assert_outputs_eq(batched: &SampleOutput, single: &SampleOutput, what: &str) {
+    assert_eq!(batched.predictions.len(), single.predictions.len());
+    assert_eq!(batched.estimates.len(), single.estimates.len());
+    for (h, (b, s)) in batched
+        .predictions
+        .iter()
+        .zip(&single.predictions)
+        .enumerate()
+    {
+        assert_bits_eq(b, s, &format!("{what} prediction step {h}"));
+    }
+    for (t, (b, s)) in batched.estimates.iter().zip(&single.estimates).enumerate() {
+        assert_bits_eq(b, s, &format!("{what} estimate step {t}"));
+    }
+}
+
+fn model_and_windows(head: PredictionHead) -> (RihgcnModel, Vec<WindowSample>) {
+    let ds = generate_pems(&PemsConfig {
+        num_nodes: 4,
+        num_days: 2,
+        ..Default::default()
+    });
+    let ds = ds.with_extra_missing(0.3, &mut rng(3));
+    let (norm, _) = prepare_split(&ds.split_chronological());
+    let cfg = RihgcnConfig {
+        gcn_dim: 3,
+        lstm_dim: 4,
+        cheb_k: 2,
+        num_temporal_graphs: 2,
+        history: 4,
+        horizon: 2,
+        head,
+        ..Default::default()
+    };
+    let model = RihgcnModel::from_dataset(&norm.train, cfg);
+    // Stride 7 spreads the windows across time-of-day slots, so batch
+    // members hit different interval weights in the HGCN.
+    let windows = WindowSampler::new(4, 2, 7).sample(&norm.train);
+    assert!(windows.len() >= 16, "need 16 distinct windows");
+    (model, windows)
+}
+
+#[test]
+fn batched_forward_bit_identical_to_sequential() {
+    let saved = rihgcn::tensor::parallel_threshold();
+    set_parallel_threshold(1);
+    for head in [PredictionHead::Concat, PredictionHead::Attention] {
+        let (mut model, windows) = model_and_windows(head);
+        let singles: Vec<SampleOutput> = windows[..16].iter().map(|w| model.forward(w)).collect();
+        for threads in [1usize, 2, 4] {
+            rihgcn::par::set_num_threads(threads);
+            for b in [1usize, 2, 3, 8, 16] {
+                let refs: Vec<&WindowSample> = windows[..b].iter().collect();
+                let batch = BatchedWindow::from_samples(&refs);
+                let what = format!("{head:?} head, B={b}, {threads} threads");
+                // Fresh-session batched forward…
+                let fresh = model.forward_batched(&batch);
+                assert_eq!(fresh.len(), b);
+                for (i, out) in fresh.iter().enumerate() {
+                    assert_outputs_eq(out, &singles[i], &format!("{what}, fresh, window {i}"));
+                }
+                // …and the recycled path, twice, to prove pooled buffers
+                // are fully overwritten between batched runs too.
+                for round in 0..2 {
+                    let recycled = model.forward_batched_recycled(&batch);
+                    for (i, out) in recycled.iter().enumerate() {
+                        assert_outputs_eq(
+                            out,
+                            &singles[i],
+                            &format!("{what}, recycled round {round}, window {i}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    rihgcn::par::set_num_threads(0);
+    set_parallel_threshold(saved);
+}
+
+#[test]
+fn batch_members_see_their_own_slots() {
+    // Two copies of the same window data at different slots must produce
+    // different outputs within one batch (the per-window interval weights
+    // actually apply per block, not batch-wide).
+    let (model, windows) = model_and_windows(PredictionHead::Concat);
+    let mut shifted = windows[0].clone();
+    let slots_per_day = model.slots_per_day();
+    for s in shifted.slots.iter_mut() {
+        *s = (*s + slots_per_day / 2) % slots_per_day;
+    }
+    let batch = BatchedWindow::from_samples(&[&windows[0], &shifted]);
+    let outs = model.forward_batched(&batch);
+    let diff: f64 = outs[0].predictions[0].max_abs_diff(&outs[1].predictions[0]);
+    assert!(
+        diff > 1e-12,
+        "slot shift must change a batch member's output"
+    );
+}
